@@ -1,0 +1,341 @@
+//! Audit records: one structured entry per platform action.
+
+use css_types::{
+    ActorId, CssError, CssResult, EventTypeId, GlobalEventId, PersonId, Purpose, RequestId,
+    Timestamp,
+};
+use css_xml::Element;
+
+/// The kind of action an audit record describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AuditAction {
+    /// A producer published a notification.
+    Publish,
+    /// A consumer subscribed (or tried to) to a class of events.
+    Subscribe,
+    /// A notification was delivered to a consumer.
+    Delivery,
+    /// A consumer inquired the events index.
+    IndexInquiry,
+    /// A consumer requested the details of an event.
+    DetailRequest,
+    /// A data subject changed their consent.
+    ConsentChange,
+    /// A producer defined or updated a privacy policy.
+    PolicyChange,
+    /// A participant joined the platform (signed a contract).
+    ContractSigned,
+    /// A data subject exercised their right of access (viewed their own
+    /// profile or audit trail).
+    SubjectAccess,
+}
+
+impl AuditAction {
+    /// Stable code used in serialization.
+    pub fn code(self) -> &'static str {
+        match self {
+            AuditAction::Publish => "publish",
+            AuditAction::Subscribe => "subscribe",
+            AuditAction::Delivery => "delivery",
+            AuditAction::IndexInquiry => "index-inquiry",
+            AuditAction::DetailRequest => "detail-request",
+            AuditAction::ConsentChange => "consent-change",
+            AuditAction::PolicyChange => "policy-change",
+            AuditAction::ContractSigned => "contract-signed",
+            AuditAction::SubjectAccess => "subject-access",
+        }
+    }
+
+    fn from_code(s: &str) -> Option<Self> {
+        Some(match s {
+            "publish" => AuditAction::Publish,
+            "subscribe" => AuditAction::Subscribe,
+            "delivery" => AuditAction::Delivery,
+            "index-inquiry" => AuditAction::IndexInquiry,
+            "detail-request" => AuditAction::DetailRequest,
+            "consent-change" => AuditAction::ConsentChange,
+            "policy-change" => AuditAction::PolicyChange,
+            "contract-signed" => AuditAction::ContractSigned,
+            "subject-access" => AuditAction::SubjectAccess,
+            _ => return None,
+        })
+    }
+}
+
+/// How the action ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// The action succeeded / was permitted.
+    Permitted,
+    /// The action was denied, with the coarse reason string.
+    Denied(String),
+}
+
+impl AuditOutcome {
+    /// Whether the outcome is a permit.
+    pub fn is_permitted(&self) -> bool {
+        matches!(self, AuditOutcome::Permitted)
+    }
+}
+
+/// One audit entry. Optional dimensions are `None` when not applicable
+/// (e.g. a contract signing has no event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Position in the log; assigned at append time.
+    pub seq: u64,
+    /// When the action happened (controller clock).
+    pub at: Timestamp,
+    /// The acting party.
+    pub actor: ActorId,
+    /// What kind of action.
+    pub action: AuditAction,
+    /// The event involved, if any.
+    pub event: Option<GlobalEventId>,
+    /// The class of event involved, if any.
+    pub event_type: Option<EventTypeId>,
+    /// The data subject involved, if any.
+    pub person: Option<PersonId>,
+    /// The stated purpose, if any.
+    pub purpose: Option<Purpose>,
+    /// The correlated request, if any.
+    pub request: Option<RequestId>,
+    /// Outcome.
+    pub outcome: AuditOutcome,
+    /// Free-form detail (e.g. matched policy ids).
+    pub detail: String,
+}
+
+impl AuditRecord {
+    /// A permitted record with the mandatory dimensions; extend via the
+    /// builder methods.
+    pub fn new(at: Timestamp, actor: ActorId, action: AuditAction) -> Self {
+        AuditRecord {
+            seq: 0,
+            at,
+            actor,
+            action,
+            event: None,
+            event_type: None,
+            person: None,
+            purpose: None,
+            request: None,
+            outcome: AuditOutcome::Permitted,
+            detail: String::new(),
+        }
+    }
+
+    /// Builder: the event involved.
+    pub fn event(mut self, id: GlobalEventId) -> Self {
+        self.event = Some(id);
+        self
+    }
+
+    /// Builder: the event class involved.
+    pub fn event_type(mut self, ty: EventTypeId) -> Self {
+        self.event_type = Some(ty);
+        self
+    }
+
+    /// Builder: the data subject involved.
+    pub fn person(mut self, id: PersonId) -> Self {
+        self.person = Some(id);
+        self
+    }
+
+    /// Builder: the stated purpose.
+    pub fn purpose(mut self, p: Purpose) -> Self {
+        self.purpose = Some(p);
+        self
+    }
+
+    /// Builder: the correlated request id.
+    pub fn request(mut self, id: RequestId) -> Self {
+        self.request = Some(id);
+        self
+    }
+
+    /// Builder: mark denied with a reason.
+    pub fn denied(mut self, reason: impl Into<String>) -> Self {
+        self.outcome = AuditOutcome::Denied(reason.into());
+        self
+    }
+
+    /// Builder: attach free-form detail.
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = detail.into();
+        self
+    }
+
+    /// Serialize to the XML persistence form.
+    pub fn to_xml(&self) -> Element {
+        let mut e = Element::new("AuditRecord")
+            .attr("seq", self.seq.to_string())
+            .attr("at", self.at.as_millis().to_string())
+            .attr("actor", self.actor.to_string())
+            .attr("action", self.action.code());
+        if let Some(id) = self.event {
+            e = e.attr("event", id.to_string());
+        }
+        if let Some(ty) = &self.event_type {
+            e = e.attr("eventType", ty.to_string());
+        }
+        if let Some(p) = self.person {
+            e = e.attr("person", p.to_string());
+        }
+        if let Some(p) = &self.purpose {
+            e = e.attr("purpose", p.code());
+        }
+        if let Some(r) = self.request {
+            e = e.attr("request", r.to_string());
+        }
+        match &self.outcome {
+            AuditOutcome::Permitted => e = e.attr("outcome", "permitted"),
+            AuditOutcome::Denied(reason) => {
+                e = e.attr("outcome", "denied").attr("reason", reason.clone());
+            }
+        }
+        if !self.detail.is_empty() {
+            e = e.child(Element::leaf("Detail", self.detail.clone()));
+        }
+        e
+    }
+
+    /// Parse from the XML persistence form.
+    pub fn from_xml(e: &Element) -> CssResult<Self> {
+        let bad = |msg: String| CssError::Serialization(format!("AuditRecord: {msg}"));
+        if e.name != "AuditRecord" {
+            return Err(bad(format!("wrong root <{}>", e.name)));
+        }
+        let req = |attr: &str| {
+            e.attribute(attr)
+                .ok_or_else(|| bad(format!("missing {attr}")))
+        };
+        let seq: u64 = req("seq")?
+            .parse()
+            .map_err(|x| bad(format!("bad seq: {x}")))?;
+        let at = Timestamp(
+            req("at")?
+                .parse()
+                .map_err(|x| bad(format!("bad at: {x}")))?,
+        );
+        let actor: ActorId = req("actor")?
+            .parse()
+            .map_err(|x| bad(format!("bad actor: {x}")))?;
+        let action = AuditAction::from_code(req("action")?)
+            .ok_or_else(|| bad(format!("unknown action {:?}", e.attribute("action"))))?;
+        let opt = |attr: &str| e.attribute(attr);
+        let event = opt("event")
+            .map(|s| s.parse::<GlobalEventId>())
+            .transpose()
+            .map_err(|x| bad(format!("bad event: {x}")))?;
+        let event_type = opt("eventType")
+            .map(|s| s.parse::<EventTypeId>())
+            .transpose()
+            .map_err(|x| bad(format!("bad eventType: {x}")))?;
+        let person = opt("person")
+            .map(|s| s.parse::<PersonId>())
+            .transpose()
+            .map_err(|x| bad(format!("bad person: {x}")))?;
+        let purpose = opt("purpose").map(|s| s.parse::<Purpose>().expect("infallible"));
+        let request = opt("request")
+            .map(|s| s.parse::<RequestId>())
+            .transpose()
+            .map_err(|x| bad(format!("bad request: {x}")))?;
+        let outcome = match req("outcome")? {
+            "permitted" => AuditOutcome::Permitted,
+            "denied" => AuditOutcome::Denied(opt("reason").unwrap_or("").to_string()),
+            other => return Err(bad(format!("unknown outcome {other:?}"))),
+        };
+        let detail = e.child_text("Detail").unwrap_or_default();
+        Ok(AuditRecord {
+            seq,
+            at,
+            actor,
+            action,
+            event,
+            event_type,
+            person,
+            purpose,
+            request,
+            outcome,
+            detail,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_record() -> AuditRecord {
+        let mut r = AuditRecord::new(Timestamp(123), ActorId(4), AuditAction::DetailRequest)
+            .event(GlobalEventId(9))
+            .event_type(EventTypeId::v1("blood-test"))
+            .person(PersonId(2))
+            .purpose(Purpose::HealthcareTreatment)
+            .request(RequestId(55))
+            .with_detail("matched pol-00000001");
+        r.seq = 17;
+        r
+    }
+
+    #[test]
+    fn xml_roundtrip_full() {
+        let r = full_record();
+        let text = css_xml::to_string(&r.to_xml());
+        let back = AuditRecord::from_xml(&css_xml::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn xml_roundtrip_minimal() {
+        let r = AuditRecord::new(Timestamp(0), ActorId(1), AuditAction::ContractSigned);
+        let back = AuditRecord::from_xml(&r.to_xml()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn xml_roundtrip_denied() {
+        let r = AuditRecord::new(Timestamp(5), ActorId(2), AuditAction::Subscribe)
+            .denied("no matching policy");
+        let back = AuditRecord::from_xml(&r.to_xml()).unwrap();
+        assert_eq!(
+            back.outcome,
+            AuditOutcome::Denied("no matching policy".into())
+        );
+        assert!(!back.outcome.is_permitted());
+    }
+
+    #[test]
+    fn action_codes_roundtrip() {
+        for a in [
+            AuditAction::Publish,
+            AuditAction::Subscribe,
+            AuditAction::Delivery,
+            AuditAction::IndexInquiry,
+            AuditAction::DetailRequest,
+            AuditAction::ConsentChange,
+            AuditAction::PolicyChange,
+            AuditAction::ContractSigned,
+            AuditAction::SubjectAccess,
+        ] {
+            assert_eq!(AuditAction::from_code(a.code()), Some(a));
+        }
+        assert_eq!(AuditAction::from_code("espionage"), None);
+    }
+
+    #[test]
+    fn from_xml_rejects_malformed() {
+        assert!(AuditRecord::from_xml(&Element::new("Wrong")).is_err());
+        let missing = Element::new("AuditRecord").attr("seq", "1");
+        assert!(AuditRecord::from_xml(&missing).is_err());
+        let bad_action = Element::new("AuditRecord")
+            .attr("seq", "1")
+            .attr("at", "0")
+            .attr("actor", "act-00000001")
+            .attr("action", "espionage")
+            .attr("outcome", "permitted");
+        assert!(AuditRecord::from_xml(&bad_action).is_err());
+    }
+}

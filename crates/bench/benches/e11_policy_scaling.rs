@@ -1,0 +1,101 @@
+//! E11 — §5 claim: policy storage and matching must scale with the
+//! catalog. PDP evaluation latency sweeping the number of installed
+//! policies, including the deny-by-default worst case (no policy
+//! matches, all candidates inspected).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use css_bench::print_header;
+use css_policy::{DetailRequest, PolicyDecisionPoint, PrivacyPolicy};
+use css_types::{
+    Actor, ActorId, ActorRegistry, EventTypeId, GlobalEventId, PolicyId, Purpose, RequestId,
+    Timestamp,
+};
+
+fn build(policies: usize, same_type: bool) -> (PolicyDecisionPoint, ActorRegistry) {
+    let mut actors = ActorRegistry::new();
+    let mut pdp = PolicyDecisionPoint::new();
+    for i in 0..policies as u64 {
+        let actor = ActorId(i + 10);
+        actors
+            .register(Actor::organization(actor, format!("C{i}")))
+            .unwrap();
+        let ty = if same_type {
+            EventTypeId::v1("hot-type")
+        } else {
+            EventTypeId::v1(format!("type-{i}"))
+        };
+        pdp.install(PrivacyPolicy::new(
+            PolicyId(i + 1),
+            ActorId(1),
+            actor,
+            ty,
+            [Purpose::Administration],
+            [format!("Field{i}")],
+        ));
+    }
+    actors
+        .register(Actor::organization(ActorId(5), "Requester"))
+        .unwrap();
+    (pdp, actors)
+}
+
+fn bench(c: &mut Criterion) {
+    print_header("E11", "PDP latency vs number of installed policies");
+    let mut group = c.benchmark_group("e11_policy_scaling");
+    for &n in &[10usize, 100, 1_000, 10_000] {
+        // Typical case: policies spread over distinct event types — the
+        // per-type index keeps candidate lists short.
+        let (pdp, actors) = build(n, false);
+        let hit = DetailRequest::new(
+            RequestId(1),
+            ActorId(10), // owner of policy 0
+            EventTypeId::v1("type-0"),
+            GlobalEventId(1),
+            Purpose::Administration,
+        );
+        group.bench_with_input(BenchmarkId::new("indexed_hit", n), &n, |b, _| {
+            b.iter(|| pdp.evaluate(&hit, &actors, Timestamp(0)))
+        });
+
+        // Worst case: every policy guards the same event type and none
+        // matches the requester (deny-by-default scan).
+        let (pdp_hot, actors_hot) = build(n, true);
+        let miss = DetailRequest::new(
+            RequestId(1),
+            ActorId(5), // no policy for this actor
+            EventTypeId::v1("hot-type"),
+            GlobalEventId(1),
+            Purpose::Administration,
+        );
+        group.bench_with_input(BenchmarkId::new("hot_type_deny_scan", n), &n, |b, _| {
+            b.iter(|| pdp_hot.evaluate(&miss, &actors_hot, Timestamp(0)))
+        });
+    }
+    group.finish();
+
+    // Series print: per-request latency at each scale (measured crudely
+    // outside criterion for the table).
+    for &n in &[10usize, 100, 1_000, 10_000] {
+        let (pdp, actors) = build(n, true);
+        let miss = DetailRequest::new(
+            RequestId(1),
+            ActorId(5),
+            EventTypeId::v1("hot-type"),
+            GlobalEventId(1),
+            Purpose::Administration,
+        );
+        let iters = 2_000;
+        let t0 = std::time::Instant::now();
+        for _ in 0..iters {
+            let _ = pdp.evaluate(&miss, &actors, Timestamp(0));
+        }
+        eprintln!(
+            "deny-scan over {n:>6} same-type policies: {:>10.1} ns/request",
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

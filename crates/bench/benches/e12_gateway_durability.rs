@@ -1,0 +1,94 @@
+//! E12 — §4 claim: detail requests "may arrive even months after the
+//! publication" and must be served "even when the source systems are
+//! un-accessible". Gateway retrieval latency vs store size, and
+//! recovery (reopen + replay) time after a restart.
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use css_bench::{blood_test_details, blood_test_schema, HOSPITAL};
+use css_event::DetailMessage;
+use css_gateway::LocalCooperationGateway;
+use css_storage::{FileBackend, MemBackend};
+use css_types::SourceEventId;
+
+use css_bench::print_header;
+
+fn filled_gateway(n: u64) -> LocalCooperationGateway<MemBackend> {
+    let mut gw = LocalCooperationGateway::open(HOSPITAL, MemBackend::new()).unwrap();
+    gw.register_schema(blood_test_schema()).unwrap();
+    for src in 1..=n {
+        gw.persist(&DetailMessage {
+            src_event_id: SourceEventId(src),
+            producer: HOSPITAL,
+            details: blood_test_details(src),
+        })
+        .unwrap();
+    }
+    gw
+}
+
+fn bench(c: &mut Criterion) {
+    print_header(
+        "E12",
+        "gateway retrieval vs store size; recovery after restart",
+    );
+    let allowed: BTreeSet<String> = ["PatientId", "CollectedAt", "Result"]
+        .map(String::from)
+        .into();
+
+    let mut group = c.benchmark_group("e12_gateway");
+    for &n in &[100u64, 1_000, 10_000] {
+        let gw = filled_gateway(n);
+        group.bench_with_input(BenchmarkId::new("get_response", n), &n, |b, &n| {
+            let mut src = 0u64;
+            b.iter(|| {
+                src = src % n + 1;
+                gw.get_response(SourceEventId(src), &allowed).unwrap()
+            })
+        });
+    }
+
+    // Disk-backed recovery: reopen + replay of the on-disk log.
+    let dir = std::env::temp_dir().join(format!("css-bench-e12-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for &n in &[100u64, 1_000, 5_000] {
+        let path = dir.join(format!("gw-{n}.log"));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut gw =
+                LocalCooperationGateway::open(HOSPITAL, FileBackend::open(&path).unwrap()).unwrap();
+            gw.register_schema(blood_test_schema()).unwrap();
+            for src in 1..=n {
+                gw.persist(&DetailMessage {
+                    src_event_id: SourceEventId(src),
+                    producer: HOSPITAL,
+                    details: blood_test_details(src),
+                })
+                .unwrap();
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("recover_reopen", n), &n, |b, _| {
+            b.iter(|| {
+                LocalCooperationGateway::open(HOSPITAL, FileBackend::open(&path).unwrap())
+                    .unwrap()
+                    .stored_count()
+            })
+        });
+        let t0 = std::time::Instant::now();
+        let gw =
+            LocalCooperationGateway::open(HOSPITAL, FileBackend::open(&path).unwrap()).unwrap();
+        eprintln!(
+            "recover {n:>6} records ({} KiB) in {:?}",
+            std::fs::metadata(&path).unwrap().len() / 1024,
+            t0.elapsed()
+        );
+        drop(gw);
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

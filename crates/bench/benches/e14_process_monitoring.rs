@@ -1,0 +1,94 @@
+//! E14 (extension) — §1: "monitor, control and trace the clinical and
+//! assistive processes". Monitor feed throughput and KPI computation
+//! cost vs the number of tracked pathways.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use css_bench::{person, print_header, HOSPITAL};
+use css_event::NotificationMessage;
+use css_monitor::{ProcessDefinition, ProcessMonitor};
+use css_types::{EventTypeId, GlobalEventId, Timestamp};
+
+fn notif(id: u64, person_id: u64, ty: &str, at: u64) -> NotificationMessage {
+    NotificationMessage {
+        global_id: GlobalEventId(id),
+        event_type: EventTypeId::v1(ty),
+        person: person(person_id),
+        description: String::new(),
+        occurred_at: Timestamp(at),
+        producer: HOSPITAL,
+    }
+}
+
+const DAY: u64 = 86_400_000;
+
+fn feed_pathways(monitor: &mut ProcessMonitor, persons: u64) {
+    let mut id = 0;
+    for p in 1..=persons {
+        for (ty, day) in [
+            ("hospital-discharge", 0),
+            ("autonomy-assessment", 2),
+            ("home-care-service-event", 5),
+            ("meal-delivery", 6),
+        ] {
+            id += 1;
+            monitor.feed(&notif(id, p, ty, day * DAY));
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_header("E14", "process monitor feed throughput & KPI cost");
+    let mut group = c.benchmark_group("e14_monitoring");
+
+    group.bench_function("feed_one_notification", |b| {
+        let mut monitor = ProcessMonitor::new();
+        monitor.register(ProcessDefinition::elderly_care());
+        feed_pathways(&mut monitor, 1_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // A fresh discharge keeps starting new instances.
+            monitor.feed(&notif(1_000_000 + i, 100_000 + i, "hospital-discharge", 0));
+        })
+    });
+
+    for &persons in &[100u64, 1_000, 10_000] {
+        let mut monitor = ProcessMonitor::new();
+        monitor.register(ProcessDefinition::elderly_care());
+        feed_pathways(&mut monitor, persons);
+        group.bench_with_input(BenchmarkId::new("kpis", persons), &persons, |b, _| {
+            b.iter(|| monitor.kpis())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("check_deadlines", persons),
+            &persons,
+            |b, _| {
+                b.iter(|| {
+                    // All instances completed, so this is the scan cost.
+                    let mut m = ProcessMonitor::new();
+                    std::mem::swap(&mut m, &mut monitor);
+                    let n = m.check_deadlines(Timestamp(30 * DAY));
+                    std::mem::swap(&mut m, &mut monitor);
+                    n
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut monitor = ProcessMonitor::new();
+    monitor.register(ProcessDefinition::elderly_care());
+    feed_pathways(&mut monitor, 10_000);
+    let kpis = monitor.kpis();
+    eprintln!(
+        "10k pathways: completed={} running={} violations={} (completion rate {:.0}%)",
+        kpis.completed,
+        kpis.running,
+        kpis.deadline_violations + kpis.regressions,
+        kpis.completion_rate() * 100.0
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! E3 — Fig. 3 (§5): the privacy-constraint lifecycle — wizard
+//! elicitation → XACML generation → repository store → first match.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use css_bench::print_header;
+use css_core::CssPlatform;
+use css_event::{EventSchema, FieldDef, FieldKind};
+use css_types::{EventTypeId, Purpose};
+
+fn schema(hospital: css_types::ActorId) -> EventSchema {
+    EventSchema::new(EventTypeId::v1("blood-test"), "Blood Test", hospital)
+        .field(FieldDef::required("PatientId", FieldKind::Integer))
+        .field(FieldDef::required("Result", FieldKind::Text).sensitive())
+        .field(FieldDef::optional("Notes", FieldKind::Text).sensitive())
+}
+
+fn bench(c: &mut Criterion) {
+    print_header(
+        "E3",
+        "elicitation → XACML → store → enforceable (Fig. 3 lifecycle)",
+    );
+    let mut group = c.benchmark_group("e3_policy_lifecycle");
+    group.sample_size(30);
+
+    // Full lifecycle: one wizard run producing an enforceable policy.
+    group.bench_function("wizard_elicit_compile_store", |b| {
+        b.iter_batched(
+            || {
+                let mut platform = CssPlatform::in_memory();
+                let hospital = platform.register_organization("Hospital").unwrap();
+                let doctor = platform.register_organization("Doctor").unwrap();
+                platform.join_as_producer(hospital).unwrap();
+                platform.join_as_consumer(doctor).unwrap();
+                let producer = platform.producer(hospital).unwrap();
+                producer.declare(&schema(hospital), None).unwrap();
+                (platform, hospital, doctor)
+            },
+            |(platform, hospital, doctor)| {
+                platform
+                    .producer(hospital)
+                    .unwrap()
+                    .policy_wizard(&EventTypeId::v1("blood-test"))
+                    .unwrap()
+                    .select_fields(["PatientId", "Result"])
+                    .unwrap()
+                    .grant_to([doctor])
+                    .unwrap()
+                    .for_purposes([Purpose::HealthcareTreatment])
+                    .labeled("bench", "")
+                    .save()
+                    .unwrap()
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    // Lifecycle stage costs, printed once as the experiment series.
+    {
+        let mut platform = CssPlatform::in_memory();
+        let hospital = platform.register_organization("Hospital").unwrap();
+        let doctor = platform.register_organization("Doctor").unwrap();
+        platform.join_as_producer(hospital).unwrap();
+        platform.join_as_consumer(doctor).unwrap();
+        let producer = platform.producer(hospital).unwrap();
+        producer.declare(&schema(hospital), None).unwrap();
+        let runs = 500;
+        let t0 = std::time::Instant::now();
+        for i in 0..runs {
+            producer
+                .policy_wizard(&EventTypeId::v1("blood-test"))
+                .unwrap()
+                .select_fields(["PatientId", "Result"])
+                .unwrap()
+                .grant_to([doctor])
+                .unwrap()
+                .for_purposes([Purpose::HealthcareTreatment])
+                .labeled(format!("r{i}"), "")
+                .save()
+                .unwrap();
+        }
+        let total = t0.elapsed();
+        eprintln!(
+            "lifecycle: {runs} wizard runs in {total:?} ({:.1} policies/s); repository now holds {} XACML documents",
+            runs as f64 / total.as_secs_f64(),
+            platform.policy_repository().lock().len()
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

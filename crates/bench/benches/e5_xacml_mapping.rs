@@ -1,0 +1,75 @@
+//! E5 — Fig. 5 (§5.2): the enforcement architecture is independent of
+//! the policy notation. Cost of evaluating natively vs going through the
+//! XACML document mapping on every request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use css_bench::{doctor_policy, print_header};
+use css_policy::xacml::{from_xacml, to_xacml};
+use css_policy::{DetailRequest, PolicyDecisionPoint};
+use css_types::{
+    Actor, ActorId, ActorRegistry, EventTypeId, GlobalEventId, Purpose, RequestId, Timestamp,
+};
+
+fn bench(c: &mut Criterion) {
+    print_header(
+        "E5",
+        "native evaluation vs per-request XACML mapping (Fig. 5)",
+    );
+    let mut actors = ActorRegistry::new();
+    actors
+        .register(Actor::organization(ActorId(1), "C"))
+        .unwrap();
+    let policy = doctor_policy(1, ActorId(1));
+    let request = DetailRequest::new(
+        RequestId(1),
+        ActorId(1),
+        EventTypeId::v1("blood-test"),
+        GlobalEventId(1),
+        Purpose::HealthcareTreatment,
+    );
+
+    let mut native = PolicyDecisionPoint::new();
+    native.install(policy.clone());
+
+    let mut group = c.benchmark_group("e5_xacml_mapping");
+    group.bench_function("native_evaluate", |b| {
+        b.iter(|| native.evaluate(&request, &actors, Timestamp(0)))
+    });
+    group.bench_function("xacml_mapped_evaluate", |b| {
+        // Worst case: the policy is rehydrated from its XACML document
+        // for every request (no caching).
+        let doc_text = css_xml::to_string(&to_xacml(&policy));
+        b.iter(|| {
+            let parsed = from_xacml(&css_xml::parse(&doc_text).unwrap()).unwrap();
+            let mut pdp = PolicyDecisionPoint::new();
+            pdp.install(parsed);
+            pdp.evaluate(&request, &actors, Timestamp(0))
+        })
+    });
+    group.bench_function("xacml_serialize_only", |b| {
+        b.iter(|| css_xml::to_string(&to_xacml(&policy)))
+    });
+    group.bench_function("xacml_parse_only", |b| {
+        let doc_text = css_xml::to_string(&to_xacml(&policy));
+        b.iter(|| from_xacml(&css_xml::parse(&doc_text).unwrap()).unwrap())
+    });
+    // Fig. 5 also maps the consumer's request to an XACML Request
+    // context; measure that mapping too.
+    group.bench_function("request_context_roundtrip", |b| {
+        b.iter(|| {
+            let doc = css_policy::xacml::to_xacml_request(&request);
+            css_policy::xacml::from_xacml_request(&doc).unwrap()
+        })
+    });
+    group.finish();
+
+    let doc = css_xml::to_string_pretty(&to_xacml(&policy));
+    eprintln!(
+        "XACML document size for the Fig. 8-style policy: {} bytes",
+        doc.len()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

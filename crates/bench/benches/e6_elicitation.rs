@@ -1,0 +1,100 @@
+//! E6 — Figs. 6–7 (§6): elicitation tool throughput — rules authored,
+//! validated and compiled per second, plus the cost of rejecting
+//! invalid wizard input (what the UI does on every click).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use css_core::CssPlatform;
+use css_event::{EventSchema, FieldDef, FieldKind};
+use css_types::{EventTypeId, Purpose};
+
+use css_bench::print_header;
+
+fn bench(c: &mut Criterion) {
+    print_header("E6", "privacy rules manager throughput (Figs. 6-7)");
+    let mut platform = CssPlatform::in_memory();
+    let hospital = platform.register_organization("Hospital").unwrap();
+    let mut consumers = Vec::new();
+    for i in 0..10 {
+        consumers.push(
+            platform
+                .register_organization(&format!("Consumer {i}"))
+                .unwrap(),
+        );
+    }
+    platform.join_as_producer(hospital).unwrap();
+    for c in &consumers {
+        platform.join_as_consumer(*c).unwrap();
+    }
+    let schema = EventSchema::new(EventTypeId::v1("event"), "Event", hospital)
+        .field(FieldDef::required("F1", FieldKind::Integer))
+        .field(FieldDef::required("F2", FieldKind::Text).sensitive())
+        .field(FieldDef::optional("F3", FieldKind::Text))
+        .field(FieldDef::optional("F4", FieldKind::Decimal).sensitive());
+    let producer = platform.producer(hospital).unwrap();
+    producer.declare(&schema, None).unwrap();
+
+    let mut group = c.benchmark_group("e6_elicitation");
+    group.sample_size(50);
+    let mut n = 0u64;
+    group.bench_function("author_one_rule", |b| {
+        b.iter(|| {
+            n += 1;
+            producer
+                .policy_wizard(&EventTypeId::v1("event"))
+                .unwrap()
+                .select_fields(["F1", "F2"])
+                .unwrap()
+                .grant_to([consumers[(n % 10) as usize]])
+                .unwrap()
+                .for_purposes([Purpose::Administration])
+                .labeled(format!("rule-{n}"), "bench")
+                .save()
+                .unwrap()
+        })
+    });
+    group.bench_function("author_rule_ten_consumers", |b| {
+        b.iter(|| {
+            n += 1;
+            producer
+                .policy_wizard(&EventTypeId::v1("event"))
+                .unwrap()
+                .select_all_fields()
+                .grant_to(consumers.iter().copied())
+                .unwrap()
+                .for_purposes([Purpose::Administration, Purpose::Audit])
+                .labeled(format!("multi-{n}"), "bench")
+                .save()
+                .unwrap()
+        })
+    });
+    group.bench_function("reject_unknown_field", |b| {
+        b.iter(|| {
+            producer
+                .policy_wizard(&EventTypeId::v1("event"))
+                .unwrap()
+                .select_fields(["Bogus"])
+                .err()
+                .expect("unknown field rejected")
+        })
+    });
+    group.bench_function("reject_incomplete_rule", |b| {
+        b.iter(|| {
+            producer
+                .policy_wizard(&EventTypeId::v1("event"))
+                .unwrap()
+                .select_fields(["F1"])
+                .unwrap()
+                .grant_to([consumers[0]])
+                .unwrap()
+                .labeled("x", "")
+                .save()
+                .unwrap_err()
+        })
+    });
+    group.finish();
+    eprintln!("policies authored during the run: {n}");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! E7 — Fig. 8 (§6): XACML serialization fidelity and cost as the
+//! policy grows (#fields, #purposes). Prints document sizes; times the
+//! serialize / parse / full round-trip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use css_bench::print_header;
+use css_policy::xacml::{from_xacml, to_xacml};
+use css_policy::PrivacyPolicy;
+use css_types::{ActorId, EventTypeId, PolicyId, Purpose};
+
+fn policy(fields: usize, purposes: usize) -> PrivacyPolicy {
+    PrivacyPolicy::new(
+        PolicyId(1),
+        ActorId(9),
+        ActorId(1),
+        EventTypeId::v1("home-care-service-event"),
+        (0..purposes).map(|i| Purpose::Custom(format!("purpose-{i}"))),
+        (0..fields).map(|i| format!("Field{i}")),
+    )
+    .labeled("fig8", "scaling test")
+}
+
+fn bench(c: &mut Criterion) {
+    print_header(
+        "E7",
+        "XACML round-trip fidelity & cost vs policy size (Fig. 8)",
+    );
+    eprintln!("{:>8} {:>9} {:>12}", "fields", "purposes", "doc bytes");
+    for &fields in &[3usize, 10, 25, 50] {
+        for &purposes in &[1usize, 4] {
+            let p = policy(fields, purposes);
+            let text = css_xml::to_string_pretty(&to_xacml(&p));
+            // fidelity gate: every benched size must round-trip exactly
+            assert_eq!(from_xacml(&css_xml::parse(&text).unwrap()).unwrap(), p);
+            eprintln!("{fields:>8} {purposes:>9} {:>12}", text.len());
+        }
+    }
+
+    let mut group = c.benchmark_group("e7_xacml_roundtrip");
+    for &fields in &[3usize, 10, 25, 50] {
+        let p = policy(fields, 2);
+        let text = css_xml::to_string(&to_xacml(&p));
+        group.bench_with_input(BenchmarkId::new("serialize", fields), &p, |b, p| {
+            b.iter(|| css_xml::to_string(&to_xacml(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("parse", fields), &text, |b, text| {
+            b.iter(|| from_xacml(&css_xml::parse(text).unwrap()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("roundtrip", fields), &p, |b, p| {
+            b.iter(|| {
+                let text = css_xml::to_string(&to_xacml(p));
+                from_xacml(&css_xml::parse(&text).unwrap()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! E8 — §1/§4 claim: the two-phase (summary-then-request) protocol
+//! minimizes sensitive disclosure. Ablation against full-push, sweeping
+//! the detail-request rate; measured platform numbers next to the
+//! analytic model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use css_bench::print_header;
+use css_sim::baseline::FlowParams;
+use css_sim::{
+    full_push_exposure, run_workload, two_phase_exposure, Scenario, ScenarioConfig, WorkloadConfig,
+};
+
+fn print_series() {
+    print_header(
+        "E8",
+        "two-phase vs full-push: sensitive exposure vs request rate",
+    );
+    eprintln!(
+        "{:>8} {:>16} {:>16} {:>18} {:>18}",
+        "p(req)", "2p sens-bytes", "push sens-bytes", "2p msgs", "push msgs"
+    );
+    for prob in [0.0, 0.1, 0.25, 0.5, 0.75, 1.0] {
+        let params = FlowParams {
+            detail_request_prob: prob,
+            ..Default::default()
+        };
+        let css = two_phase_exposure(&params);
+        let push = full_push_exposure(&params);
+        eprintln!(
+            "{prob:>8.2} {:>16} {:>16} {:>18} {:>18}",
+            css.sensitive_bytes, push.sensitive_bytes, css.messages, push.messages
+        );
+    }
+
+    eprintln!("\nmeasured on the platform (100 events, scenario policies):");
+    eprintln!(
+        "{:>8} {:>12} {:>14} {:>18} {:>20}",
+        "p(req)", "permits", "denies", "released-bytes", "sensitive-released"
+    );
+    for prob in [0.0, 0.25, 0.5, 1.0] {
+        let scenario = Scenario::build(ScenarioConfig {
+            persons: 15,
+            family_doctors: 2,
+            seed: 11,
+        })
+        .unwrap();
+        let report = run_workload(
+            &scenario,
+            WorkloadConfig {
+                events: 100,
+                detail_request_prob: prob,
+                wrong_purpose_prob: 0.0,
+                seed: 23,
+            },
+        );
+        eprintln!(
+            "{prob:>8.2} {:>12} {:>14} {:>18} {:>20}",
+            report.detail_permits,
+            report.detail_denies,
+            report.released_bytes,
+            report.sensitive_released_bytes
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("e8_workload");
+    group.sample_size(10);
+    for prob in [0.0f64, 0.5, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("workload_100_events", format!("{prob:.1}")),
+            &prob,
+            |b, &prob| {
+                b.iter_batched(
+                    || {
+                        Scenario::build(ScenarioConfig {
+                            persons: 10,
+                            family_doctors: 1,
+                            seed: 3,
+                        })
+                        .unwrap()
+                    },
+                    |scenario| {
+                        run_workload(
+                            &scenario,
+                            WorkloadConfig {
+                                events: 100,
+                                detail_request_prob: prob,
+                                wrong_purpose_prob: 0.0,
+                                seed: 5,
+                            },
+                        )
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

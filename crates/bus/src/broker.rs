@@ -1,0 +1,629 @@
+//! The broker: topics, fan-out, queues, acknowledgement protocol.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use css_types::{CssError, CssResult, SubscriptionId};
+
+use crate::stats::{BrokerStats, SubscriptionStats};
+use crate::subscription::{DeadLetter, Delivery, SubscriberHandle};
+
+/// What to do when a subscription's queue is full at publish time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Fail the publish with a bus error (back-pressure to producers).
+    Reject,
+    /// Drop the oldest queued message to make room (monitoring-grade
+    /// delivery: newest data wins).
+    DropOldest,
+}
+
+/// Per-subscription configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubscriptionConfig {
+    /// Maximum queued (undelivered) messages.
+    pub capacity: usize,
+    /// Delivery attempts before a message is dead-lettered.
+    pub max_attempts: u32,
+    /// Overflow behaviour.
+    pub overflow: OverflowPolicy,
+}
+
+impl Default for SubscriptionConfig {
+    fn default() -> Self {
+        SubscriptionConfig {
+            capacity: 1024,
+            max_attempts: 3,
+            overflow: OverflowPolicy::Reject,
+        }
+    }
+}
+
+struct Pending<M> {
+    message: M,
+    attempts: u32,
+}
+
+struct SubState<M> {
+    topic: String,
+    config: SubscriptionConfig,
+    queue: VecDeque<Pending<M>>,
+    in_flight: HashMap<u64, Pending<M>>,
+    stats: SubscriptionStats,
+}
+
+struct State<M> {
+    topics: HashMap<String, Vec<SubscriptionId>>,
+    subs: HashMap<SubscriptionId, SubState<M>>,
+    dlq: Vec<DeadLetter<M>>,
+    stats: BrokerStats,
+    next_sub: u64,
+    next_delivery: u64,
+}
+
+pub(crate) struct Inner<M> {
+    state: Mutex<State<M>>,
+    arrivals: Condvar,
+}
+
+/// A publish/subscribe broker over named topics.
+///
+/// Cheaply cloneable; clones share the same broker state.
+pub struct Broker<M: Clone + Send> {
+    inner: Arc<Inner<M>>,
+}
+
+impl<M: Clone + Send> Clone for Broker<M> {
+    fn clone(&self) -> Self {
+        Broker {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M: Clone + Send> Default for Broker<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Clone + Send> Broker<M> {
+    /// A broker with no topics.
+    pub fn new() -> Self {
+        Broker {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State {
+                    topics: HashMap::new(),
+                    subs: HashMap::new(),
+                    dlq: Vec::new(),
+                    stats: BrokerStats::default(),
+                    next_sub: 1,
+                    next_delivery: 1,
+                }),
+                arrivals: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Declare a topic. Idempotent.
+    pub fn create_topic(&self, name: impl Into<String>) {
+        let mut st = self.inner.state.lock();
+        st.topics.entry(name.into()).or_default();
+    }
+
+    /// Whether the topic exists.
+    pub fn has_topic(&self, name: &str) -> bool {
+        self.inner.state.lock().topics.contains_key(name)
+    }
+
+    /// All declared topics, sorted.
+    pub fn topics(&self) -> Vec<String> {
+        let st = self.inner.state.lock();
+        let mut out: Vec<String> = st.topics.keys().cloned().collect();
+        out.sort();
+        out
+    }
+
+    /// Subscribe to a topic.
+    pub fn subscribe(
+        &self,
+        topic: &str,
+        config: SubscriptionConfig,
+    ) -> CssResult<SubscriberHandle<M>> {
+        let mut st = self.inner.state.lock();
+        if !st.topics.contains_key(topic) {
+            return Err(CssError::Bus(format!("no such topic {topic:?}")));
+        }
+        let id = SubscriptionId(st.next_sub);
+        st.next_sub += 1;
+        st.subs.insert(
+            id,
+            SubState {
+                topic: topic.to_string(),
+                config,
+                queue: VecDeque::new(),
+                in_flight: HashMap::new(),
+                stats: SubscriptionStats::default(),
+            },
+        );
+        st.topics.get_mut(topic).expect("checked above").push(id);
+        Ok(SubscriberHandle {
+            inner: Arc::clone(&self.inner),
+            id,
+        })
+    }
+
+    /// Publish a message to every subscription of `topic`.
+    ///
+    /// Returns the number of subscriptions the message was enqueued for.
+    /// With [`OverflowPolicy::Reject`], a single full queue fails the
+    /// whole publish *before* any enqueue (all-or-nothing), so producers
+    /// see consistent back-pressure.
+    pub fn publish(&self, topic: &str, message: M) -> CssResult<usize> {
+        let mut st = self.inner.state.lock();
+        let sub_ids = match st.topics.get(topic) {
+            Some(ids) => ids.clone(),
+            None => {
+                st.stats.rejected += 1;
+                return Err(CssError::Bus(format!("no such topic {topic:?}")));
+            }
+        };
+        // Pre-flight: with Reject overflow, check all queues first.
+        let overflowing = sub_ids.iter().find_map(|id| {
+            let sub = st.subs.get(id).expect("topic list consistent");
+            (sub.config.overflow == OverflowPolicy::Reject
+                && sub.queue.len() >= sub.config.capacity)
+                .then_some((*id, sub.config.capacity))
+        });
+        if let Some((id, capacity)) = overflowing {
+            st.stats.rejected += 1;
+            return Err(CssError::Bus(format!(
+                "subscription {id} queue full ({capacity} messages)"
+            )));
+        }
+        let mut fanout = 0usize;
+        for id in &sub_ids {
+            let sub = st.subs.get_mut(id).expect("topic list consistent");
+            if sub.queue.len() >= sub.config.capacity {
+                // Only reachable under DropOldest.
+                sub.queue.pop_front();
+                sub.stats.dropped += 1;
+            }
+            sub.queue.push_back(Pending {
+                message: message.clone(),
+                attempts: 0,
+            });
+            sub.stats.enqueued += 1;
+            fanout += 1;
+        }
+        st.stats.published += 1;
+        st.stats.fanned_out += fanout as u64;
+        drop(st);
+        self.inner.arrivals.notify_all();
+        Ok(fanout)
+    }
+
+    /// Broker-wide statistics.
+    pub fn stats(&self) -> BrokerStats {
+        self.inner.state.lock().stats
+    }
+
+    /// Snapshot of the dead-letter queue.
+    pub fn dead_letters(&self) -> Vec<DeadLetter<M>> {
+        self.inner.state.lock().dlq.clone()
+    }
+
+    /// Number of active subscriptions on a topic.
+    pub fn subscriber_count(&self, topic: &str) -> usize {
+        self.inner
+            .state
+            .lock()
+            .topics
+            .get(topic)
+            .map(Vec::len)
+            .unwrap_or(0)
+    }
+}
+
+impl<M: Clone + Send> Inner<M> {
+    fn with_sub<R>(
+        &self,
+        id: SubscriptionId,
+        f: impl FnOnce(&mut State<M>, &mut SubState<M>) -> R,
+    ) -> CssResult<R> {
+        let mut st = self.state.lock();
+        let mut sub = match st.subs.remove(&id) {
+            Some(s) => s,
+            None => return Err(CssError::Bus(format!("unknown subscription {id}"))),
+        };
+        let out = f(&mut st, &mut sub);
+        st.subs.insert(id, sub);
+        Ok(out)
+    }
+
+    pub(crate) fn poll(&self, id: SubscriptionId) -> CssResult<Option<Delivery<M>>> {
+        self.with_sub(id, |st, sub| match sub.queue.pop_front() {
+            None => None,
+            Some(mut pending) => {
+                pending.attempts += 1;
+                let delivery_id = st.next_delivery;
+                st.next_delivery += 1;
+                let delivery = Delivery {
+                    delivery_id,
+                    attempt: pending.attempts,
+                    message: pending.message.clone(),
+                };
+                if pending.attempts > 1 {
+                    sub.stats.redelivered += 1;
+                }
+                sub.stats.delivered += 1;
+                sub.in_flight.insert(delivery_id, pending);
+                Some(delivery)
+            }
+        })
+    }
+
+    pub(crate) fn poll_wait(
+        &self,
+        id: SubscriptionId,
+        timeout: Duration,
+    ) -> CssResult<Option<Delivery<M>>> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(d) = self.poll(id)? {
+                return Ok(Some(d));
+            }
+            let mut st = self.state.lock();
+            if !st.subs.contains_key(&id) {
+                return Err(CssError::Bus(format!("unknown subscription {id}")));
+            }
+            // Re-check emptiness under the lock to avoid a lost wakeup.
+            if !st.subs[&id].queue.is_empty() {
+                continue;
+            }
+            let timed_out = self.arrivals.wait_until(&mut st, deadline).timed_out();
+            if timed_out {
+                drop(st);
+                return self.poll(id);
+            }
+        }
+    }
+
+    pub(crate) fn ack(&self, id: SubscriptionId, delivery_id: u64) -> CssResult<()> {
+        self.with_sub(id, |_st, sub| {
+            if sub.in_flight.remove(&delivery_id).is_some() {
+                sub.stats.acked += 1;
+                Ok(())
+            } else {
+                Err(CssError::Bus(format!(
+                    "no in-flight delivery {delivery_id}"
+                )))
+            }
+        })?
+    }
+
+    pub(crate) fn nack(&self, id: SubscriptionId, delivery_id: u64) -> CssResult<()> {
+        self.with_sub(id, |st, sub| {
+            let pending = match sub.in_flight.remove(&delivery_id) {
+                Some(p) => p,
+                None => {
+                    return Err(CssError::Bus(format!(
+                        "no in-flight delivery {delivery_id}"
+                    )))
+                }
+            };
+            if pending.attempts >= sub.config.max_attempts {
+                sub.stats.dead_lettered += 1;
+                st.dlq.push(DeadLetter {
+                    subscription: id,
+                    topic: sub.topic.clone(),
+                    attempts: pending.attempts,
+                    message: pending.message,
+                });
+            } else {
+                sub.queue.push_front(pending);
+            }
+            Ok(())
+        })?
+    }
+
+    pub(crate) fn backlog(&self, id: SubscriptionId) -> CssResult<usize> {
+        self.with_sub(id, |_st, sub| sub.queue.len())
+    }
+
+    pub(crate) fn sub_stats(&self, id: SubscriptionId) -> CssResult<SubscriptionStats> {
+        self.with_sub(id, |_st, sub| sub.stats)
+    }
+
+    pub(crate) fn unsubscribe(&self, id: SubscriptionId) -> CssResult<()> {
+        let mut st = self.state.lock();
+        let sub = st
+            .subs
+            .remove(&id)
+            .ok_or_else(|| CssError::Bus(format!("unknown subscription {id}")))?;
+        if let Some(ids) = st.topics.get_mut(&sub.topic) {
+            ids.retain(|s| *s != id);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn broker() -> Broker<String> {
+        let b = Broker::new();
+        b.create_topic("blood-test");
+        b
+    }
+
+    #[test]
+    fn publish_without_topic_fails() {
+        let b: Broker<String> = Broker::new();
+        assert!(b.publish("nope", "m".into()).is_err());
+        assert_eq!(b.stats().rejected, 1);
+    }
+
+    #[test]
+    fn subscribe_unknown_topic_fails() {
+        let b: Broker<String> = Broker::new();
+        assert!(b.subscribe("nope", SubscriptionConfig::default()).is_err());
+    }
+
+    #[test]
+    fn fan_out_to_all_subscribers() {
+        let b = broker();
+        let s1 = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        let s2 = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        let n = b.publish("blood-test", "hello".into()).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(s1.drain().unwrap(), vec!["hello"]);
+        assert_eq!(s2.drain().unwrap(), vec!["hello"]);
+        assert_eq!(b.stats().fanned_out, 2);
+    }
+
+    #[test]
+    fn publish_with_no_subscribers_is_ok() {
+        let b = broker();
+        assert_eq!(b.publish("blood-test", "m".into()).unwrap(), 0);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        for i in 0..5 {
+            b.publish("blood-test", format!("m{i}")).unwrap();
+        }
+        assert_eq!(s.drain().unwrap(), vec!["m0", "m1", "m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn unacked_message_stays_in_flight() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        b.publish("blood-test", "m".into()).unwrap();
+        let d = s.poll().unwrap().unwrap();
+        // Queue is drained but message not acked.
+        assert!(s.poll().unwrap().is_none());
+        s.ack(d.delivery_id).unwrap();
+        assert!(s.ack(d.delivery_id).is_err(), "double ack");
+    }
+
+    #[test]
+    fn nack_redelivers_at_front() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        b.publish("blood-test", "first".into()).unwrap();
+        b.publish("blood-test", "second".into()).unwrap();
+        let d = s.poll().unwrap().unwrap();
+        assert_eq!(d.message, "first");
+        s.nack(d.delivery_id).unwrap();
+        let d2 = s.poll().unwrap().unwrap();
+        assert_eq!(d2.message, "first");
+        assert_eq!(d2.attempt, 2);
+        assert_eq!(s.stats().unwrap().redelivered, 1);
+    }
+
+    #[test]
+    fn exhausted_attempts_dead_letter() {
+        let b = broker();
+        let cfg = SubscriptionConfig {
+            max_attempts: 2,
+            ..Default::default()
+        };
+        let s = b.subscribe("blood-test", cfg).unwrap();
+        b.publish("blood-test", "poison".into()).unwrap();
+        for _ in 0..2 {
+            let d = s.poll().unwrap().unwrap();
+            s.nack(d.delivery_id).unwrap();
+        }
+        assert!(s.poll().unwrap().is_none());
+        let dlq = b.dead_letters();
+        assert_eq!(dlq.len(), 1);
+        assert_eq!(dlq[0].message, "poison");
+        assert_eq!(dlq[0].attempts, 2);
+        assert_eq!(s.stats().unwrap().dead_lettered, 1);
+    }
+
+    #[test]
+    fn reject_overflow_fails_publish_atomically() {
+        let b = broker();
+        let tiny = SubscriptionConfig {
+            capacity: 1,
+            ..Default::default()
+        };
+        let full = b.subscribe("blood-test", tiny).unwrap();
+        let roomy = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        b.publish("blood-test", "m1".into()).unwrap();
+        // full's queue is at capacity → next publish must fail and NOT
+        // enqueue for roomy either.
+        assert!(b.publish("blood-test", "m2".into()).is_err());
+        assert_eq!(roomy.backlog().unwrap(), 1);
+        assert_eq!(full.backlog().unwrap(), 1);
+    }
+
+    #[test]
+    fn drop_oldest_overflow_keeps_newest() {
+        let b = broker();
+        let cfg = SubscriptionConfig {
+            capacity: 2,
+            overflow: OverflowPolicy::DropOldest,
+            ..Default::default()
+        };
+        let s = b.subscribe("blood-test", cfg).unwrap();
+        for i in 0..4 {
+            b.publish("blood-test", format!("m{i}")).unwrap();
+        }
+        assert_eq!(s.drain().unwrap(), vec!["m2", "m3"]);
+        assert_eq!(s.stats().unwrap().dropped, 2);
+    }
+
+    #[test]
+    fn unsubscribe_stops_fanout() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        assert_eq!(b.subscriber_count("blood-test"), 1);
+        s.unsubscribe().unwrap();
+        assert_eq!(b.subscriber_count("blood-test"), 0);
+        assert_eq!(b.publish("blood-test", "m".into()).unwrap(), 0);
+    }
+
+    #[test]
+    fn operations_on_dead_handle_fail() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        let dup = s.clone();
+        s.unsubscribe().unwrap();
+        assert!(dup.poll().is_err());
+        assert!(dup.stats().is_err());
+    }
+
+    #[test]
+    fn poll_wait_times_out_empty() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        let start = std::time::Instant::now();
+        let out = s.poll_wait(Duration::from_millis(30)).unwrap();
+        assert!(out.is_none());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn poll_wait_wakes_on_publish_from_thread() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        let publisher = b.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            publisher.publish("blood-test", "wake".into()).unwrap();
+        });
+        let d = s.poll_wait(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(d.message, "wake");
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_publishers_and_consumers() {
+        let b = broker();
+        let s = b
+            .subscribe(
+                "blood-test",
+                SubscriptionConfig {
+                    capacity: 100_000,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let publisher = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250 {
+                    publisher
+                        .publish("blood-test", format!("t{t}-m{i}"))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let all = s.drain().unwrap();
+        assert_eq!(all.len(), 1000);
+        assert_eq!(b.stats().published, 1000);
+        assert_eq!(s.stats().unwrap().acked, 1000);
+    }
+
+    #[test]
+    fn create_topic_idempotent() {
+        let b = broker();
+        b.create_topic("blood-test");
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        b.publish("blood-test", "still there".into()).unwrap();
+        assert_eq!(s.drain().unwrap().len(), 1);
+        assert_eq!(b.topics(), vec!["blood-test"]);
+    }
+}
+
+#[cfg(test)]
+mod race_tests {
+    use super::*;
+
+    #[test]
+    fn poll_wait_errors_after_concurrent_unsubscribe() {
+        let b: Broker<String> = Broker::new();
+        b.create_topic("t");
+        let s = b.subscribe("t", SubscriptionConfig::default()).unwrap();
+        let waiter = s.clone();
+        let t = std::thread::spawn(move || waiter.poll_wait(Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(30));
+        s.unsubscribe().unwrap();
+        // The waiter must terminate promptly with an error, not block
+        // for the full timeout. Publishing wakes the condvar so the
+        // waiter re-checks and notices the subscription is gone.
+        b.publish("t", "wake".into()).unwrap();
+        let result = t.join().unwrap();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nack_of_foreign_delivery_id_rejected() {
+        let b: Broker<u32> = Broker::new();
+        b.create_topic("t");
+        let s1 = b.subscribe("t", SubscriptionConfig::default()).unwrap();
+        let s2 = b.subscribe("t", SubscriptionConfig::default()).unwrap();
+        b.publish("t", 1).unwrap();
+        let d1 = s1.poll().unwrap().unwrap();
+        // s2 cannot ack or nack s1's delivery.
+        assert!(s2.ack(d1.delivery_id).is_err());
+        assert!(s2.nack(d1.delivery_id).is_err());
+        s1.ack(d1.delivery_id).unwrap();
+    }
+}

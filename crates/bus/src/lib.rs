@@ -1,0 +1,33 @@
+//! The event bus — the platform's Enterprise Service Bus substitute.
+//!
+//! The paper routes notification messages through an ESB ("in the
+//! current prototype we customized the open source ESB ServiceMix") with
+//! a publish/subscribe model so "many entities can subscribe to the same
+//! type of event" (Section 3). This crate reproduces the integration
+//! semantics that matter to the platform:
+//!
+//! - named **topics** (one per class of events),
+//! - **durable subscriptions** with explicit acknowledgement: a message
+//!   stays owned by the subscription until acked, and a nack (or
+//!   redelivery timeout) puts it back at the front of the queue,
+//! - **bounded queues** per subscription with a configurable overflow
+//!   policy (reject the publish or drop the oldest unclaimed message),
+//! - a **dead-letter queue** for messages that exhaust their delivery
+//!   attempts,
+//! - per-topic and per-subscription **statistics** used by experiments
+//!   E1/E2.
+//!
+//! The broker is generic over the message type; the data controller
+//! instantiates it with notification messages. Delivery is pull-based
+//! (`poll`), which keeps integration tests deterministic; a blocking
+//! `poll_wait` built on a condvar supports threaded consumers.
+
+pub mod broker;
+pub mod dispatcher;
+pub mod stats;
+pub mod subscription;
+
+pub use broker::{Broker, OverflowPolicy, SubscriptionConfig};
+pub use dispatcher::{spawn_dispatcher, DispatcherHandle};
+pub use stats::{BrokerStats, SubscriptionStats};
+pub use subscription::{DeadLetter, Delivery, SubscriberHandle};

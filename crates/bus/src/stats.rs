@@ -1,0 +1,43 @@
+//! Bus statistics, used by the integration-cost experiments.
+
+/// Counters for one subscription.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubscriptionStats {
+    /// Messages enqueued for this subscription.
+    pub enqueued: u64,
+    /// Deliveries handed to the consumer (including redeliveries).
+    pub delivered: u64,
+    /// Messages acknowledged.
+    pub acked: u64,
+    /// Redeliveries after a nack.
+    pub redelivered: u64,
+    /// Messages moved to the dead-letter queue.
+    pub dead_lettered: u64,
+    /// Messages dropped by the overflow policy.
+    pub dropped: u64,
+}
+
+/// Broker-wide counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BrokerStats {
+    /// Publish calls accepted.
+    pub published: u64,
+    /// Publish calls rejected (no such topic, or overflow with
+    /// [`crate::OverflowPolicy::Reject`]).
+    pub rejected: u64,
+    /// Total fan-out: message copies enqueued across subscriptions.
+    pub fanned_out: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let s = SubscriptionStats::default();
+        assert_eq!(s.enqueued + s.delivered + s.acked, 0);
+        let b = BrokerStats::default();
+        assert_eq!(b.published + b.rejected + b.fanned_out, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Subscriber-facing types: deliveries, handles, dead letters.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use css_types::{CssResult, SubscriptionId};
+
+use crate::broker::Inner;
+use crate::stats::SubscriptionStats;
+
+/// One delivery of a message to a subscriber. The message stays owned by
+/// the subscription until [`SubscriberHandle::ack`]'d.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Identifier to pass back to `ack` / `nack`.
+    pub delivery_id: u64,
+    /// 1-based delivery attempt for this message.
+    pub attempt: u32,
+    /// The message payload.
+    pub message: M,
+}
+
+/// A message that exhausted its delivery attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadLetter<M> {
+    /// Subscription the message was destined for.
+    pub subscription: SubscriptionId,
+    /// Topic it was published on.
+    pub topic: String,
+    /// Attempts made before giving up.
+    pub attempts: u32,
+    /// The message payload.
+    pub message: M,
+}
+
+/// Consumer-side handle to one subscription.
+///
+/// Dropping the handle does **not** unsubscribe — subscriptions are
+/// durable, mirroring how a consumer's queue on the ESB outlives any one
+/// connection. Call [`SubscriberHandle::unsubscribe`] to remove it.
+pub struct SubscriberHandle<M: Clone + Send> {
+    pub(crate) inner: Arc<Inner<M>>,
+    pub(crate) id: SubscriptionId,
+}
+
+impl<M: Clone + Send> std::fmt::Debug for SubscriberHandle<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SubscriberHandle({})", self.id)
+    }
+}
+
+impl<M: Clone + Send> Clone for SubscriberHandle<M> {
+    fn clone(&self) -> Self {
+        SubscriberHandle {
+            inner: Arc::clone(&self.inner),
+            id: self.id,
+        }
+    }
+}
+
+impl<M: Clone + Send> SubscriberHandle<M> {
+    /// The subscription's identifier.
+    pub fn id(&self) -> SubscriptionId {
+        self.id
+    }
+
+    /// Take the next message, if one is queued. Non-blocking.
+    pub fn poll(&self) -> CssResult<Option<Delivery<M>>> {
+        self.inner.poll(self.id)
+    }
+
+    /// Take the next message, waiting up to `timeout` for one to arrive.
+    pub fn poll_wait(&self, timeout: Duration) -> CssResult<Option<Delivery<M>>> {
+        self.inner.poll_wait(self.id, timeout)
+    }
+
+    /// Acknowledge a delivery, removing the message for good.
+    pub fn ack(&self, delivery_id: u64) -> CssResult<()> {
+        self.inner.ack(self.id, delivery_id)
+    }
+
+    /// Negatively acknowledge a delivery. The message returns to the
+    /// front of the queue for redelivery, or moves to the dead-letter
+    /// queue once its attempts are exhausted.
+    pub fn nack(&self, delivery_id: u64) -> CssResult<()> {
+        self.inner.nack(self.id, delivery_id)
+    }
+
+    /// Messages currently queued (not counting in-flight deliveries).
+    pub fn backlog(&self) -> CssResult<usize> {
+        self.inner.backlog(self.id)
+    }
+
+    /// Statistics for this subscription.
+    pub fn stats(&self) -> CssResult<SubscriptionStats> {
+        self.inner.sub_stats(self.id)
+    }
+
+    /// Remove the subscription. Queued and in-flight messages are
+    /// discarded.
+    pub fn unsubscribe(self) -> CssResult<()> {
+        self.inner.unsubscribe(self.id)
+    }
+
+    /// Drain every queued message, acking each — convenience for tests
+    /// and simulations that consume eagerly.
+    pub fn drain(&self) -> CssResult<Vec<M>> {
+        let mut out = Vec::new();
+        while let Some(d) = self.poll()? {
+            self.ack(d.delivery_id)?;
+            out.push(d.message);
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,595 @@
+//! The Data Controller facade.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use css_audit::{AuditAction, AuditLog, AuditQuery, AuditRecord, AuditReport};
+use css_bus::{Broker, SubscriberHandle, SubscriptionConfig};
+use css_event::{EventSchema, NotificationMessage};
+use css_policy::{DetailRequest, PolicyDecisionPoint, PrivacyPolicy};
+use css_registry::EventCatalog;
+use css_storage::LogBackend;
+use css_types::{
+    Actor, ActorId, ActorRegistry, Clock, CssError, CssResult, DenyReason, EventTypeId,
+    GlobalEventId, IdGenerator, PersonId, PersonIdentity, PolicyId, Purpose, SourceEventId,
+    SubscriptionId, Timestamp,
+};
+
+use crate::consent::{ConsentDecision, ConsentRegistry, ConsentScope};
+use crate::contract::{ContractRegistry, ParticipantContract, ParticipantRole};
+use crate::gateway_client::GatewayClient;
+use crate::index::EventsIndex;
+use crate::pep::PolicyEnforcementPoint;
+
+/// Construction parameters for a controller.
+pub struct ControllerConfig {
+    /// Master key for sealing identifying data in the events index.
+    pub master_key: Vec<u8>,
+    /// Default subscription configuration used for consumer queues.
+    pub subscription: SubscriptionConfig,
+    /// Clock used for policy evaluation, notifications and audit.
+    pub clock: Arc<dyn Clock>,
+}
+
+impl ControllerConfig {
+    /// A configuration with the given clock and a test-grade master key.
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        ControllerConfig {
+            master_key: b"css-demo-master-key".to_vec(),
+            subscription: SubscriptionConfig::default(),
+            clock,
+        }
+    }
+}
+
+/// Outcome of a successful publish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PublishReceipt {
+    /// The global event id the controller minted.
+    pub global_id: GlobalEventId,
+    /// Consumer organizations the notification was routed to.
+    pub notified: Vec<ActorId>,
+}
+
+/// The central coordination node (Fig. 2).
+///
+/// Generic over the storage backend of its audit log so tests run in
+/// memory and deployments on disk.
+pub struct DataController<B: LogBackend> {
+    actors: ActorRegistry,
+    contracts: ContractRegistry,
+    catalog: EventCatalog,
+    bus: Broker<NotificationMessage>,
+    index: EventsIndex<B>,
+    pdp: PolicyDecisionPoint,
+    consent: ConsentRegistry,
+    audit: AuditLog<B>,
+    gateways: HashMap<ActorId, Box<dyn GatewayClient>>,
+    /// consumer org per live subscription, for routing bookkeeping.
+    subscribers: HashMap<SubscriptionId, (ActorId, EventTypeId)>,
+    clock: Arc<dyn Clock>,
+    subscription_config: SubscriptionConfig,
+    eid_gen: IdGenerator,
+    policy_gen: IdGenerator,
+    request_gen: IdGenerator,
+}
+
+impl<B: LogBackend> DataController<B> {
+    /// Create a controller whose audit log lives on `audit_backend`.
+    pub fn new(config: ControllerConfig, audit_backend: B) -> CssResult<Self> {
+        let index = EventsIndex::new(&config.master_key);
+        Self::assemble(config, audit_backend, index)
+    }
+
+    /// Create a controller whose audit log AND events index are both
+    /// disk-backed. The index replays persisted notifications on open,
+    /// so a controller restart loses no events.
+    pub fn with_backends(
+        config: ControllerConfig,
+        audit_backend: B,
+        index_backend: B,
+    ) -> CssResult<Self> {
+        let index = EventsIndex::open(&config.master_key, index_backend)?;
+        Self::assemble(config, audit_backend, index)
+    }
+
+    fn assemble(
+        config: ControllerConfig,
+        audit_backend: B,
+        index: EventsIndex<B>,
+    ) -> CssResult<Self> {
+        // Continue minting global ids after the highest recovered one so
+        // restarts never reuse an eID (nonce safety for the sealer).
+        let next_eid = index
+            .events_between(Timestamp::EPOCH, Timestamp(u64::MAX))
+            .iter()
+            .map(|id| id.value())
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(1);
+        Ok(DataController {
+            actors: ActorRegistry::new(),
+            contracts: ContractRegistry::new(),
+            catalog: EventCatalog::new(),
+            bus: Broker::new(),
+            index,
+            pdp: PolicyDecisionPoint::new(),
+            consent: ConsentRegistry::new(),
+            audit: AuditLog::open(audit_backend)?,
+            gateways: HashMap::new(),
+            subscribers: HashMap::new(),
+            clock: config.clock,
+            subscription_config: config.subscription,
+            eid_gen: IdGenerator::starting_at(next_eid),
+            policy_gen: IdGenerator::default(),
+            request_gen: IdGenerator::default(),
+        })
+    }
+
+    /// Current controller time.
+    pub fn now(&self) -> Timestamp {
+        self.clock.now()
+    }
+
+    // ---- onboarding --------------------------------------------------
+
+    /// Register an actor in the organizational registry.
+    pub fn register_actor(&mut self, actor: Actor) -> CssResult<()> {
+        self.actors.register(actor)
+    }
+
+    /// The actor registry (read-only).
+    pub fn actors(&self) -> &ActorRegistry {
+        &self.actors
+    }
+
+    /// Sign a participation contract for a (top-level) actor.
+    pub fn sign_contract(&mut self, actor: ActorId, role: ParticipantRole) -> CssResult<()> {
+        if self.actors.get(actor).is_none() {
+            return Err(CssError::NotFound(format!("actor {actor} not registered")));
+        }
+        let now = self.now();
+        self.contracts.sign(ParticipantContract {
+            actor,
+            role,
+            signed_at: now,
+        });
+        self.audit
+            .append(AuditRecord::new(now, actor, AuditAction::ContractSigned))?;
+        Ok(())
+    }
+
+    /// Connect a producer's gateway endpoint.
+    pub fn register_gateway(&mut self, producer: ActorId, client: Box<dyn GatewayClient>) {
+        self.gateways.insert(producer, client);
+    }
+
+    /// Producer declares a class of events in the catalog; the bus topic
+    /// is created alongside.
+    pub fn declare_event_class(
+        &mut self,
+        schema: &EventSchema,
+        domain: Option<&str>,
+    ) -> CssResult<()> {
+        self.contracts.require_producer(schema.producer)?;
+        self.catalog.declare(schema, domain)?;
+        self.bus.create_topic(schema.id.to_string());
+        Ok(())
+    }
+
+    /// The event catalog (visible to every contracted participant).
+    pub fn catalog(&self) -> &EventCatalog {
+        &self.catalog
+    }
+
+    // ---- policies -----------------------------------------------------
+
+    /// Mint a fresh policy id (used by the elicitation tool).
+    pub fn next_policy_id(&self) -> PolicyId {
+        self.policy_gen.next_id()
+    }
+
+    /// Producer installs a privacy policy for one of its event classes.
+    ///
+    /// Validates ownership (only the declaring producer may protect its
+    /// classes) and that `F` only names declared fields.
+    pub fn define_policy(&mut self, policy: PrivacyPolicy) -> CssResult<()> {
+        self.contracts.require_producer(policy.producer)?;
+        let schema = self.catalog.schema(&policy.event_type)?;
+        if schema.producer != policy.producer {
+            return Err(CssError::Invalid(format!(
+                "event class {} belongs to {}, not to {}",
+                policy.event_type, schema.producer, policy.producer
+            )));
+        }
+        for field in &policy.fields {
+            if schema.field_def(field).is_none() {
+                return Err(CssError::Invalid(format!(
+                    "policy names unknown field {field:?} of {}",
+                    policy.event_type
+                )));
+            }
+        }
+        if self.actors.get(policy.actor).is_none() {
+            return Err(CssError::NotFound(format!(
+                "policy subject {} not registered",
+                policy.actor
+            )));
+        }
+        let record = AuditRecord::new(self.now(), policy.producer, AuditAction::PolicyChange)
+            .event_type(policy.event_type.clone())
+            .with_detail(format!("defined {}", policy.id));
+        self.pdp.install(policy);
+        self.audit.append(record)?;
+        Ok(())
+    }
+
+    /// Restore a policy from the certified repository after a restart.
+    ///
+    /// Skips the ownership/field validation of
+    /// [`DataController::define_policy`] (the repository content was
+    /// validated when first defined) and writes no audit record (the
+    /// original definition is already on the log).
+    pub fn restore_policy(&mut self, policy: PrivacyPolicy) {
+        // Keep the id generator ahead of restored ids.
+        self.policy_gen.advance_past(policy.id.value());
+        self.pdp.install(policy);
+    }
+
+    /// Producer revokes one of its policies.
+    pub fn revoke_policy(&mut self, producer: ActorId, id: PolicyId) -> CssResult<()> {
+        let owned = self
+            .pdp
+            .iter()
+            .any(|p| p.id == id && p.producer == producer);
+        if !owned {
+            return Err(CssError::NotFound(format!(
+                "policy {id} not found for producer {producer}"
+            )));
+        }
+        self.pdp.revoke(id);
+        let record = AuditRecord::new(self.now(), producer, AuditAction::PolicyChange)
+            .with_detail(format!("revoked {id}"));
+        self.audit.append(record)?;
+        Ok(())
+    }
+
+    /// Number of installed policies.
+    pub fn policy_count(&self) -> usize {
+        self.pdp.len()
+    }
+
+    /// Whether any policy (valid now, not revoked) authorizes `consumer`
+    /// for events of `event_type` — the subscription / inquiry gate.
+    pub fn is_authorized_consumer(&self, consumer: ActorId, event_type: &EventTypeId) -> bool {
+        let now = self.now();
+        self.pdp.policies_for(event_type).iter().any(|p| {
+            !p.revoked
+                && p.validity.contains(now)
+                && self.actors.is_same_or_descendant(consumer, p.actor)
+        })
+    }
+
+    // ---- subscription --------------------------------------------------
+
+    /// Consumer subscribes to a class of events.
+    ///
+    /// Deny-by-default: rejected unless a privacy policy authorizes this
+    /// consumer for the class (Section 5.2).
+    pub fn subscribe(
+        &mut self,
+        consumer: ActorId,
+        event_type: &EventTypeId,
+    ) -> CssResult<SubscriberHandle<NotificationMessage>> {
+        self.contracts.require_consumer(
+            self.actors
+                .organization_of(consumer)
+                .ok_or_else(|| CssError::NotFound(format!("actor {consumer} not registered")))?,
+        )?;
+        let now = self.now();
+        if !self.catalog.contains(event_type) {
+            return Err(CssError::NotFound(format!(
+                "event class {event_type} not declared"
+            )));
+        }
+        if !self.is_authorized_consumer(consumer, event_type) {
+            self.audit.append(
+                AuditRecord::new(now, consumer, AuditAction::Subscribe)
+                    .event_type(event_type.clone())
+                    .denied(DenyReason::NoMatchingPolicy.to_string()),
+            )?;
+            return Err(CssError::AccessDenied(DenyReason::NoMatchingPolicy));
+        }
+        let handle = self
+            .bus
+            .subscribe(&event_type.to_string(), self.subscription_config)?;
+        self.subscribers
+            .insert(handle.id(), (consumer, event_type.clone()));
+        self.audit.append(
+            AuditRecord::new(now, consumer, AuditAction::Subscribe).event_type(event_type.clone()),
+        )?;
+        Ok(handle)
+    }
+
+    /// Remove a subscription (consumer-initiated).
+    pub fn unsubscribe(&mut self, handle: SubscriberHandle<NotificationMessage>) -> CssResult<()> {
+        self.subscribers.remove(&handle.id());
+        handle.unsubscribe()
+    }
+
+    // ---- publish --------------------------------------------------------
+
+    /// Producer publishes an event: the notification is validated,
+    /// consent-checked, indexed (identity sealed) and routed to every
+    /// authorized subscriber. The detail message must already be
+    /// persisted in the producer's gateway under `src_event_id`.
+    pub fn publish(
+        &mut self,
+        producer: ActorId,
+        person: PersonIdentity,
+        description: String,
+        event_type: EventTypeId,
+        occurred_at: Timestamp,
+        src_event_id: SourceEventId,
+    ) -> CssResult<PublishReceipt> {
+        self.contracts.require_producer(producer)?;
+        let schema = self.catalog.schema(&event_type)?;
+        if schema.producer != producer {
+            return Err(CssError::Invalid(format!(
+                "event class {event_type} belongs to {}, not to {producer}",
+                schema.producer
+            )));
+        }
+        let now = self.now();
+        // Consent gate at the source.
+        if !self.consent.allows(person.id, producer, &event_type) {
+            self.audit.append(
+                AuditRecord::new(now, producer, AuditAction::Publish)
+                    .event_type(event_type.clone())
+                    .person(person.id)
+                    .denied(DenyReason::ConsentWithheld.to_string()),
+            )?;
+            return Err(CssError::ConsentWithheld(format!(
+                "person {} opted out of {event_type} from {producer}",
+                person.id
+            )));
+        }
+        let global_id: GlobalEventId = self.eid_gen.next_id();
+        let notification = NotificationMessage {
+            global_id,
+            event_type: event_type.clone(),
+            person: person.clone(),
+            description,
+            occurred_at,
+            producer,
+        };
+        // Route first (all-or-nothing on overflow), then index.
+        self.bus
+            .publish(&event_type.to_string(), notification.clone())?;
+        let notified: HashSet<ActorId> = self
+            .subscribers
+            .values()
+            .filter(|(_, ty)| *ty == event_type)
+            .map(|(actor, _)| *actor)
+            .collect();
+        self.index
+            .insert(&notification, src_event_id, notified.clone())?;
+        self.audit.append(
+            AuditRecord::new(now, producer, AuditAction::Publish)
+                .event(global_id)
+                .event_type(event_type.clone())
+                .person(person.id),
+        )?;
+        for consumer in &notified {
+            self.audit.append(
+                AuditRecord::new(now, *consumer, AuditAction::Delivery)
+                    .event(global_id)
+                    .event_type(event_type.clone())
+                    .person(person.id),
+            )?;
+        }
+        let mut notified: Vec<ActorId> = notified.into_iter().collect();
+        notified.sort();
+        Ok(PublishReceipt {
+            global_id,
+            notified,
+        })
+    }
+
+    // ---- index inquiry ----------------------------------------------------
+
+    /// Consumer queries the events index for notifications about one
+    /// person. Only events of classes the consumer is authorized for are
+    /// returned; each returned event is marked as notified to the
+    /// consumer (inquiry and pub/sub are equivalent notification
+    /// channels, Section 4).
+    pub fn inquire_by_person(
+        &mut self,
+        consumer: ActorId,
+        person: PersonId,
+    ) -> CssResult<Vec<NotificationMessage>> {
+        let ids = self.index.events_of_person(person);
+        self.filter_inquiry(consumer, ids)
+    }
+
+    /// Consumer queries the events index for notifications of one class.
+    pub fn inquire_by_type(
+        &mut self,
+        consumer: ActorId,
+        event_type: &EventTypeId,
+    ) -> CssResult<Vec<NotificationMessage>> {
+        let ids = self.index.events_of_type(event_type);
+        self.filter_inquiry(consumer, ids)
+    }
+
+    /// Consumer queries the events index for notifications in a time
+    /// window (any class the consumer is authorized for).
+    pub fn inquire_between(
+        &mut self,
+        consumer: ActorId,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> CssResult<Vec<NotificationMessage>> {
+        let ids = self.index.events_between(from, to);
+        self.filter_inquiry(consumer, ids)
+    }
+
+    fn filter_inquiry(
+        &mut self,
+        consumer: ActorId,
+        candidates: Vec<GlobalEventId>,
+    ) -> CssResult<Vec<NotificationMessage>> {
+        let org = self
+            .actors
+            .organization_of(consumer)
+            .ok_or_else(|| CssError::NotFound(format!("actor {consumer} not registered")))?;
+        self.contracts.require_consumer(org)?;
+        let now = self.now();
+        let mut out = Vec::new();
+        for id in candidates {
+            let ty = match self.index.entry(id) {
+                Some(e) => e.event_type.clone(),
+                None => continue,
+            };
+            if !self.is_authorized_consumer(consumer, &ty) {
+                continue;
+            }
+            let notification = self.index.decrypt_notification(id)?;
+            self.index.mark_notified(id, consumer)?;
+            out.push(notification);
+        }
+        self.audit.append(
+            AuditRecord::new(now, consumer, AuditAction::IndexInquiry)
+                .with_detail(format!("{} events returned", out.len())),
+        )?;
+        out.sort_by_key(|n| n.global_id);
+        Ok(out)
+    }
+
+    // ---- detail requests ----------------------------------------------------
+
+    /// Consumer requests the details of an event (Algorithm 1).
+    pub fn request_details(
+        &mut self,
+        consumer: ActorId,
+        event_type: EventTypeId,
+        event_id: GlobalEventId,
+        purpose: Purpose,
+    ) -> CssResult<css_event::PrivacyAwareEvent> {
+        let org = self
+            .actors
+            .organization_of(consumer)
+            .ok_or_else(|| CssError::NotFound(format!("actor {consumer} not registered")))?;
+        self.contracts.require_consumer(org)?;
+        let request = DetailRequest::new(
+            self.request_gen.next_id(),
+            consumer,
+            event_type,
+            event_id,
+            purpose,
+        );
+        let now = self.now();
+        let mut pep = PolicyEnforcementPoint {
+            index: &self.index,
+            pdp: &self.pdp,
+            actors: &self.actors,
+            consent: &self.consent,
+            audit: &mut self.audit,
+            gateways: &self.gateways,
+            now,
+        };
+        pep.get_event_details(&request)
+    }
+
+    // ---- subject access (citizen-facing, Section 7) -----------------------
+
+    /// A data subject views their own profile: every notification about
+    /// them, regardless of consumer policies — the right of access that
+    /// underpins the PHR use the paper projects. Audited.
+    pub fn subject_profile(&mut self, person: PersonId) -> CssResult<Vec<NotificationMessage>> {
+        let ids = self.index.events_of_person(person);
+        let mut out = Vec::with_capacity(ids.len());
+        for id in ids {
+            out.push(self.index.decrypt_notification(id)?);
+        }
+        out.sort_by_key(|n| (n.occurred_at, n.global_id));
+        self.audit.append(
+            AuditRecord::new(self.now(), ActorId(0), AuditAction::SubjectAccess)
+                .person(person)
+                .with_detail(format!("profile view: {} events", out.len())),
+        )?;
+        Ok(out)
+    }
+
+    /// A data subject asks who touched their data: the audit records
+    /// carrying their person dimension. The lookup itself is audited.
+    pub fn subject_audit_trail(&mut self, person: PersonId) -> CssResult<Vec<AuditRecord>> {
+        let trail: Vec<AuditRecord> = self
+            .audit
+            .query(&AuditQuery::new().person(person))
+            .into_iter()
+            .cloned()
+            .collect();
+        self.audit.append(
+            AuditRecord::new(self.now(), ActorId(0), AuditAction::SubjectAccess)
+                .person(person)
+                .with_detail(format!("audit trail view: {} records", trail.len())),
+        )?;
+        Ok(trail)
+    }
+
+    // ---- consent ----------------------------------------------------------
+
+    /// Record a consent directive from a data subject.
+    pub fn record_consent(
+        &mut self,
+        person: PersonId,
+        scope: ConsentScope,
+        decision: ConsentDecision,
+    ) -> CssResult<()> {
+        let now = self.now();
+        self.consent.record(person, scope, decision, now);
+        // Consent changes are logged against the platform itself; the
+        // subject is tracked in the person dimension.
+        self.audit
+            .append(AuditRecord::new(now, ActorId(0), AuditAction::ConsentChange).person(person))?;
+        Ok(())
+    }
+
+    // ---- audit ----------------------------------------------------------
+
+    /// Run an audit inquiry.
+    pub fn audit_query(&self, q: &AuditQuery) -> Vec<AuditRecord> {
+        self.audit.query(q).into_iter().cloned().collect()
+    }
+
+    /// Aggregate audit report.
+    pub fn audit_report(&self, q: &AuditQuery) -> AuditReport {
+        self.audit.report(q)
+    }
+
+    /// The audit chain head (hand to an external auditor).
+    pub fn audit_head(&self) -> [u8; 32] {
+        self.audit.head()
+    }
+
+    /// Verify the audit chain end-to-end.
+    pub fn verify_audit(&self) -> CssResult<()> {
+        self.audit.verify()
+    }
+
+    /// Number of audit records.
+    pub fn audit_len(&self) -> usize {
+        self.audit.len()
+    }
+
+    /// Number of indexed events.
+    pub fn index_len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Bus statistics.
+    pub fn bus_stats(&self) -> css_bus::BrokerStats {
+        self.bus.stats()
+    }
+}

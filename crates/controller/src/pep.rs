@@ -1,0 +1,171 @@
+//! The Policy Enforcement Point — Algorithm 1.
+//!
+//! `GETEVENTDETAILS(R) → e` with `R = {a, τ_e, eID, s}`:
+//!
+//! 1. `src_eID ← retrieveEventProducerId(eID)` — the PIP mapping,
+//!    resolved against the events index;
+//! 2. `⟨A, e_j, S, F⟩ ← matchingPolicy(R)` — the PDP finds matching
+//!    policies;
+//! 3. if the evaluation permits, ask the producer's gateway for
+//!    `getResponse(src_eID, F)` — only the allowed fields ever leave
+//!    the producer;
+//! 4. otherwise return *deny* (an Access Denied message).
+//!
+//! On top of the literal algorithm the PEP enforces two deployment
+//! preconditions: the requester must have **been notified** of the event
+//! (the notification "is a pre-requisite to issue the request for
+//! details"), and the data subject must not have **opted out**.
+//! Every request — permitted or denied — is written to the audit log.
+
+use std::collections::HashMap;
+
+use css_audit::{AuditAction, AuditLog, AuditRecord};
+use css_event::PrivacyAwareEvent;
+use css_policy::{Decision, DetailRequest, PolicyDecisionPoint};
+use css_storage::LogBackend;
+use css_types::{ActorId, ActorRegistry, CssError, CssResult, DenyReason, Timestamp};
+
+use crate::consent::ConsentRegistry;
+use crate::gateway_client::GatewayClient;
+use crate::index::EventsIndex;
+
+/// A per-request enforcement context borrowing the controller's parts.
+pub struct PolicyEnforcementPoint<'a, B: LogBackend> {
+    /// Events index (PIP + notified-set).
+    pub index: &'a EventsIndex<B>,
+    /// Policy decision point.
+    pub pdp: &'a PolicyDecisionPoint,
+    /// Organizational hierarchy.
+    pub actors: &'a ActorRegistry,
+    /// Data-subject consent.
+    pub consent: &'a ConsentRegistry,
+    /// Audit log (every request is recorded).
+    pub audit: &'a mut AuditLog<B>,
+    /// Producer gateways, keyed by producer organization.
+    pub gateways: &'a HashMap<ActorId, Box<dyn GatewayClient>>,
+    /// Evaluation instant.
+    pub now: Timestamp,
+}
+
+impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
+    /// Algorithm 1. Returns the privacy-aware event on permit.
+    pub fn get_event_details(&mut self, request: &DetailRequest) -> CssResult<PrivacyAwareEvent> {
+        let audit_base = || {
+            AuditRecord::new(self.now, request.actor, AuditAction::DetailRequest)
+                .event(request.event_id)
+                .event_type(request.event_type.clone())
+                .purpose(request.purpose.clone())
+                .request(request.request_id)
+        };
+
+        // Step 1 — PIP: eID → (producer, src_eID, type).
+        let (producer, src_event_id, indexed_type) =
+            match self.index.resolve_source(request.event_id) {
+                Ok(t) => t,
+                Err(e) => {
+                    self.audit
+                        .append(audit_base().denied("event not found in index"))?;
+                    return Err(e);
+                }
+            };
+        if indexed_type != request.event_type {
+            self.audit
+                .append(audit_base().denied("declared event type mismatch"))?;
+            return Err(CssError::Invalid(format!(
+                "request declares type {} but event {} is a {}",
+                request.event_type, request.event_id, indexed_type
+            )));
+        }
+
+        // Precondition: the requester (or an enclosing organization)
+        // received the notification.
+        let notified = self.index.was_notified(request.event_id, request.actor)
+            || self
+                .actors
+                .ancestors(request.actor)
+                .iter()
+                .any(|a| self.index.was_notified(request.event_id, *a));
+        if !notified {
+            self.audit
+                .append(audit_base().denied(DenyReason::NotNotified.to_string()))?;
+            return Err(CssError::AccessDenied(DenyReason::NotNotified));
+        }
+
+        // Precondition: data-subject consent (needs the person id, so
+        // the controller unseals the identity it sealed at publish time).
+        let notification = self.index.decrypt_notification(request.event_id)?;
+        if !self
+            .consent
+            .allows(notification.person.id, producer, &request.event_type)
+        {
+            self.audit.append(
+                audit_base()
+                    .person(notification.person.id)
+                    .denied(DenyReason::ConsentWithheld.to_string()),
+            )?;
+            return Err(CssError::AccessDenied(DenyReason::ConsentWithheld));
+        }
+
+        // Steps 2–3 — PDP: find and evaluate the matching policy.
+        let decision = self.pdp.evaluate(request, self.actors, self.now);
+        match decision {
+            Decision::Deny(reason) => {
+                self.audit.append(
+                    audit_base()
+                        .person(notification.person.id)
+                        .denied(reason.to_string()),
+                )?;
+                Err(CssError::AccessDenied(reason))
+            }
+            Decision::Permit {
+                allowed_fields,
+                matched_policies,
+            } => {
+                // Step 4 — getResponse at the producer. Failures here
+                // are infrastructure faults, not policy denials, but
+                // they are audited all the same.
+                let gateway = match self.gateways.get(&producer) {
+                    Some(g) => g,
+                    None => {
+                        self.audit.append(
+                            audit_base()
+                                .person(notification.person.id)
+                                .denied("producer gateway not registered"),
+                        )?;
+                        return Err(CssError::NotFound(format!(
+                            "no gateway registered for producer {producer}"
+                        )));
+                    }
+                };
+                let details = match gateway.get_response(src_event_id, &allowed_fields) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        self.audit.append(
+                            audit_base()
+                                .person(notification.person.id)
+                                .denied(format!("gateway failure: {e}")),
+                        )?;
+                        return Err(e);
+                    }
+                };
+                let response = PrivacyAwareEvent::release(
+                    request.event_id,
+                    producer,
+                    &details,
+                    allowed_fields,
+                );
+                let matched = matched_policies
+                    .iter()
+                    .map(|p| p.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                self.audit.append(
+                    audit_base()
+                        .person(notification.person.id)
+                        .with_detail(format!("matched: {matched}")),
+                )?;
+                Ok(response)
+            }
+        }
+    }
+}

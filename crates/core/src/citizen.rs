@@ -1,0 +1,61 @@
+//! The citizen-facing handle.
+//!
+//! "The system can be used also directly by the citizens to specify and
+//! control their consent on data exchanges. This possibility will
+//! acquire more importance considering that the CSS is the backbone for
+//! the implementation of a Personalized Health Records (PHR) in
+//! Trentino." (Section 7)
+//!
+//! [`CitizenHandle`] implements that projection: a data subject can see
+//! their own event profile (the PHR view), read who accessed their data
+//! and why, and manage their consent directives — all audited as
+//! subject-access actions.
+
+use css_audit::AuditRecord;
+use css_controller::{ConsentDecision, ConsentScope};
+use css_event::NotificationMessage;
+use css_types::{CssResult, PersonId};
+
+use crate::platform::SharedController;
+use crate::provider::BackendProvider;
+
+/// What a data subject programs (or a citizen portal is built) against.
+pub struct CitizenHandle<P: BackendProvider> {
+    controller: SharedController<P>,
+    person: PersonId,
+}
+
+impl<P: BackendProvider> CitizenHandle<P> {
+    pub(crate) fn new(controller: SharedController<P>, person: PersonId) -> Self {
+        CitizenHandle { controller, person }
+    }
+
+    /// This citizen's person id.
+    pub fn person(&self) -> PersonId {
+        self.person
+    }
+
+    /// The PHR view: every event about this citizen, in timeline order.
+    pub fn my_profile(&self) -> CssResult<Vec<NotificationMessage>> {
+        self.controller.lock().subject_profile(self.person)
+    }
+
+    /// Who accessed my data, when, and for which purpose?
+    pub fn who_accessed_my_data(&self) -> CssResult<Vec<AuditRecord>> {
+        self.controller.lock().subject_audit_trail(self.person)
+    }
+
+    /// Withdraw consent for a scope.
+    pub fn opt_out(&self, scope: ConsentScope) -> CssResult<()> {
+        self.controller
+            .lock()
+            .record_consent(self.person, scope, ConsentDecision::OptOut)
+    }
+
+    /// Grant (or restore) consent for a scope.
+    pub fn opt_in(&self, scope: ConsentScope) -> CssResult<()> {
+        self.controller
+            .lock()
+            .record_consent(self.person, scope, ConsentDecision::OptIn)
+    }
+}

@@ -1,0 +1,192 @@
+//! The consumer-side handle.
+
+use css_bus::SubscriberHandle;
+use css_event::{NotificationMessage, PrivacyAwareEvent};
+use css_types::{ActorId, CssResult, EventTypeId, GlobalEventId, PersonId, Purpose, Timestamp};
+
+use crate::pending::{AccessRequest, AccessRequestStatus};
+use crate::platform::{SharedController, SharedPending};
+use crate::provider::BackendProvider;
+
+/// A live subscription to a class of events, yielding notification
+/// messages.
+pub struct Subscription {
+    inner: SubscriberHandle<NotificationMessage>,
+    event_type: EventTypeId,
+}
+
+impl Subscription {
+    /// The class subscribed to.
+    pub fn event_type(&self) -> &EventTypeId {
+        &self.event_type
+    }
+
+    /// Next notification, if one is queued (acknowledged on receipt).
+    pub fn next(&self) -> CssResult<Option<NotificationMessage>> {
+        match self.inner.poll()? {
+            None => Ok(None),
+            Some(delivery) => {
+                self.inner.ack(delivery.delivery_id)?;
+                Ok(Some(delivery.message))
+            }
+        }
+    }
+
+    /// Next notification, waiting up to `timeout` for one to arrive
+    /// (acknowledged on receipt). For threaded consumers.
+    pub fn next_wait(
+        &self,
+        timeout: std::time::Duration,
+    ) -> CssResult<Option<NotificationMessage>> {
+        match self.inner.poll_wait(timeout)? {
+            None => Ok(None),
+            Some(delivery) => {
+                self.inner.ack(delivery.delivery_id)?;
+                Ok(Some(delivery.message))
+            }
+        }
+    }
+
+    /// Drain every queued notification.
+    pub fn drain(&self) -> CssResult<Vec<NotificationMessage>> {
+        self.inner.drain()
+    }
+
+    /// Queued (undelivered) notification count.
+    pub fn backlog(&self) -> CssResult<usize> {
+        self.inner.backlog()
+    }
+}
+
+/// What a data consumer programs against: subscribe, inquire, request
+/// details, ask for access.
+pub struct ConsumerHandle<P: BackendProvider> {
+    controller: SharedController<P>,
+    pending: SharedPending,
+    actor: ActorId,
+}
+
+impl<P: BackendProvider> ConsumerHandle<P> {
+    pub(crate) fn new(
+        controller: SharedController<P>,
+        pending: SharedPending,
+        actor: ActorId,
+    ) -> Self {
+        ConsumerHandle {
+            controller,
+            pending,
+            actor,
+        }
+    }
+
+    /// This consumer's actor id.
+    pub fn actor(&self) -> ActorId {
+        self.actor
+    }
+
+    /// Browse the catalog: every declared event class.
+    pub fn browse_catalog(&self) -> Vec<EventTypeId> {
+        self.controller.lock().catalog().all_types()
+    }
+
+    /// Browse the catalog restricted to a care-domain node (e.g.
+    /// `"health"` or `"social/home-care"`).
+    pub fn browse_by_domain(&self, domain: &str) -> Vec<EventTypeId> {
+        self.controller.lock().catalog().by_domain(domain)
+    }
+
+    /// The published structure (schema) of a declared event class — the
+    /// catalog "is visible to any candidate data consumer" (§5).
+    pub fn class_schema(&self, event_type: &EventTypeId) -> CssResult<css_event::EventSchema> {
+        self.controller.lock().catalog().schema(event_type)
+    }
+
+    /// Subscribe to a class of events (policy-gated, deny-by-default).
+    pub fn subscribe(&self, event_type: &EventTypeId) -> CssResult<Subscription> {
+        let handle = self.controller.lock().subscribe(self.actor, event_type)?;
+        Ok(Subscription {
+            inner: handle,
+            event_type: event_type.clone(),
+        })
+    }
+
+    /// Query the events index for notifications about one person.
+    pub fn inquire_by_person(&self, person: PersonId) -> CssResult<Vec<NotificationMessage>> {
+        self.controller.lock().inquire_by_person(self.actor, person)
+    }
+
+    /// Query the events index for notifications of one class.
+    pub fn inquire_by_type(&self, event_type: &EventTypeId) -> CssResult<Vec<NotificationMessage>> {
+        self.controller
+            .lock()
+            .inquire_by_type(self.actor, event_type)
+    }
+
+    /// Query the events index for notifications in a time window,
+    /// across every class this consumer is authorized for.
+    pub fn inquire_between(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> CssResult<Vec<NotificationMessage>> {
+        self.controller.lock().inquire_between(self.actor, from, to)
+    }
+
+    /// Request the details of a notified event, stating a purpose
+    /// (phase 2 of the two-phase protocol, Algorithm 1).
+    pub fn request_details(
+        &self,
+        notification: &NotificationMessage,
+        purpose: Purpose,
+    ) -> CssResult<PrivacyAwareEvent> {
+        self.request_details_by_id(
+            notification.event_type.clone(),
+            notification.global_id,
+            purpose,
+        )
+    }
+
+    /// Request details by explicit event type and id.
+    pub fn request_details_by_id(
+        &self,
+        event_type: EventTypeId,
+        event_id: GlobalEventId,
+        purpose: Purpose,
+    ) -> CssResult<PrivacyAwareEvent> {
+        self.controller
+            .lock()
+            .request_details(self.actor, event_type, event_id, purpose)
+    }
+
+    /// File an access request for a class this consumer has no policy
+    /// for; the producer sees it in its pending queue.
+    pub fn request_access(
+        &self,
+        event_type: EventTypeId,
+        purposes: Vec<Purpose>,
+        note: impl Into<String>,
+        at: Timestamp,
+    ) -> u64 {
+        let mut pending = self.pending.lock();
+        let id = pending.len() as u64 + 1;
+        pending.push(AccessRequest {
+            id,
+            consumer: self.actor,
+            event_type,
+            purposes,
+            note: note.into(),
+            requested_at: at,
+            status: AccessRequestStatus::Pending,
+        });
+        id
+    }
+
+    /// Status of one of this consumer's access requests.
+    pub fn access_request_status(&self, id: u64) -> Option<AccessRequestStatus> {
+        self.pending
+            .lock()
+            .iter()
+            .find(|r| r.id == id && r.consumer == self.actor)
+            .map(|r| r.status)
+    }
+}

@@ -1,0 +1,58 @@
+//! Pending access requests.
+//!
+//! "If there is not already a privacy policy defined for that particular
+//! data consumer the data producer ... is notified of the pending access
+//! request and it is guided by the Privacy Requirements Elicitation Tool
+//! to define a privacy policy." (Section 5)
+
+use css_types::{ActorId, EventTypeId, Purpose, Timestamp};
+
+/// Lifecycle of an access request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessRequestStatus {
+    /// Waiting for the producer's decision.
+    Pending,
+    /// Granted — a policy was authored through the wizard.
+    Granted,
+    /// Denied by the producer.
+    Denied,
+}
+
+/// A consumer's request for access to a class of events it has no
+/// policy for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessRequest {
+    /// Queue-unique identifier.
+    pub id: u64,
+    /// The requesting consumer.
+    pub consumer: ActorId,
+    /// The class of events the consumer wants.
+    pub event_type: EventTypeId,
+    /// The purposes the consumer intends.
+    pub purposes: Vec<Purpose>,
+    /// Free-form motivation shown to the producer.
+    pub note: String,
+    /// When the request was filed.
+    pub requested_at: Timestamp,
+    /// Current status.
+    pub status: AccessRequestStatus,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let r = AccessRequest {
+            id: 1,
+            consumer: ActorId(3),
+            event_type: EventTypeId::v1("blood-test"),
+            purposes: vec![Purpose::HealthcareTreatment],
+            note: "need results for treatment".into(),
+            requested_at: Timestamp(10),
+            status: AccessRequestStatus::Pending,
+        };
+        assert_eq!(r.status, AccessRequestStatus::Pending);
+    }
+}

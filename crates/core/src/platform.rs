@@ -1,0 +1,370 @@
+//! Platform assembly and participant onboarding.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use css_audit::{AuditQuery, AuditRecord, AuditReport};
+use css_controller::{
+    ConsentDecision, ConsentScope, ControllerConfig, Credential, DataController, IdentityManager,
+    ParticipantRole, SharedGateway,
+};
+use css_gateway::LocalCooperationGateway;
+use css_policy::PolicyRepository;
+use css_types::{Actor, ActorId, Clock, CssError, CssResult, IdGenerator, PersonId, SystemClock};
+
+use crate::citizen::CitizenHandle;
+use crate::consumer::ConsumerHandle;
+use crate::pending::AccessRequest;
+use crate::producer::ProducerHandle;
+use crate::provider::{BackendProvider, DirProvider, MemoryProvider};
+
+pub(crate) type SharedController<P> = Arc<Mutex<DataController<<P as BackendProvider>::Backend>>>;
+pub(crate) type SharedRepo<P> = Arc<Mutex<PolicyRepository<<P as BackendProvider>::Backend>>>;
+pub(crate) type SharedPending = Arc<Mutex<Vec<AccessRequest>>>;
+
+/// The assembled CSS platform: data controller + producer gateways +
+/// policy repository + pending-request queue.
+pub struct CssPlatform<P: BackendProvider = MemoryProvider> {
+    controller: SharedController<P>,
+    gateways: HashMap<ActorId, SharedGateway<P::Backend>>,
+    policy_repo: SharedRepo<P>,
+    pending: SharedPending,
+    roles: HashMap<ActorId, (bool, bool)>, // (produces, consumes)
+    src_gens: HashMap<ActorId, Arc<IdGenerator>>,
+    actor_gen: IdGenerator,
+    identity: IdentityManager,
+    identity_enforced: bool,
+    provider: P,
+    clock: Arc<dyn Clock>,
+}
+
+impl CssPlatform<MemoryProvider> {
+    /// An all-in-memory platform on the system clock — the quickstart
+    /// configuration.
+    pub fn in_memory() -> Self {
+        Self::with_provider(MemoryProvider, Arc::new(SystemClock)).expect("memory init")
+    }
+
+    /// An in-memory platform on an explicit (usually simulated) clock.
+    pub fn in_memory_with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self::with_provider(MemoryProvider, clock).expect("memory init")
+    }
+}
+
+impl CssPlatform<DirProvider> {
+    /// A disk-backed platform storing all logs under `dir`.
+    pub fn on_disk(dir: impl Into<std::path::PathBuf>, clock: Arc<dyn Clock>) -> CssResult<Self> {
+        Self::with_provider(DirProvider::new(dir)?, clock)
+    }
+}
+
+impl<P: BackendProvider> CssPlatform<P> {
+    /// Assemble a platform over a backend provider.
+    pub fn with_provider(provider: P, clock: Arc<dyn Clock>) -> CssResult<Self> {
+        let config = ControllerConfig::with_clock(clock.clone());
+        let controller = DataController::with_backends(
+            config,
+            provider.backend("audit")?,
+            provider.backend("events-index")?,
+        )?;
+        let policy_repo = PolicyRepository::open(provider.backend("policies")?)?;
+        Ok(CssPlatform {
+            controller: Arc::new(Mutex::new(controller)),
+            gateways: HashMap::new(),
+            policy_repo: Arc::new(Mutex::new(policy_repo)),
+            pending: Arc::new(Mutex::new(Vec::new())),
+            roles: HashMap::new(),
+            src_gens: HashMap::new(),
+            actor_gen: IdGenerator::default(),
+            identity: IdentityManager::new(b"css-identity-master"),
+            identity_enforced: false,
+            provider,
+            clock,
+        })
+    }
+
+    /// The platform clock.
+    pub fn clock(&self) -> Arc<dyn Clock> {
+        self.clock.clone()
+    }
+
+    // ---- actors -------------------------------------------------------
+
+    /// Register a top-level organization, minting its id.
+    pub fn register_organization(&mut self, name: &str) -> CssResult<ActorId> {
+        let id: ActorId = self.actor_gen.next_id();
+        self.controller
+            .lock()
+            .register_actor(Actor::organization(id, name))?;
+        Ok(id)
+    }
+
+    /// Register an organizational unit under a parent.
+    pub fn register_unit(&mut self, parent: ActorId, name: &str) -> CssResult<ActorId> {
+        let id: ActorId = self.actor_gen.next_id();
+        self.controller
+            .lock()
+            .register_actor(Actor::unit(id, name, parent))?;
+        Ok(id)
+    }
+
+    /// Register a functional role under a parent.
+    pub fn register_role(&mut self, parent: ActorId, name: &str) -> CssResult<ActorId> {
+        let id: ActorId = self.actor_gen.next_id();
+        self.controller
+            .lock()
+            .register_actor(Actor::role(id, name, parent))?;
+        Ok(id)
+    }
+
+    // ---- onboarding ------------------------------------------------------
+
+    fn sign(&mut self, actor: ActorId, produce: bool, consume: bool) -> CssResult<()> {
+        let entry = self.roles.entry(actor).or_insert((false, false));
+        entry.0 |= produce;
+        entry.1 |= consume;
+        let role = match *entry {
+            (true, true) => ParticipantRole::Both,
+            (true, false) => ParticipantRole::Producer,
+            (false, true) => ParticipantRole::Consumer,
+            (false, false) => unreachable!("at least one role requested"),
+        };
+        self.controller.lock().sign_contract(actor, role)
+    }
+
+    /// Sign a producer contract for an organization and stand up its
+    /// Local Cooperation Gateway.
+    pub fn join_as_producer(&mut self, actor: ActorId) -> CssResult<()> {
+        self.sign(actor, true, false)?;
+        if !self.gateways.contains_key(&actor) {
+            let backend = self.provider.backend(&format!("gateway-{actor}"))?;
+            let gateway: SharedGateway<P::Backend> =
+                Arc::new(Mutex::new(LocalCooperationGateway::open(actor, backend)?));
+            // Resume source-id generation past any records recovered
+            // from a previous session, so restarts never collide.
+            let next_src = gateway
+                .lock()
+                .max_src_id()
+                .map(|s| s.value() + 1)
+                .unwrap_or(1);
+            self.controller
+                .lock()
+                .register_gateway(actor, Box::new(gateway.clone()));
+            self.gateways.insert(actor, gateway);
+            self.src_gens
+                .insert(actor, Arc::new(IdGenerator::starting_at(next_src)));
+        }
+        Ok(())
+    }
+
+    /// Reload every policy from the certified repository into the
+    /// decision point — the restart path: operators re-register actors
+    /// and re-declare schemas (code-driven), then call this to restore
+    /// enforcement state. Returns the number of policies restored.
+    pub fn reload_policies(&self) -> CssResult<usize> {
+        let policies = self.policy_repo.lock().load_all()?;
+        let mut controller = self.controller.lock();
+        let n = policies.len();
+        for policy in policies {
+            controller.restore_policy(policy);
+        }
+        Ok(n)
+    }
+
+    /// Sign a consumer contract for an organization.
+    pub fn join_as_consumer(&mut self, actor: ActorId) -> CssResult<()> {
+        self.sign(actor, false, true)
+    }
+
+    // ---- identity management (Section 5 future work) -------------------
+
+    /// Turn on credential enforcement: handles can then only be obtained
+    /// through [`CssPlatform::producer_with_credential`] /
+    /// [`CssPlatform::consumer_with_credential`].
+    pub fn enable_identity_enforcement(&mut self) {
+        self.identity_enforced = true;
+    }
+
+    /// Issue (or rotate) the credential for a contracted actor.
+    pub fn issue_credential(&mut self, actor: ActorId) -> CssResult<Credential> {
+        if !self.roles.contains_key(&actor) {
+            return Err(CssError::NoContract(format!(
+                "{actor} has not joined the platform"
+            )));
+        }
+        Ok(self.identity.issue(actor))
+    }
+
+    /// Revoke a credential by serial.
+    pub fn revoke_credential(&mut self, serial: u64) {
+        self.identity.revoke(serial);
+    }
+
+    /// Producer handle gated by a credential check.
+    pub fn producer_with_credential(
+        &self,
+        credential: &Credential,
+    ) -> CssResult<ProducerHandle<P>> {
+        let actor = self.identity.validate(credential)?;
+        self.producer_unchecked(actor)
+    }
+
+    /// Consumer handle gated by a credential check.
+    pub fn consumer_with_credential(
+        &self,
+        credential: &Credential,
+    ) -> CssResult<ConsumerHandle<P>> {
+        let actor = self.identity.validate(credential)?;
+        self.consumer_unchecked(actor)
+    }
+
+    /// The producer-side handle for a joined producer.
+    pub fn producer(&self, actor: ActorId) -> CssResult<ProducerHandle<P>> {
+        if self.identity_enforced {
+            return Err(CssError::Crypto(
+                "identity enforcement active: use producer_with_credential".into(),
+            ));
+        }
+        self.producer_unchecked(actor)
+    }
+
+    fn producer_unchecked(&self, actor: ActorId) -> CssResult<ProducerHandle<P>> {
+        let gateway = self
+            .gateways
+            .get(&actor)
+            .ok_or_else(|| CssError::NoContract(format!("{actor} has not joined as producer")))?
+            .clone();
+        let src_gen = self
+            .src_gens
+            .get(&actor)
+            .expect("created with gateway")
+            .clone();
+        Ok(ProducerHandle::new(
+            self.controller.clone(),
+            self.policy_repo.clone(),
+            self.pending.clone(),
+            gateway,
+            src_gen,
+            actor,
+        ))
+    }
+
+    /// The consumer-side handle for a joined consumer. The handle may be
+    /// for the organization itself or any unit/role inside it.
+    pub fn consumer(&self, actor: ActorId) -> CssResult<ConsumerHandle<P>> {
+        if self.identity_enforced {
+            return Err(CssError::Crypto(
+                "identity enforcement active: use consumer_with_credential".into(),
+            ));
+        }
+        self.consumer_unchecked(actor)
+    }
+
+    fn consumer_unchecked(&self, actor: ActorId) -> CssResult<ConsumerHandle<P>> {
+        let org = self
+            .controller
+            .lock()
+            .actors()
+            .organization_of(actor)
+            .ok_or_else(|| CssError::NotFound(format!("actor {actor} not registered")))?;
+        match self.roles.get(&org) {
+            Some((_, true)) => Ok(ConsumerHandle::new(
+                self.controller.clone(),
+                self.pending.clone(),
+                actor,
+            )),
+            _ => Err(CssError::NoContract(format!(
+                "{org} has not joined as consumer"
+            ))),
+        }
+    }
+
+    /// The citizen-facing handle for a data subject (PHR view, consent,
+    /// subject audit trail).
+    pub fn citizen(&self, person: PersonId) -> CitizenHandle<P> {
+        CitizenHandle::new(self.controller.clone(), person)
+    }
+
+    // ---- consent & audit ---------------------------------------------------
+
+    /// Record a consent directive from a data subject.
+    pub fn record_consent(
+        &self,
+        person: PersonId,
+        scope: ConsentScope,
+        decision: ConsentDecision,
+    ) -> CssResult<()> {
+        self.controller
+            .lock()
+            .record_consent(person, scope, decision)
+    }
+
+    /// Run an audit inquiry.
+    pub fn audit_query(&self, q: &AuditQuery) -> Vec<AuditRecord> {
+        self.controller.lock().audit_query(q)
+    }
+
+    /// Aggregate audit report.
+    pub fn audit_report(&self, q: &AuditQuery) -> AuditReport {
+        self.controller.lock().audit_report(q)
+    }
+
+    /// Verify the audit hash chain.
+    pub fn verify_audit(&self) -> CssResult<()> {
+        self.controller.lock().verify_audit()
+    }
+
+    /// Direct (shared) access to the data controller for advanced use
+    /// and experiments.
+    pub fn controller(&self) -> SharedController<P> {
+        self.controller.clone()
+    }
+
+    /// The persisted XACML policy repository.
+    pub fn policy_repository(&self) -> SharedRepo<P> {
+        self.policy_repo.clone()
+    }
+
+    /// All pending access requests (any producer).
+    /// Operational snapshot: sizes of the platform's core state, the
+    /// kind of dashboard numbers a platform operator watches.
+    pub fn stats(&self) -> PlatformStats {
+        let controller = self.controller.lock();
+        PlatformStats {
+            indexed_events: controller.index_len(),
+            audit_records: controller.audit_len(),
+            policies: controller.policy_count(),
+            actors: controller.actors().len(),
+            bus: controller.bus_stats(),
+            pending_requests: self
+                .pending
+                .lock()
+                .iter()
+                .filter(|r| r.status == crate::pending::AccessRequestStatus::Pending)
+                .count(),
+        }
+    }
+
+    pub fn pending_requests(&self) -> Vec<AccessRequest> {
+        self.pending.lock().clone()
+    }
+}
+
+/// Operational counters reported by [`CssPlatform::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatformStats {
+    /// Notifications held in the events index.
+    pub indexed_events: usize,
+    /// Records on the audit log.
+    pub audit_records: usize,
+    /// Privacy policies installed at the decision point.
+    pub policies: usize,
+    /// Actors in the organizational registry.
+    pub actors: usize,
+    /// Bus counters.
+    pub bus: css_bus::BrokerStats,
+    /// Access requests awaiting a producer decision.
+    pub pending_requests: usize,
+}

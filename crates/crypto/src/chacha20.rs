@@ -1,0 +1,166 @@
+//! ChaCha20 stream cipher (RFC 8439).
+
+/// ChaCha20 keystream generator / stream cipher.
+///
+/// Encryption and decryption are the same operation (XOR with the
+/// keystream).
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+}
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+impl ChaCha20 {
+    /// Construct from a 256-bit key and a 96-bit nonce.
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12]) -> Self {
+        let mut k = [0u32; 8];
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            k[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        let mut n = [0u32; 3];
+        for (i, chunk) in nonce.chunks_exact(4).enumerate() {
+            n[i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        ChaCha20 { key: k, nonce: n }
+    }
+
+    /// The 64-byte keystream block at the given counter.
+    pub fn block(&self, counter: u32) -> [u8; 64] {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = counter;
+        state[13..16].copy_from_slice(&self.nonce);
+
+        let mut working = state;
+        for _ in 0..10 {
+            // column rounds
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // diagonal rounds
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XOR `data` in place with the keystream starting at block counter
+    /// `initial_counter` (RFC 8439 uses 1 for AEAD payloads; we use 0).
+    pub fn apply_keystream(&self, data: &mut [u8], initial_counter: u32) {
+        for (i, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(initial_counter.wrapping_add(i as u32));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    /// Encrypt (or decrypt) into a new buffer.
+    pub fn process(&self, data: &[u8], initial_counter: u32) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.apply_keystream(&mut out, initial_counter);
+        out
+    }
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha256::to_hex;
+
+    fn rfc_key() -> [u8; 32] {
+        let mut k = [0u8; 32];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    #[test]
+    fn rfc8439_block_test_vector() {
+        // RFC 8439 §2.3.2
+        let key = rfc_key();
+        let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let c = ChaCha20::new(&key, &nonce);
+        let block = c.block(1);
+        assert_eq!(
+            to_hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    #[test]
+    fn rfc8439_encryption_test_vector() {
+        // RFC 8439 §2.4.2
+        let key = rfc_key();
+        let nonce = [0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let c = ChaCha20::new(&key, &nonce);
+        let ct = c.process(plaintext, 1);
+        assert_eq!(
+            to_hex(&ct[..32]),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+        );
+        assert_eq!(to_hex(&ct[112..]), "874d");
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let c = ChaCha20::new(&[7u8; 32], &[3u8; 12]);
+        let msg = b"identifying info: Mario Rossi RSSMRA45C12L378Y".to_vec();
+        let ct = c.process(&msg, 0);
+        assert_ne!(ct, msg);
+        assert_eq!(c.process(&ct, 0), msg);
+    }
+
+    #[test]
+    fn different_nonces_differ() {
+        let key = [9u8; 32];
+        let a = ChaCha20::new(&key, &[0u8; 12]).process(b"same message", 0);
+        let b = ChaCha20::new(&key, &[1u8; 12]).process(b"same message", 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn multi_block_messages() {
+        let c = ChaCha20::new(&[1u8; 32], &[2u8; 12]);
+        let msg = vec![0x55u8; 200]; // spans 4 blocks
+        let ct = c.process(&msg, 0);
+        assert_eq!(c.process(&ct, 0), msg);
+        // keystream continuity: encrypting in two halves equals one shot
+        let mut half = msg.clone();
+        c.apply_keystream(&mut half[..128], 0);
+        c.apply_keystream(&mut half[128..], 2);
+        assert_eq!(half, ct);
+    }
+
+    #[test]
+    fn empty_message() {
+        let c = ChaCha20::new(&[0u8; 32], &[0u8; 12]);
+        assert!(c.process(b"", 0).is_empty());
+    }
+}

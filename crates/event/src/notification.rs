@@ -1,0 +1,194 @@
+//! Notification messages — the *who / what / when / where* of an event.
+//!
+//! "The notification message contains only the data necessary to
+//! identify a person (who), a description of the event occurred (what),
+//! the date and time of occurrence (when) and the source of the event
+//! (where). It contains the identifying information of a person but not
+//! sensitive information." (Section 4)
+
+use css_types::{
+    ActorId, CssError, CssResult, EventTypeId, GlobalEventId, PersonId, PersonIdentity, Timestamp,
+};
+use css_xml::Element;
+
+/// The non-sensitive half of an event, distributed through the bus and
+/// stored in the events index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotificationMessage {
+    /// Global event identifier minted by the data controller.
+    pub global_id: GlobalEventId,
+    /// Class of the event (links to the catalog entry / schema).
+    pub event_type: EventTypeId,
+    /// *Who*: identifying (not sensitive) information of the subject.
+    pub person: PersonIdentity,
+    /// *What*: a short human-readable description of what occurred.
+    pub description: String,
+    /// *When*: instant the event occurred at the source.
+    pub occurred_at: Timestamp,
+    /// *Where*: the producer organization the event originated from.
+    pub producer: ActorId,
+}
+
+impl NotificationMessage {
+    /// Serialize to the XML wire form.
+    pub fn to_xml(&self) -> Element {
+        Element::new("Notification")
+            .attr("eventId", self.global_id.to_string())
+            .attr("type", self.event_type.to_string())
+            .child(
+                Element::new("Who")
+                    .attr("personId", self.person.id.to_string())
+                    .child(Element::leaf("FiscalCode", self.person.fiscal_code.clone()))
+                    .child(Element::leaf("Name", self.person.name.clone()))
+                    .child(Element::leaf("Surname", self.person.surname.clone())),
+            )
+            .child(Element::leaf("What", self.description.clone()))
+            .child(Element::leaf("When", self.occurred_at.to_string()))
+            .child(Element::new("Where").attr("producer", self.producer.to_string()))
+    }
+
+    /// Parse from the XML wire form.
+    pub fn from_xml(e: &Element) -> CssResult<Self> {
+        let bad = |msg: String| CssError::Serialization(format!("Notification: {msg}"));
+        if e.name != "Notification" {
+            return Err(bad(format!("wrong root <{}>", e.name)));
+        }
+        let global_id: GlobalEventId = e
+            .attribute("eventId")
+            .ok_or_else(|| bad("missing eventId".into()))?
+            .parse()
+            .map_err(|err| bad(format!("bad eventId: {err}")))?;
+        let event_type: EventTypeId = e
+            .attribute("type")
+            .ok_or_else(|| bad("missing type".into()))?
+            .parse()
+            .map_err(|err| bad(format!("bad type: {err}")))?;
+        let who = e.find("Who").ok_or_else(|| bad("missing <Who>".into()))?;
+        let person_id: PersonId = who
+            .attribute("personId")
+            .ok_or_else(|| bad("missing personId".into()))?
+            .parse()
+            .map_err(|err| bad(format!("bad personId: {err}")))?;
+        let person = PersonIdentity {
+            id: person_id,
+            fiscal_code: who
+                .child_text("FiscalCode")
+                .ok_or_else(|| bad("missing <FiscalCode>".into()))?,
+            name: who
+                .child_text("Name")
+                .ok_or_else(|| bad("missing <Name>".into()))?,
+            surname: who
+                .child_text("Surname")
+                .ok_or_else(|| bad("missing <Surname>".into()))?,
+        };
+        let description = e
+            .child_text("What")
+            .ok_or_else(|| bad("missing <What>".into()))?;
+        let when_text = e
+            .child_text("When")
+            .ok_or_else(|| bad("missing <When>".into()))?;
+        let occurred_at =
+            parse_when(&when_text).ok_or_else(|| bad(format!("bad <When> value {when_text:?}")))?;
+        let producer: ActorId = e
+            .find("Where")
+            .and_then(|w| w.attribute("producer"))
+            .ok_or_else(|| bad("missing <Where producer>".into()))?
+            .parse()
+            .map_err(|err| bad(format!("bad producer: {err}")))?;
+        Ok(NotificationMessage {
+            global_id,
+            event_type,
+            person,
+            description,
+            occurred_at,
+            producer,
+        })
+    }
+}
+
+fn parse_when(s: &str) -> Option<Timestamp> {
+    match crate::field::FieldKind::DateTime.parse_value(s) {
+        Ok(crate::field::FieldValue::DateTime(t)) => Some(t),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> NotificationMessage {
+        NotificationMessage {
+            global_id: GlobalEventId(101),
+            event_type: EventTypeId::v1("blood-test"),
+            person: PersonIdentity {
+                id: PersonId(42),
+                fiscal_code: "RSSMRA45C12L378Y".into(),
+                name: "Mario".into(),
+                surname: "Rossi".into(),
+            },
+            description: "blood test completed at the laboratory".into(),
+            occurred_at: Timestamp(1_284_379_200_000),
+            producer: ActorId(7),
+        }
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let n = sample();
+        let text = css_xml::to_string_pretty(&n.to_xml());
+        let back = NotificationMessage::from_xml(&css_xml::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, n);
+    }
+
+    #[test]
+    fn notification_carries_no_detail_fields() {
+        // Structural check: the wire form has exactly the 4 W's.
+        let xml = sample().to_xml();
+        let names: Vec<&str> = xml.elements().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["Who", "What", "When", "Where"]);
+    }
+
+    #[test]
+    fn from_xml_rejects_missing_pieces() {
+        let n = sample();
+        let full = n.to_xml();
+        // Remove each child in turn and expect failure.
+        for skip in 0..full.children.len() {
+            let mut doc = Element::new("Notification")
+                .attr("eventId", n.global_id.to_string())
+                .attr("type", n.event_type.to_string());
+            for (i, child) in full.children.iter().enumerate() {
+                if i != skip {
+                    doc.children.push(child.clone());
+                }
+            }
+            assert!(
+                NotificationMessage::from_xml(&doc).is_err(),
+                "should fail when child {skip} is missing"
+            );
+        }
+    }
+
+    #[test]
+    fn from_xml_rejects_bad_ids() {
+        let text = css_xml::to_string(&sample().to_xml());
+        let tampered = text.replace("evt-00000101", "garbage");
+        assert!(NotificationMessage::from_xml(&css_xml::parse(&tampered).unwrap()).is_err());
+    }
+
+    #[test]
+    fn from_xml_rejects_wrong_root() {
+        let e = Element::new("Detail");
+        assert!(NotificationMessage::from_xml(&e).is_err());
+    }
+
+    #[test]
+    fn unicode_descriptions_roundtrip() {
+        let mut n = sample();
+        n.description = "visita dermatologica – città di Trento & Co.".into();
+        let text = css_xml::to_string(&n.to_xml());
+        let back = NotificationMessage::from_xml(&css_xml::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.description, n.description);
+    }
+}

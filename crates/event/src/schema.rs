@@ -1,0 +1,370 @@
+//! Event schemas — the catalog's stand-in for XSD.
+//!
+//! "The structure of the event is specified by an XSD that is
+//! 'installed' in an event catalog module" (Section 5). An
+//! [`EventSchema`] declares the typed fields of one class of event
+//! details; it validates instances and converts to the `css-xml` schema
+//! form for interchange.
+
+use css_types::{ActorId, CssError, CssResult, EventTypeId};
+use css_xml::{Element, ElementDecl, Schema};
+
+use crate::details::EventDetails;
+use crate::field::{FieldDef, FieldKind};
+
+/// Declaration of a class of event details (an entry of `E(D_i)` in
+/// Definition 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSchema {
+    /// Identifier (code + version) of the event class.
+    pub id: EventTypeId,
+    /// Human-readable name shown in catalogs and the elicitation tool.
+    pub display_name: String,
+    /// The producer that declared the class.
+    pub producer: ActorId,
+    /// Ordered field declarations.
+    pub fields: Vec<FieldDef>,
+}
+
+impl EventSchema {
+    /// Create a schema with no fields yet.
+    pub fn new(id: EventTypeId, display_name: impl Into<String>, producer: ActorId) -> Self {
+        EventSchema {
+            id,
+            display_name: display_name.into(),
+            producer,
+            fields: Vec::new(),
+        }
+    }
+
+    /// Builder: append a field declaration.
+    ///
+    /// # Panics
+    /// Panics if a field with the same name was already declared —
+    /// schemas are authored in code or by the elicitation tool, so a
+    /// duplicate is a programming error.
+    pub fn field(mut self, def: FieldDef) -> Self {
+        assert!(
+            self.field_def(&def.name).is_none(),
+            "duplicate field {:?} in schema {}",
+            def.name,
+            self.id
+        );
+        self.fields.push(def);
+        self
+    }
+
+    /// Declaration of the named field, if any.
+    pub fn field_def(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Names of all declared fields, in declaration order.
+    pub fn field_names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|f| f.name.as_str())
+    }
+
+    /// Names of the fields marked sensitive.
+    pub fn sensitive_fields(&self) -> impl Iterator<Item = &str> {
+        self.fields
+            .iter()
+            .filter(|f| f.sensitive)
+            .map(|f| f.name.as_str())
+    }
+
+    /// Root element name used by the XML form of instances.
+    pub fn root_element(&self) -> String {
+        // blood-test@v1 → BloodTest
+        self.id
+            .code()
+            .split('-')
+            .map(|part| {
+                let mut chars = part.chars();
+                match chars.next() {
+                    Some(c) => c.to_uppercase().chain(chars).collect::<String>(),
+                    None => String::new(),
+                }
+            })
+            .collect()
+    }
+
+    /// The `css-xml` schema equivalent, used to publish the structure in
+    /// the event catalog.
+    ///
+    /// All elements are declared nillable because privacy-aware
+    /// responses blank unauthorized fields; *source-side* requiredness
+    /// is enforced by [`EventSchema::validate`] instead.
+    pub fn to_xml_schema(&self) -> Schema {
+        let mut schema = Schema::new(self.root_element())
+            .attribute("type", true)
+            .attribute("srcEventId", false);
+        for f in &self.fields {
+            let decl = ElementDecl {
+                name: f.name.clone(),
+                value_type: f.kind.to_value_type(),
+                occurs: css_xml::Occurs::Optional,
+                nillable: true,
+            };
+            schema = schema.element(decl);
+        }
+        schema
+    }
+
+    /// Validate a full (source-side) instance: every declared field must
+    /// be well-typed, required fields must be non-empty, and no
+    /// undeclared field may appear.
+    pub fn validate(&self, details: &EventDetails) -> CssResult<()> {
+        if details.event_type != self.id {
+            return Err(CssError::Invalid(format!(
+                "details of type {} validated against schema {}",
+                details.event_type, self.id
+            )));
+        }
+        for name in details.field_names() {
+            if self.field_def(name).is_none() {
+                return Err(CssError::Invalid(format!(
+                    "undeclared field {name:?} in event of type {}",
+                    self.id
+                )));
+            }
+        }
+        for def in &self.fields {
+            let value = details.get(&def.name);
+            match value {
+                None => {
+                    if def.required {
+                        return Err(CssError::Invalid(format!(
+                            "required field {:?} missing in event of type {}",
+                            def.name, self.id
+                        )));
+                    }
+                }
+                Some(v) => {
+                    if def.required && v.is_empty() {
+                        return Err(CssError::Invalid(format!(
+                            "required field {:?} is empty in event of type {}",
+                            def.name, self.id
+                        )));
+                    }
+                    if !v.is_empty() {
+                        // Re-parse the rendered form to confirm the kind.
+                        def.kind.parse_value(&v.render()).map_err(|e| {
+                            CssError::Invalid(format!(
+                                "field {:?} ill-typed in event of type {}: {e}",
+                                def.name, self.id
+                            ))
+                        })?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize the schema itself to XML (for the event catalog).
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("EventSchema")
+            .attr("id", self.id.to_string())
+            .attr("name", self.display_name.clone())
+            .attr("producer", self.producer.to_string());
+        for f in &self.fields {
+            let mut fe = Element::new("Field")
+                .attr("name", f.name.clone())
+                .attr("kind", kind_code(&f.kind))
+                .attr("required", f.required.to_string())
+                .attr("sensitive", f.sensitive.to_string());
+            if let FieldKind::Code(allowed) = &f.kind {
+                for code in allowed {
+                    fe = fe.child(Element::leaf("Code", code.clone()));
+                }
+            }
+            root = root.child(fe);
+        }
+        root
+    }
+
+    /// Parse a schema from its XML form.
+    pub fn from_xml(e: &Element) -> CssResult<Self> {
+        let bad = |msg: &str| CssError::Serialization(format!("EventSchema: {msg}"));
+        if e.name != "EventSchema" {
+            return Err(bad("wrong root element"));
+        }
+        let id: EventTypeId = e
+            .attribute("id")
+            .ok_or_else(|| bad("missing id"))?
+            .parse()
+            .map_err(|err| bad(&format!("bad id: {err}")))?;
+        let display_name = e.attribute("name").ok_or_else(|| bad("missing name"))?;
+        let producer: ActorId = e
+            .attribute("producer")
+            .ok_or_else(|| bad("missing producer"))?
+            .parse()
+            .map_err(|err| bad(&format!("bad producer: {err}")))?;
+        let mut schema = EventSchema::new(id, display_name, producer);
+        for fe in e.find_all("Field") {
+            let name = fe
+                .attribute("name")
+                .ok_or_else(|| bad("field without name"))?;
+            if schema.field_def(name).is_some() {
+                return Err(bad(&format!("duplicate field {name:?}")));
+            }
+            let kind_str = fe
+                .attribute("kind")
+                .ok_or_else(|| bad("field without kind"))?;
+            let kind = match kind_str {
+                "text" => FieldKind::Text,
+                "integer" => FieldKind::Integer,
+                "decimal" => FieldKind::Decimal,
+                "boolean" => FieldKind::Boolean,
+                "datetime" => FieldKind::DateTime,
+                "code" => FieldKind::Code(fe.find_all("Code").map(|c| c.text_content()).collect()),
+                other => return Err(bad(&format!("unknown field kind {other:?}"))),
+            };
+            let required = fe.attribute("required") == Some("true");
+            let sensitive = fe.attribute("sensitive") == Some("true");
+            schema.fields.push(FieldDef {
+                name: name.to_string(),
+                kind,
+                required,
+                sensitive,
+            });
+        }
+        Ok(schema)
+    }
+}
+
+fn kind_code(kind: &FieldKind) -> &'static str {
+    match kind {
+        FieldKind::Text => "text",
+        FieldKind::Integer => "integer",
+        FieldKind::Decimal => "decimal",
+        FieldKind::Boolean => "boolean",
+        FieldKind::DateTime => "datetime",
+        FieldKind::Code(_) => "code",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldValue;
+    use css_types::Timestamp;
+
+    pub(crate) fn blood_test_schema() -> EventSchema {
+        EventSchema::new(EventTypeId::v1("blood-test"), "Blood Test", ActorId(1))
+            .field(FieldDef::required("PatientId", FieldKind::Integer))
+            .field(FieldDef::required("CollectedAt", FieldKind::DateTime))
+            .field(
+                FieldDef::required(
+                    "Result",
+                    FieldKind::Code(vec!["negative".into(), "positive".into()]),
+                )
+                .sensitive(),
+            )
+            .field(FieldDef::optional("Hemoglobin", FieldKind::Decimal).sensitive())
+            .field(FieldDef::optional("Notes", FieldKind::Text))
+    }
+
+    fn valid_details() -> EventDetails {
+        EventDetails::new(EventTypeId::v1("blood-test"))
+            .with("PatientId", FieldValue::Integer(42))
+            .with("CollectedAt", FieldValue::DateTime(Timestamp(1_000_000)))
+            .with("Result", FieldValue::Code("negative".into()))
+            .with("Hemoglobin", FieldValue::Decimal("13.5".parse().unwrap()))
+    }
+
+    #[test]
+    fn valid_instance_passes() {
+        blood_test_schema().validate(&valid_details()).unwrap();
+    }
+
+    #[test]
+    fn missing_required_field_rejected() {
+        let details = EventDetails::new(EventTypeId::v1("blood-test"))
+            .with("PatientId", FieldValue::Integer(42));
+        assert!(blood_test_schema().validate(&details).is_err());
+    }
+
+    #[test]
+    fn empty_required_field_rejected() {
+        let details = valid_details().with("Result", FieldValue::Empty);
+        assert!(blood_test_schema().validate(&details).is_err());
+    }
+
+    #[test]
+    fn undeclared_field_rejected() {
+        let details = valid_details().with("Smuggled", FieldValue::Text("x".into()));
+        assert!(blood_test_schema().validate(&details).is_err());
+    }
+
+    #[test]
+    fn ill_typed_field_rejected() {
+        let details = valid_details().with("Result", FieldValue::Code("inconclusive".into()));
+        assert!(blood_test_schema().validate(&details).is_err());
+    }
+
+    #[test]
+    fn wrong_type_id_rejected() {
+        let details = EventDetails::new(EventTypeId::v1("urine-test"));
+        assert!(blood_test_schema().validate(&details).is_err());
+    }
+
+    #[test]
+    fn optional_field_may_be_absent() {
+        let mut details = valid_details();
+        details.remove("Hemoglobin");
+        blood_test_schema().validate(&details).unwrap();
+    }
+
+    #[test]
+    fn root_element_is_camel_case() {
+        assert_eq!(blood_test_schema().root_element(), "BloodTest");
+        let s = EventSchema::new(EventTypeId::v1("home-care-service-event"), "x", ActorId(1));
+        assert_eq!(s.root_element(), "HomeCareServiceEvent");
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let schema = blood_test_schema();
+        let xml = schema.to_xml();
+        let text = css_xml::to_string_pretty(&xml);
+        let parsed = EventSchema::from_xml(&css_xml::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, schema);
+    }
+
+    #[test]
+    fn from_xml_rejects_duplicates_and_garbage() {
+        let dup = r#"<EventSchema id="x@v1" name="X" producer="act-00000001">
+            <Field name="a" kind="text" required="true" sensitive="false"/>
+            <Field name="a" kind="text" required="true" sensitive="false"/>
+        </EventSchema>"#;
+        assert!(EventSchema::from_xml(&css_xml::parse(dup).unwrap()).is_err());
+        let bad_kind = r#"<EventSchema id="x@v1" name="X" producer="act-00000001">
+            <Field name="a" kind="blob" required="true" sensitive="false"/>
+        </EventSchema>"#;
+        assert!(EventSchema::from_xml(&css_xml::parse(bad_kind).unwrap()).is_err());
+    }
+
+    #[test]
+    fn sensitive_fields_listed() {
+        let schema = blood_test_schema();
+        let s: Vec<&str> = schema.sensitive_fields().collect();
+        assert_eq!(s, vec!["Result", "Hemoglobin"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field")]
+    fn duplicate_field_panics_in_builder() {
+        let _ = EventSchema::new(EventTypeId::v1("x"), "X", ActorId(1))
+            .field(FieldDef::required("a", FieldKind::Text))
+            .field(FieldDef::required("a", FieldKind::Text));
+    }
+
+    #[test]
+    fn xml_schema_conversion_validates_instances() {
+        let schema = blood_test_schema();
+        let xml_schema = schema.to_xml_schema();
+        let doc = valid_details().to_xml(&schema, None);
+        assert!(xml_schema.validate(&doc).is_ok());
+    }
+}

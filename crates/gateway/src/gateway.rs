@@ -1,0 +1,334 @@
+//! The gateway proper: schema registry + detail store + Algorithm 2.
+
+use std::collections::{BTreeSet, HashMap};
+
+use css_event::{DetailMessage, EventDetails, EventSchema};
+use css_storage::LogBackend;
+use css_types::{ActorId, CssError, CssResult, EventTypeId, SourceEventId};
+
+use crate::store::DetailStore;
+
+/// The producer-side gateway.
+///
+/// Holds the producer's declared schemas, persists every detail message
+/// at notification time, and answers the data controller's
+/// `getResponse(src_eID, F)` calls with field-filtered details —
+/// independently of whether the source system behind it is reachable.
+pub struct LocalCooperationGateway<B: LogBackend> {
+    producer: ActorId,
+    schemas: HashMap<EventTypeId, EventSchema>,
+    store: DetailStore<B>,
+    /// Whether the legacy source system behind the gateway is reachable.
+    /// The gateway itself keeps answering when this is `false`; the flag
+    /// exists so simulations can show the contrast with direct queries.
+    source_online: bool,
+}
+
+impl<B: LogBackend> LocalCooperationGateway<B> {
+    /// Open a gateway for `producer` over a storage backend.
+    pub fn open(producer: ActorId, backend: B) -> CssResult<Self> {
+        Ok(LocalCooperationGateway {
+            producer,
+            schemas: HashMap::new(),
+            store: DetailStore::open(backend)?,
+            source_online: true,
+        })
+    }
+
+    /// The producer this gateway serves.
+    pub fn producer(&self) -> ActorId {
+        self.producer
+    }
+
+    /// Register (or replace) a schema the producer declared.
+    pub fn register_schema(&mut self, schema: EventSchema) -> CssResult<()> {
+        if schema.producer != self.producer {
+            return Err(CssError::Invalid(format!(
+                "schema {} belongs to {}, not to this gateway's producer {}",
+                schema.id, schema.producer, self.producer
+            )));
+        }
+        self.schemas.insert(schema.id.clone(), schema);
+        Ok(())
+    }
+
+    /// Schema for an event type, if registered.
+    pub fn schema(&self, ty: &EventTypeId) -> Option<&EventSchema> {
+        self.schemas.get(ty)
+    }
+
+    /// Persist a detail message at notification time. Validates the
+    /// payload against the registered schema first.
+    pub fn persist(&mut self, message: &DetailMessage) -> CssResult<()> {
+        if message.producer != self.producer {
+            return Err(CssError::Invalid(format!(
+                "detail message from {} routed to gateway of {}",
+                message.producer, self.producer
+            )));
+        }
+        let schema = self
+            .schemas
+            .get(&message.details.event_type)
+            .ok_or_else(|| {
+                CssError::NotFound(format!(
+                    "no schema registered for {}",
+                    message.details.event_type
+                ))
+            })?;
+        schema.validate(&message.details)?;
+        self.store.persist(schema, message)
+    }
+
+    /// Algorithm 2 — `getResponse(src_eID, F)`:
+    ///
+    /// 1. retrieve the Event Details from the internal events repository;
+    /// 2. parse them to filter out the values of the fields not allowed,
+    ///    producing the privacy-aware event to be sent back.
+    ///
+    /// The returned details are guaranteed privacy-safe for `F`
+    /// (Definition 4); this postcondition is asserted.
+    pub fn get_response(
+        &self,
+        src_event_id: SourceEventId,
+        allowed: &BTreeSet<String>,
+    ) -> CssResult<EventDetails> {
+        let ty_text = self
+            .store
+            .stored_type(src_event_id)?
+            .ok_or_else(|| CssError::NotFound(format!("no details for {src_event_id}")))?;
+        let ty: EventTypeId = ty_text
+            .parse()
+            .map_err(|e| CssError::Serialization(format!("stored type malformed: {e}")))?;
+        let schema = self
+            .schemas
+            .get(&ty)
+            .ok_or_else(|| CssError::NotFound(format!("no schema registered for {ty}")))?;
+        let message = self
+            .store
+            .load(schema, src_event_id)?
+            .ok_or_else(|| CssError::NotFound(format!("no details for {src_event_id}")))?;
+        let filtered = message.details.filtered_to(allowed);
+        assert!(
+            filtered.is_privacy_safe(allowed),
+            "gateway postcondition: response must be privacy safe"
+        );
+        Ok(filtered)
+    }
+
+    /// Simulate the legacy source system going offline. Gateway answers
+    /// are unaffected.
+    pub fn set_source_online(&mut self, online: bool) {
+        self.source_online = online;
+    }
+
+    /// A *direct* query to the legacy source system, bypassing the
+    /// gateway store — fails when the source is offline. Exists to
+    /// demonstrate (tests, experiment E12) why the gateway's local
+    /// persistence is necessary.
+    pub fn query_source_directly(&self, src_event_id: SourceEventId) -> CssResult<EventDetails> {
+        if !self.source_online {
+            return Err(CssError::Storage("source system unreachable".into()));
+        }
+        // When online, the source holds the same data the gateway does.
+        self.get_response(src_event_id, &self.all_fields_of(src_event_id)?)
+    }
+
+    fn all_fields_of(&self, src_event_id: SourceEventId) -> CssResult<BTreeSet<String>> {
+        let ty_text = self
+            .store
+            .stored_type(src_event_id)?
+            .ok_or_else(|| CssError::NotFound(format!("no details for {src_event_id}")))?;
+        let ty: EventTypeId = ty_text
+            .parse()
+            .map_err(|e| CssError::Serialization(format!("stored type malformed: {e}")))?;
+        let schema = self
+            .schemas
+            .get(&ty)
+            .ok_or_else(|| CssError::NotFound(format!("no schema registered for {ty}")))?;
+        Ok(schema.field_names().map(str::to_string).collect())
+    }
+
+    /// Number of persisted detail messages.
+    /// Highest source event id persisted, if any (restart support).
+    pub fn max_src_id(&self) -> Option<SourceEventId> {
+        self.store.max_src_id()
+    }
+
+    pub fn stored_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Bytes occupied by the detail store's log.
+    pub fn store_bytes(&self) -> u64 {
+        self.store.log_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use css_event::{FieldDef, FieldKind, FieldValue};
+    use css_storage::{FileBackend, MemBackend};
+
+    fn schema() -> EventSchema {
+        EventSchema::new(EventTypeId::v1("blood-test"), "Blood Test", ActorId(1))
+            .field(FieldDef::required("PatientId", FieldKind::Integer))
+            .field(FieldDef::required("Result", FieldKind::Text).sensitive())
+            .field(FieldDef::optional("Notes", FieldKind::Text).sensitive())
+    }
+
+    fn gateway() -> LocalCooperationGateway<MemBackend> {
+        let mut gw = LocalCooperationGateway::open(ActorId(1), MemBackend::new()).unwrap();
+        gw.register_schema(schema()).unwrap();
+        gw
+    }
+
+    fn message(src: u64) -> DetailMessage {
+        DetailMessage {
+            src_event_id: SourceEventId(src),
+            producer: ActorId(1),
+            details: css_event::EventDetails::new(EventTypeId::v1("blood-test"))
+                .with("PatientId", FieldValue::Integer(42))
+                .with("Result", FieldValue::Text("negative".into()))
+                .with("Notes", FieldValue::Text("fasting sample".into())),
+        }
+    }
+
+    fn allowed(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn persist_then_get_response_filters() {
+        let mut gw = gateway();
+        gw.persist(&message(1)).unwrap();
+        let resp = gw
+            .get_response(SourceEventId(1), &allowed(&["PatientId"]))
+            .unwrap();
+        assert_eq!(resp.get("PatientId").unwrap(), &FieldValue::Integer(42));
+        assert_eq!(resp.get("Result").unwrap(), &FieldValue::Empty);
+        assert_eq!(resp.get("Notes").unwrap(), &FieldValue::Empty);
+    }
+
+    #[test]
+    fn response_is_privacy_safe_even_with_foreign_allowed_names() {
+        let mut gw = gateway();
+        gw.persist(&message(1)).unwrap();
+        // Allowed set naming fields that don't exist: nothing leaks.
+        let resp = gw
+            .get_response(SourceEventId(1), &allowed(&["DoesNotExist"]))
+            .unwrap();
+        assert_eq!(resp.exposed_bytes(), 0);
+    }
+
+    #[test]
+    fn unknown_event_not_found() {
+        let gw = gateway();
+        assert!(matches!(
+            gw.get_response(SourceEventId(404), &allowed(&["PatientId"])),
+            Err(CssError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn persist_validates_schema() {
+        let mut gw = gateway();
+        let mut bad = message(1);
+        bad.details.remove("Result"); // required field missing
+        assert!(matches!(gw.persist(&bad), Err(CssError::Invalid(_))));
+    }
+
+    #[test]
+    fn persist_rejects_foreign_producer() {
+        let mut gw = gateway();
+        let mut foreign = message(1);
+        foreign.producer = ActorId(2);
+        assert!(gw.persist(&foreign).is_err());
+    }
+
+    #[test]
+    fn register_schema_rejects_foreign_producer() {
+        let mut gw = LocalCooperationGateway::open(ActorId(2), MemBackend::new()).unwrap();
+        assert!(gw.register_schema(schema()).is_err());
+    }
+
+    #[test]
+    fn persist_requires_registered_schema() {
+        let mut gw = LocalCooperationGateway::open(ActorId(1), MemBackend::new()).unwrap();
+        assert!(matches!(
+            gw.persist(&message(1)),
+            Err(CssError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn gateway_answers_while_source_offline() {
+        let mut gw = gateway();
+        gw.persist(&message(1)).unwrap();
+        gw.set_source_online(false);
+        // Direct source query fails...
+        assert!(gw.query_source_directly(SourceEventId(1)).is_err());
+        // ...but the gateway still serves the details.
+        let resp = gw
+            .get_response(SourceEventId(1), &allowed(&["PatientId", "Result"]))
+            .unwrap();
+        assert_eq!(
+            resp.get("Result").unwrap(),
+            &FieldValue::Text("negative".into())
+        );
+    }
+
+    #[test]
+    fn details_survive_gateway_restart() {
+        let dir = std::env::temp_dir().join(format!("css-gw-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("gw.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut gw =
+                LocalCooperationGateway::open(ActorId(1), FileBackend::open(&path).unwrap())
+                    .unwrap();
+            gw.register_schema(schema()).unwrap();
+            gw.persist(&message(7)).unwrap();
+        }
+        let mut gw =
+            LocalCooperationGateway::open(ActorId(1), FileBackend::open(&path).unwrap()).unwrap();
+        gw.register_schema(schema()).unwrap();
+        let resp = gw
+            .get_response(SourceEventId(7), &allowed(&["PatientId"]))
+            .unwrap();
+        assert_eq!(resp.get("PatientId").unwrap(), &FieldValue::Integer(42));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn multiple_event_types_coexist() {
+        let mut gw = gateway();
+        let discharge = EventSchema::new(
+            EventTypeId::v1("hospital-discharge"),
+            "Discharge",
+            ActorId(1),
+        )
+        .field(FieldDef::required("PatientId", FieldKind::Integer))
+        .field(FieldDef::optional("Ward", FieldKind::Text));
+        gw.register_schema(discharge).unwrap();
+        gw.persist(&message(1)).unwrap();
+        let d2 = DetailMessage {
+            src_event_id: SourceEventId(2),
+            producer: ActorId(1),
+            details: css_event::EventDetails::new(EventTypeId::v1("hospital-discharge"))
+                .with("PatientId", FieldValue::Integer(7))
+                .with("Ward", FieldValue::Text("geriatrics".into())),
+        };
+        gw.persist(&d2).unwrap();
+        assert_eq!(gw.stored_count(), 2);
+        let resp = gw
+            .get_response(SourceEventId(2), &allowed(&["Ward"]))
+            .unwrap();
+        assert_eq!(
+            resp.get("Ward").unwrap(),
+            &FieldValue::Text("geriatrics".into())
+        );
+        assert_eq!(resp.get("PatientId").unwrap(), &FieldValue::Empty);
+    }
+}

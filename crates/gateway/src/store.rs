@@ -1,0 +1,184 @@
+//! Durable storage of detail messages at the producer.
+
+use css_event::{DetailMessage, EventSchema};
+use css_storage::{KvStore, LogBackend};
+use css_types::{CssError, CssResult, SourceEventId};
+
+/// Keyed, durable store of detail messages (XML at rest), indexed by
+/// source event id.
+pub struct DetailStore<B: LogBackend> {
+    store: KvStore<B>,
+}
+
+impl<B: LogBackend> DetailStore<B> {
+    /// Open the store over a backend, replaying existing messages.
+    pub fn open(backend: B) -> CssResult<Self> {
+        let (store, _torn) = KvStore::open(backend)?;
+        Ok(DetailStore { store })
+    }
+
+    /// Persist a detail message. Fails on duplicate source event ids —
+    /// details are immutable once notified.
+    pub fn persist(&mut self, schema: &EventSchema, message: &DetailMessage) -> CssResult<()> {
+        let k = key(message.src_event_id);
+        if self.store.contains(&k) {
+            return Err(CssError::AlreadyExists(format!(
+                "detail message {} already persisted",
+                message.src_event_id
+            )));
+        }
+        let xml = css_xml::to_string(&message.to_xml(schema));
+        self.store.put(&k, xml.as_bytes())?;
+        self.store.sync()
+    }
+
+    /// Retrieve a detail message, parsing it with the given schema.
+    pub fn load(
+        &self,
+        schema: &EventSchema,
+        id: SourceEventId,
+    ) -> CssResult<Option<DetailMessage>> {
+        match self.store.get(&key(id))? {
+            None => Ok(None),
+            Some(bytes) => {
+                let text = String::from_utf8(bytes).map_err(|e| {
+                    CssError::Serialization(format!("detail message not UTF-8: {e}"))
+                })?;
+                let doc =
+                    css_xml::parse(&text).map_err(|e| CssError::Serialization(e.to_string()))?;
+                Ok(Some(DetailMessage::from_xml(schema, &doc)?))
+            }
+        }
+    }
+
+    /// The raw event-type string stored for an id, read without a schema
+    /// (used to select the right schema before a full parse).
+    pub fn stored_type(&self, id: SourceEventId) -> CssResult<Option<String>> {
+        match self.store.get(&key(id))? {
+            None => Ok(None),
+            Some(bytes) => {
+                let text = String::from_utf8(bytes).map_err(|e| {
+                    CssError::Serialization(format!("detail message not UTF-8: {e}"))
+                })?;
+                let doc =
+                    css_xml::parse(&text).map_err(|e| CssError::Serialization(e.to_string()))?;
+                let ty = doc
+                    .elements()
+                    .next()
+                    .and_then(|inner| inner.attribute("type"))
+                    .map(str::to_string);
+                Ok(ty)
+            }
+        }
+    }
+
+    /// Number of persisted messages.
+    /// Highest source event id persisted, if any. Used after a restart
+    /// to resume id generation past the recovered records.
+    pub fn max_src_id(&self) -> Option<SourceEventId> {
+        self.store
+            .keys()
+            .filter_map(|k| {
+                std::str::from_utf8(k)
+                    .ok()?
+                    .strip_prefix("detail:")?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .max()
+            .map(SourceEventId)
+    }
+
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Bytes occupied on the backing log.
+    pub fn log_bytes(&self) -> u64 {
+        self.store.log_bytes()
+    }
+}
+
+fn key(id: SourceEventId) -> Vec<u8> {
+    format!("detail:{}", id.value()).into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use css_event::{EventDetails, FieldDef, FieldKind, FieldValue};
+    use css_storage::{FileBackend, MemBackend};
+    use css_types::{ActorId, EventTypeId};
+
+    fn schema() -> EventSchema {
+        EventSchema::new(EventTypeId::v1("blood-test"), "Blood Test", ActorId(1))
+            .field(FieldDef::required("PatientId", FieldKind::Integer))
+            .field(FieldDef::optional("Result", FieldKind::Text).sensitive())
+    }
+
+    fn message(src: u64) -> DetailMessage {
+        DetailMessage {
+            src_event_id: SourceEventId(src),
+            producer: ActorId(1),
+            details: EventDetails::new(EventTypeId::v1("blood-test"))
+                .with("PatientId", FieldValue::Integer(42))
+                .with("Result", FieldValue::Text("negative".into())),
+        }
+    }
+
+    #[test]
+    fn persist_load_roundtrip() {
+        let mut store = DetailStore::open(MemBackend::new()).unwrap();
+        store.persist(&schema(), &message(1)).unwrap();
+        let loaded = store.load(&schema(), SourceEventId(1)).unwrap().unwrap();
+        assert_eq!(loaded, message(1));
+        assert!(store.load(&schema(), SourceEventId(2)).unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_persist_rejected() {
+        let mut store = DetailStore::open(MemBackend::new()).unwrap();
+        store.persist(&schema(), &message(1)).unwrap();
+        assert!(matches!(
+            store.persist(&schema(), &message(1)),
+            Err(CssError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn stored_type_readable_without_schema() {
+        let mut store = DetailStore::open(MemBackend::new()).unwrap();
+        store.persist(&schema(), &message(1)).unwrap();
+        assert_eq!(
+            store.stored_type(SourceEventId(1)).unwrap().unwrap(),
+            "blood-test@v1"
+        );
+        assert!(store.stored_type(SourceEventId(9)).unwrap().is_none());
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("css-gw-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("details.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = DetailStore::open(FileBackend::open(&path).unwrap()).unwrap();
+            for i in 0..20 {
+                store.persist(&schema(), &message(i)).unwrap();
+            }
+        }
+        let store = DetailStore::open(FileBackend::open(&path).unwrap()).unwrap();
+        assert_eq!(store.len(), 20);
+        assert_eq!(
+            store.load(&schema(), SourceEventId(13)).unwrap().unwrap(),
+            message(13)
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

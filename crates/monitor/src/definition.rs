@@ -1,0 +1,159 @@
+//! Process definitions: the expected shape of a care pathway.
+
+use css_types::{Duration, EventTypeId};
+
+/// One step of a process: an event class that should occur, optionally
+/// within a deadline measured from the completion of the previous
+/// mandatory step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Human-readable step name (e.g. `"autonomy assessment"`).
+    pub name: String,
+    /// The event class that signals this step happened.
+    pub event_type: EventTypeId,
+    /// Deadline from the previous step's event. `None` = no deadline.
+    pub within: Option<Duration>,
+    /// Optional steps may be skipped without violating the process.
+    pub required: bool,
+    /// Repeatable steps may occur multiple times before the next step
+    /// (e.g. weekly home-care visits).
+    pub repeatable: bool,
+}
+
+impl Step {
+    /// A required, non-repeatable step.
+    pub fn required(name: impl Into<String>, event_type: EventTypeId) -> Self {
+        Step {
+            name: name.into(),
+            event_type,
+            within: None,
+            required: true,
+            repeatable: false,
+        }
+    }
+
+    /// An optional step.
+    pub fn optional(name: impl Into<String>, event_type: EventTypeId) -> Self {
+        Step {
+            required: false,
+            ..Step::required(name, event_type)
+        }
+    }
+
+    /// Builder: add a deadline from the previous step.
+    pub fn within(mut self, d: Duration) -> Self {
+        self.within = Some(d);
+        self
+    }
+
+    /// Builder: mark the step repeatable.
+    pub fn repeatable(mut self) -> Self {
+        self.repeatable = true;
+        self
+    }
+}
+
+/// A named sequence of steps describing a multi-institution care
+/// process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessDefinition {
+    /// Definition identifier.
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Ordered steps. The first step's event class starts an instance.
+    pub steps: Vec<Step>,
+}
+
+impl ProcessDefinition {
+    /// A definition with no steps yet.
+    pub fn new(id: impl Into<String>, name: impl Into<String>) -> Self {
+        ProcessDefinition {
+            id: id.into(),
+            name: name.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Builder: append a step.
+    ///
+    /// # Panics
+    /// Panics if the step's event class already appears — the monitor
+    /// maps incoming events to steps by class, so classes must be
+    /// unambiguous within one definition.
+    pub fn step(mut self, step: Step) -> Self {
+        assert!(
+            !self.steps.iter().any(|s| s.event_type == step.event_type),
+            "event class {} appears twice in process {}",
+            step.event_type,
+            self.id
+        );
+        self.steps.push(step);
+        self
+    }
+
+    /// The step index whose event class is `ty`, if any.
+    pub fn step_for(&self, ty: &EventTypeId) -> Option<usize> {
+        self.steps.iter().position(|s| &s.event_type == ty)
+    }
+
+    /// Index of the last required step (completion marker).
+    pub fn last_required_step(&self) -> Option<usize> {
+        self.steps.iter().rposition(|s| s.required)
+    }
+
+    /// The paper's elderly-care pathway as a ready-made definition:
+    /// discharge → autonomy assessment (within 7 days) → home care
+    /// (repeatable) and meals (repeatable, optional) with telecare
+    /// alarms tolerated at any point.
+    pub fn elderly_care() -> Self {
+        ProcessDefinition::new("elderly-care", "Elderly care pathway")
+            .step(Step::required(
+                "hospital discharge",
+                EventTypeId::v1("hospital-discharge"),
+            ))
+            .step(
+                Step::required(
+                    "autonomy assessment",
+                    EventTypeId::v1("autonomy-assessment"),
+                )
+                .within(Duration::days(7)),
+            )
+            .step(
+                Step::required(
+                    "home care start",
+                    EventTypeId::v1("home-care-service-event"),
+                )
+                .within(Duration::days(14))
+                .repeatable(),
+            )
+            .step(Step::optional("meal service", EventTypeId::v1("meal-delivery")).repeatable())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let def = ProcessDefinition::elderly_care();
+        assert_eq!(def.steps.len(), 4);
+        assert_eq!(
+            def.step_for(&EventTypeId::v1("autonomy-assessment")),
+            Some(1)
+        );
+        assert_eq!(def.step_for(&EventTypeId::v1("blood-test")), None);
+        assert_eq!(def.last_required_step(), Some(2));
+        assert!(def.steps[2].repeatable);
+        assert!(!def.steps[3].required);
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_event_class_rejected() {
+        let _ = ProcessDefinition::new("x", "X")
+            .step(Step::required("a", EventTypeId::v1("e")))
+            .step(Step::required("b", EventTypeId::v1("e")));
+    }
+}

@@ -1,0 +1,113 @@
+//! Process instances: one tracked execution per (definition, person).
+
+use css_types::{GlobalEventId, PersonId, Timestamp};
+
+/// Why an instance was flagged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// A step's deadline elapsed before its event arrived.
+    DeadlineExceeded {
+        /// Name of the late step.
+        step: String,
+        /// When the deadline expired.
+        due_at: Timestamp,
+    },
+    /// An event for an earlier, already-completed, non-repeatable step
+    /// arrived again (process regression).
+    UnexpectedRegression {
+        /// Name of the repeated step.
+        step: String,
+        /// The offending event.
+        event: GlobalEventId,
+    },
+}
+
+/// Lifecycle of an instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstanceStatus {
+    /// Steps still outstanding.
+    Running,
+    /// Every required step occurred.
+    Completed,
+    /// A violation was detected (kept for inspection).
+    Violated(Violation),
+}
+
+/// One observed step occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepRecord {
+    /// Index into the definition's steps.
+    pub step: usize,
+    /// Event that satisfied the step.
+    pub event: GlobalEventId,
+    /// When it occurred.
+    pub at: Timestamp,
+}
+
+/// A tracked execution of a process for one person.
+#[derive(Debug, Clone)]
+pub struct ProcessInstance {
+    /// Definition id this instance follows.
+    pub definition: String,
+    /// The data subject the process is about.
+    pub person: PersonId,
+    /// When the first step occurred.
+    pub started_at: Timestamp,
+    /// Steps observed so far, in arrival order.
+    pub history: Vec<StepRecord>,
+    /// Highest step index completed so far.
+    pub furthest_step: usize,
+    /// Current status.
+    pub status: InstanceStatus,
+}
+
+impl ProcessInstance {
+    /// Start an instance at its first observed step.
+    pub fn start(definition: impl Into<String>, person: PersonId, first: StepRecord) -> Self {
+        ProcessInstance {
+            definition: definition.into(),
+            person,
+            started_at: first.at,
+            furthest_step: first.step,
+            history: vec![first],
+            status: InstanceStatus::Running,
+        }
+    }
+
+    /// Whether the instance is still running.
+    pub fn is_running(&self) -> bool {
+        self.status == InstanceStatus::Running
+    }
+
+    /// Instant of the most recent observed step.
+    pub fn last_progress_at(&self) -> Timestamp {
+        self.history.last().map(|r| r.at).unwrap_or(self.started_at)
+    }
+
+    /// Elapsed time from start to the latest step.
+    pub fn span(&self) -> css_types::Duration {
+        self.last_progress_at().since(self.started_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_accessors() {
+        let inst = ProcessInstance::start(
+            "elderly-care",
+            PersonId(1),
+            StepRecord {
+                step: 0,
+                event: GlobalEventId(1),
+                at: Timestamp(100),
+            },
+        );
+        assert!(inst.is_running());
+        assert_eq!(inst.started_at, Timestamp(100));
+        assert_eq!(inst.last_progress_at(), Timestamp(100));
+        assert_eq!(inst.span().as_millis(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Aggregate process KPIs — the governing body's efficiency view.
+
+use css_types::Duration;
+
+use crate::instance::{InstanceStatus, ProcessInstance, Violation};
+
+/// Aggregated indicators over a set of instances.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Kpis {
+    /// Instances observed.
+    pub total: usize,
+    /// Instances still running.
+    pub running: usize,
+    /// Instances that completed every required step.
+    pub completed: usize,
+    /// Instances flagged with a deadline violation.
+    pub deadline_violations: usize,
+    /// Instances flagged with a regression.
+    pub regressions: usize,
+    /// Mean start-to-last-progress span of completed instances.
+    pub mean_completion: Duration,
+    /// Notifications that matched no registered process.
+    pub unmatched_events: u64,
+}
+
+impl Kpis {
+    /// Compute KPIs from an instance iterator.
+    pub fn compute<'a>(
+        instances: impl Iterator<Item = &'a ProcessInstance>,
+        unmatched_events: u64,
+    ) -> Self {
+        let mut kpis = Kpis {
+            unmatched_events,
+            ..Default::default()
+        };
+        let mut completion_total = 0u64;
+        for inst in instances {
+            kpis.total += 1;
+            match &inst.status {
+                InstanceStatus::Running => kpis.running += 1,
+                InstanceStatus::Completed => {
+                    kpis.completed += 1;
+                    completion_total += inst.span().as_millis();
+                }
+                InstanceStatus::Violated(Violation::DeadlineExceeded { .. }) => {
+                    kpis.deadline_violations += 1;
+                }
+                InstanceStatus::Violated(Violation::UnexpectedRegression { .. }) => {
+                    kpis.regressions += 1;
+                }
+            }
+        }
+        if kpis.completed > 0 {
+            kpis.mean_completion = Duration::millis(completion_total / kpis.completed as u64);
+        }
+        kpis
+    }
+
+    /// Fraction of non-running instances that completed.
+    pub fn completion_rate(&self) -> f64 {
+        let finished = self.completed + self.deadline_violations + self.regressions;
+        if finished == 0 {
+            0.0
+        } else {
+            self.completed as f64 / finished as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{ProcessInstance, StepRecord};
+    use css_types::{GlobalEventId, PersonId, Timestamp};
+
+    fn instance(status: InstanceStatus, span_ms: u64) -> ProcessInstance {
+        let mut inst = ProcessInstance::start(
+            "p",
+            PersonId(1),
+            StepRecord {
+                step: 0,
+                event: GlobalEventId(1),
+                at: Timestamp(0),
+            },
+        );
+        inst.history.push(StepRecord {
+            step: 1,
+            event: GlobalEventId(2),
+            at: Timestamp(span_ms),
+        });
+        inst.status = status;
+        inst
+    }
+
+    #[test]
+    fn aggregation() {
+        let instances = [
+            instance(InstanceStatus::Completed, 1_000),
+            instance(InstanceStatus::Completed, 3_000),
+            instance(InstanceStatus::Running, 500),
+            instance(
+                InstanceStatus::Violated(Violation::DeadlineExceeded {
+                    step: "x".into(),
+                    due_at: Timestamp(1),
+                }),
+                9_000,
+            ),
+        ];
+        let kpis = Kpis::compute(instances.iter(), 7);
+        assert_eq!(kpis.total, 4);
+        assert_eq!(kpis.completed, 2);
+        assert_eq!(kpis.running, 1);
+        assert_eq!(kpis.deadline_violations, 1);
+        assert_eq!(kpis.mean_completion, Duration::millis(2_000));
+        assert_eq!(kpis.unmatched_events, 7);
+        assert!((kpis.completion_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_kpis() {
+        let kpis = Kpis::compute(std::iter::empty(), 0);
+        assert_eq!(kpis.total, 0);
+        assert_eq!(kpis.completion_rate(), 0.0);
+        assert_eq!(kpis.mean_completion, Duration::millis(0));
+    }
+}

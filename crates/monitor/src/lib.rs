@@ -1,0 +1,29 @@
+//! Care-process monitoring over notification streams.
+//!
+//! The CSS project exists "to monitor, control and trace the clinical
+//! and assistive processes" that span multiple institutions (Section 1).
+//! This crate is that monitoring layer. Its defining property — and the
+//! point the paper's privacy design makes possible — is that it operates
+//! **exclusively on notification messages**: the *who / what / when /
+//! where* summaries that carry no sensitive payload. A process monitor
+//! therefore needs no privacy policy grants beyond notification
+//! visibility.
+//!
+//! - [`ProcessDefinition`]: the expected step sequence of a care
+//!   pathway (event class per step, optional deadline from the previous
+//!   step, optional steps);
+//! - [`ProcessMonitor`]: consumes notifications, tracks one
+//!   [`ProcessInstance`] per (definition, person), advances steps,
+//!   flags deadline violations and unexpected regressions;
+//! - [`Kpis`]: the aggregate view the governing body wants — completion
+//!   rates, step latencies, violations by kind.
+
+pub mod definition;
+pub mod instance;
+pub mod kpi;
+pub mod monitor;
+
+pub use definition::{ProcessDefinition, Step};
+pub use instance::{InstanceStatus, ProcessInstance, Violation};
+pub use kpi::Kpis;
+pub use monitor::ProcessMonitor;

@@ -1,0 +1,173 @@
+//! The privacy policy model (Definition 2).
+
+use std::collections::BTreeSet;
+
+use css_types::{ActorId, EventTypeId, PolicyId, Purpose, Timestamp};
+
+/// The time window a policy is applicable in.
+///
+/// The elicitation tool lets data owners bound a rule in time — "this
+/// option is particularly useful when private companies are involved in
+/// the care process and should access the events of their customers
+/// only for the duration of their contract" (Section 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidityWindow {
+    /// First instant the policy applies (inclusive). `None` = unbounded.
+    pub not_before: Option<Timestamp>,
+    /// Last instant the policy applies (inclusive). `None` = unbounded.
+    pub not_after: Option<Timestamp>,
+}
+
+impl ValidityWindow {
+    /// A window with no bounds (always valid).
+    pub const ALWAYS: ValidityWindow = ValidityWindow {
+        not_before: None,
+        not_after: None,
+    };
+
+    /// A window valid until (and including) `t`.
+    pub fn until(t: Timestamp) -> Self {
+        ValidityWindow {
+            not_before: None,
+            not_after: Some(t),
+        }
+    }
+
+    /// A window valid from `from` to `to`, inclusive.
+    pub fn between(from: Timestamp, to: Timestamp) -> Self {
+        ValidityWindow {
+            not_before: Some(from),
+            not_after: Some(to),
+        }
+    }
+
+    /// Whether `now` falls inside the window.
+    pub fn contains(&self, now: Timestamp) -> bool {
+        self.not_before.is_none_or(|t| now >= t) && self.not_after.is_none_or(|t| now <= t)
+    }
+}
+
+/// A privacy policy (Definition 2): actor `A` may read fields `F` of
+/// events of type `e_j` for any purpose in `S`.
+///
+/// Policies are authored by the data *producer* (owner of the data) and
+/// stored centrally at the data controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrivacyPolicy {
+    /// Repository identifier.
+    pub id: PolicyId,
+    /// The producer (data owner) that authored the policy.
+    pub producer: ActorId,
+    /// `A`: the consumer actor granted access. Per Section 5.1 this may
+    /// be a top-level organization or a unit/role inside one; the grant
+    /// covers the actor and everything below it.
+    pub actor: ActorId,
+    /// `e_j`: the event-details type the policy protects.
+    pub event_type: EventTypeId,
+    /// `S`: allowed purposes of use.
+    pub purposes: BTreeSet<Purpose>,
+    /// `F ⊆ e_j`: field names that may be released.
+    pub fields: BTreeSet<String>,
+    /// Applicability window.
+    pub validity: ValidityWindow,
+    /// Short label shown in the Privacy Rules Manager dashboard.
+    pub label: String,
+    /// Free-form description.
+    pub description: String,
+    /// Whether the producer has revoked the policy. Revoked policies are
+    /// kept (for audit) but never match.
+    pub revoked: bool,
+}
+
+impl PrivacyPolicy {
+    /// Construct a policy with the mandatory parts of Definition 2.
+    pub fn new(
+        id: PolicyId,
+        producer: ActorId,
+        actor: ActorId,
+        event_type: EventTypeId,
+        purposes: impl IntoIterator<Item = Purpose>,
+        fields: impl IntoIterator<Item = String>,
+    ) -> Self {
+        PrivacyPolicy {
+            id,
+            producer,
+            actor,
+            event_type,
+            purposes: purposes.into_iter().collect(),
+            fields: fields.into_iter().collect(),
+            validity: ValidityWindow::ALWAYS,
+            label: String::new(),
+            description: String::new(),
+            revoked: false,
+        }
+    }
+
+    /// Builder: set the validity window.
+    pub fn valid(mut self, window: ValidityWindow) -> Self {
+        self.validity = window;
+        self
+    }
+
+    /// Builder: set label and description.
+    pub fn labeled(mut self, label: impl Into<String>, description: impl Into<String>) -> Self {
+        self.label = label.into();
+        self.description = description.into();
+        self
+    }
+
+    /// Mark the policy revoked.
+    pub fn revoke(&mut self) {
+        self.revoked = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_window_contains() {
+        let w = ValidityWindow::between(Timestamp(100), Timestamp(200));
+        assert!(!w.contains(Timestamp(99)));
+        assert!(w.contains(Timestamp(100)));
+        assert!(w.contains(Timestamp(200)));
+        assert!(!w.contains(Timestamp(201)));
+        assert!(ValidityWindow::ALWAYS.contains(Timestamp(0)));
+        assert!(ValidityWindow::until(Timestamp(50)).contains(Timestamp(50)));
+        assert!(!ValidityWindow::until(Timestamp(50)).contains(Timestamp(51)));
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let p = PrivacyPolicy::new(
+            PolicyId(1),
+            ActorId(1),
+            ActorId(2),
+            EventTypeId::v1("autonomy-test"),
+            [Purpose::StatisticalAnalysis],
+            ["age".to_string(), "sex".to_string()],
+        );
+        assert!(!p.revoked);
+        assert_eq!(p.validity, ValidityWindow::ALWAYS);
+        assert_eq!(p.fields.len(), 2);
+    }
+
+    #[test]
+    fn paper_example_policy() {
+        // p = {National Governance, autonomy test, statistical analysis,
+        //      <age, sex, autonomy_score>}
+        let p = PrivacyPolicy::new(
+            PolicyId(1),
+            ActorId(10),
+            ActorId(99), // National Governance
+            EventTypeId::v1("autonomy-test"),
+            [Purpose::StatisticalAnalysis],
+            ["age", "sex", "autonomy_score"].map(String::from),
+        )
+        .labeled("stats", "elderly needs analysis");
+        assert!(p.purposes.contains(&Purpose::StatisticalAnalysis));
+        assert!(p.fields.contains("autonomy_score"));
+        assert_eq!(p.label, "stats");
+    }
+}

@@ -1,0 +1,418 @@
+//! The Policy Decision Point.
+//!
+//! The PDP holds the policies a producer has defined and evaluates
+//! requests with **deny-by-default** semantics: "unless permitted by
+//! some privacy policy an Event Details cannot be accessed by any
+//! subject" (Section 5.1).
+//!
+//! When several policies match (e.g. one granted to the organization and
+//! one to the department), the permit carries the **union** of their
+//! field sets — each matching policy independently authorizes its own
+//! fields, so the combined obligation is their union. This is XACML's
+//! permit-overrides combining algorithm restricted to the paper's
+//! read-only rules.
+
+use std::collections::HashMap;
+
+use css_types::{ActorRegistry, DenyReason, EventTypeId, PolicyId, Timestamp};
+
+use crate::decision::Decision;
+use crate::matching::{matches, MatchOutcome};
+use crate::model::PrivacyPolicy;
+use crate::request::DetailRequest;
+
+/// In-memory decision point over an indexed policy set.
+#[derive(Debug, Default)]
+pub struct PolicyDecisionPoint {
+    by_type: HashMap<EventTypeId, Vec<PrivacyPolicy>>,
+    count: usize,
+}
+
+impl PolicyDecisionPoint {
+    /// An empty PDP (every request denies).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Load a policy. Replaces any existing policy with the same id.
+    pub fn install(&mut self, policy: PrivacyPolicy) {
+        self.remove(policy.id);
+        self.by_type
+            .entry(policy.event_type.clone())
+            .or_default()
+            .push(policy);
+        self.count += 1;
+    }
+
+    /// Remove a policy by id. Returns whether it was present.
+    pub fn remove(&mut self, id: PolicyId) -> bool {
+        for policies in self.by_type.values_mut() {
+            if let Some(pos) = policies.iter().position(|p| p.id == id) {
+                policies.remove(pos);
+                self.count -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Mark a policy revoked (kept for audit, never matches again).
+    pub fn revoke(&mut self, id: PolicyId) -> bool {
+        for policies in self.by_type.values_mut() {
+            if let Some(p) = policies.iter_mut().find(|p| p.id == id) {
+                p.revoke();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of installed policies (including revoked ones).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no policies are installed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// All policies for an event type.
+    pub fn policies_for(&self, event_type: &EventTypeId) -> &[PrivacyPolicy] {
+        self.by_type
+            .get(event_type)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Iterate over every installed policy.
+    pub fn iter(&self) -> impl Iterator<Item = &PrivacyPolicy> {
+        self.by_type.values().flatten()
+    }
+
+    /// Evaluate a request (Algorithm 1, steps 2–3).
+    ///
+    /// Returns `Permit` with the union of allowed fields over all
+    /// matching policies, or the most precise deny reason observed.
+    pub fn evaluate(
+        &self,
+        request: &DetailRequest,
+        actors: &ActorRegistry,
+        now: Timestamp,
+    ) -> Decision {
+        let candidates = self.policies_for(&request.event_type);
+        let mut allowed = std::collections::BTreeSet::new();
+        let mut matched = Vec::new();
+        // Track the "closest" failure for a precise deny reason:
+        // later outcomes in this ordering indicate the request got
+        // further through the checks.
+        let mut best_failure = DenyReason::NoMatchingPolicy;
+        let mut best_rank = 0u8;
+        for policy in candidates {
+            match matches(policy, request, actors, now) {
+                MatchOutcome::Match => {
+                    allowed.extend(policy.fields.iter().cloned());
+                    matched.push(policy.id);
+                }
+                failure => {
+                    let (rank, reason) = match failure {
+                        MatchOutcome::WrongEventType | MatchOutcome::Revoked => {
+                            (1, DenyReason::NoMatchingPolicy)
+                        }
+                        MatchOutcome::WrongActor => (2, DenyReason::NoMatchingPolicy),
+                        MatchOutcome::PurposeNotAllowed => (3, DenyReason::PurposeNotAllowed),
+                        MatchOutcome::OutsideValidity => (4, DenyReason::PolicyExpired),
+                        MatchOutcome::Match => unreachable!(),
+                    };
+                    if rank > best_rank {
+                        best_rank = rank;
+                        best_failure = reason;
+                    }
+                }
+            }
+        }
+        if matched.is_empty() {
+            Decision::Deny(best_failure)
+        } else {
+            Decision::Permit {
+                allowed_fields: allowed,
+                matched_policies: matched,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ValidityWindow;
+    use css_types::{Actor, ActorId, GlobalEventId, Purpose, RequestId};
+
+    fn registry() -> ActorRegistry {
+        let mut reg = ActorRegistry::new();
+        reg.register(Actor::organization(ActorId(1), "Hospital"))
+            .unwrap();
+        reg.register(Actor::unit(ActorId(2), "Laboratory", ActorId(1)))
+            .unwrap();
+        reg.register(Actor::organization(ActorId(3), "SocialWelfare"))
+            .unwrap();
+        reg
+    }
+
+    fn policy(
+        id: u64,
+        actor: ActorId,
+        ty: &str,
+        purpose: Purpose,
+        fields: &[&str],
+    ) -> PrivacyPolicy {
+        PrivacyPolicy::new(
+            PolicyId(id),
+            ActorId(9),
+            actor,
+            EventTypeId::v1(ty),
+            [purpose],
+            fields.iter().map(|s| s.to_string()),
+        )
+    }
+
+    fn request(actor: ActorId, ty: &str, purpose: Purpose) -> DetailRequest {
+        DetailRequest::new(
+            RequestId(1),
+            actor,
+            EventTypeId::v1(ty),
+            GlobalEventId(1),
+            purpose,
+        )
+    }
+
+    #[test]
+    fn deny_by_default_on_empty_pdp() {
+        let pdp = PolicyDecisionPoint::new();
+        let d = pdp.evaluate(
+            &request(ActorId(1), "blood-test", Purpose::HealthcareTreatment),
+            &registry(),
+            Timestamp(0),
+        );
+        assert_eq!(d, Decision::Deny(DenyReason::NoMatchingPolicy));
+    }
+
+    #[test]
+    fn single_match_permits_with_its_fields() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(policy(
+            1,
+            ActorId(1),
+            "blood-test",
+            Purpose::HealthcareTreatment,
+            &["a", "b"],
+        ));
+        let d = pdp.evaluate(
+            &request(ActorId(1), "blood-test", Purpose::HealthcareTreatment),
+            &registry(),
+            Timestamp(0),
+        );
+        match d {
+            Decision::Permit {
+                allowed_fields,
+                matched_policies,
+            } => {
+                assert_eq!(allowed_fields.len(), 2);
+                assert_eq!(matched_policies, vec![PolicyId(1)]);
+            }
+            other => panic!("expected permit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_matches_union_fields() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(policy(
+            1,
+            ActorId(1),
+            "blood-test",
+            Purpose::HealthcareTreatment,
+            &["a"],
+        ));
+        pdp.install(policy(
+            2,
+            ActorId(2),
+            "blood-test",
+            Purpose::HealthcareTreatment,
+            &["b"],
+        ));
+        // Request from the Laboratory: both the hospital-level and the
+        // lab-level grant apply.
+        let d = pdp.evaluate(
+            &request(ActorId(2), "blood-test", Purpose::HealthcareTreatment),
+            &registry(),
+            Timestamp(0),
+        );
+        let fields = d.allowed_fields().unwrap();
+        assert!(fields.contains("a") && fields.contains("b"));
+    }
+
+    #[test]
+    fn deny_reason_prefers_purpose_over_no_match() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(policy(
+            1,
+            ActorId(1),
+            "blood-test",
+            Purpose::Administration,
+            &["a"],
+        ));
+        let d = pdp.evaluate(
+            &request(ActorId(1), "blood-test", Purpose::StatisticalAnalysis),
+            &registry(),
+            Timestamp(0),
+        );
+        assert_eq!(d, Decision::Deny(DenyReason::PurposeNotAllowed));
+    }
+
+    #[test]
+    fn deny_reason_expired() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(
+            policy(
+                1,
+                ActorId(1),
+                "blood-test",
+                Purpose::HealthcareTreatment,
+                &["a"],
+            )
+            .valid(ValidityWindow::until(Timestamp(10))),
+        );
+        let d = pdp.evaluate(
+            &request(ActorId(1), "blood-test", Purpose::HealthcareTreatment),
+            &registry(),
+            Timestamp(11),
+        );
+        assert_eq!(d, Decision::Deny(DenyReason::PolicyExpired));
+    }
+
+    #[test]
+    fn revoke_turns_permit_into_deny() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(policy(
+            1,
+            ActorId(1),
+            "blood-test",
+            Purpose::HealthcareTreatment,
+            &["a"],
+        ));
+        let r = request(ActorId(1), "blood-test", Purpose::HealthcareTreatment);
+        assert!(pdp.evaluate(&r, &registry(), Timestamp(0)).is_permit());
+        assert!(pdp.revoke(PolicyId(1)));
+        assert!(!pdp.evaluate(&r, &registry(), Timestamp(0)).is_permit());
+        // Still installed (audit), just inert.
+        assert_eq!(pdp.len(), 1);
+    }
+
+    #[test]
+    fn install_replaces_same_id() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(policy(
+            1,
+            ActorId(1),
+            "blood-test",
+            Purpose::HealthcareTreatment,
+            &["a"],
+        ));
+        pdp.install(policy(
+            1,
+            ActorId(1),
+            "blood-test",
+            Purpose::HealthcareTreatment,
+            &["b"],
+        ));
+        assert_eq!(pdp.len(), 1);
+        let d = pdp.evaluate(
+            &request(ActorId(1), "blood-test", Purpose::HealthcareTreatment),
+            &registry(),
+            Timestamp(0),
+        );
+        let fields = d.allowed_fields().unwrap();
+        assert!(fields.contains("b") && !fields.contains("a"));
+    }
+
+    #[test]
+    fn remove_policy() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(policy(
+            1,
+            ActorId(1),
+            "blood-test",
+            Purpose::HealthcareTreatment,
+            &["a"],
+        ));
+        assert!(pdp.remove(PolicyId(1)));
+        assert!(!pdp.remove(PolicyId(1)));
+        assert!(pdp.is_empty());
+    }
+
+    #[test]
+    fn unrelated_consumer_denied_even_with_policies_present() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(policy(
+            1,
+            ActorId(1),
+            "blood-test",
+            Purpose::HealthcareTreatment,
+            &["a"],
+        ));
+        let d = pdp.evaluate(
+            &request(ActorId(3), "blood-test", Purpose::HealthcareTreatment),
+            &registry(),
+            Timestamp(0),
+        );
+        assert_eq!(d, Decision::Deny(DenyReason::NoMatchingPolicy));
+    }
+}
+
+#[cfg(test)]
+mod validity_tests {
+    use super::*;
+    use crate::model::{PrivacyPolicy, ValidityWindow};
+    use css_types::{Actor, ActorId, EventTypeId, GlobalEventId, Purpose, RequestId};
+
+    #[test]
+    fn valid_policy_wins_even_when_siblings_expired() {
+        let mut actors = ActorRegistry::new();
+        actors
+            .register(Actor::organization(ActorId(1), "C"))
+            .unwrap();
+        let mut pdp = PolicyDecisionPoint::new();
+        let base = |id: u64, fields: &[&str]| {
+            PrivacyPolicy::new(
+                PolicyId(id),
+                ActorId(9),
+                ActorId(1),
+                EventTypeId::v1("e"),
+                [Purpose::Audit],
+                fields.iter().map(|s| s.to_string()),
+            )
+        };
+        pdp.install(base(1, &["old"]).valid(ValidityWindow::until(Timestamp(10))));
+        pdp.install(base(2, &["current"]));
+        let request = DetailRequest::new(
+            RequestId(1),
+            ActorId(1),
+            EventTypeId::v1("e"),
+            GlobalEventId(1),
+            Purpose::Audit,
+        );
+        match pdp.evaluate(&request, &actors, Timestamp(100)) {
+            Decision::Permit {
+                allowed_fields,
+                matched_policies,
+            } => {
+                // Only the in-window policy contributes fields.
+                assert!(allowed_fields.contains("current"));
+                assert!(!allowed_fields.contains("old"));
+                assert_eq!(matched_policies, vec![PolicyId(2)]);
+            }
+            other => panic!("expected permit, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Detail requests (Definition 3's `r = {A_r, τ_e, S_r}` plus the
+//! event identifier of Algorithm 1's `R = {a, τ_e, eID, s}`).
+
+use css_types::{ActorId, EventTypeId, GlobalEventId, Purpose, RequestId};
+
+/// A request for the details of one event, with an explicitly stated
+/// purpose. Issued by a data consumer to the data controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetailRequest {
+    /// Identifier assigned by the controller for audit correlation.
+    pub request_id: RequestId,
+    /// `a` / `A_r`: the requesting actor.
+    pub actor: ActorId,
+    /// `τ_e`: the type of the event whose details are requested.
+    pub event_type: EventTypeId,
+    /// `eID`: the global identifier from the notification message.
+    ///
+    /// Possessing it is a precondition: "the notification ... is a
+    /// pre-requisite to issue the request for details".
+    pub event_id: GlobalEventId,
+    /// `s` / `S_r`: the stated purpose of use.
+    pub purpose: Purpose,
+}
+
+impl DetailRequest {
+    /// Construct a request.
+    pub fn new(
+        request_id: RequestId,
+        actor: ActorId,
+        event_type: EventTypeId,
+        event_id: GlobalEventId,
+        purpose: Purpose,
+    ) -> Self {
+        DetailRequest {
+            request_id,
+            actor,
+            event_type,
+            event_id,
+            purpose,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let r = DetailRequest::new(
+            RequestId(1),
+            ActorId(2),
+            EventTypeId::v1("blood-test"),
+            GlobalEventId(3),
+            Purpose::HealthcareTreatment,
+        );
+        assert_eq!(r.actor, ActorId(2));
+        assert_eq!(r.purpose, Purpose::HealthcareTreatment);
+    }
+}

@@ -1,0 +1,40 @@
+//! Associations: typed links between registry objects.
+
+/// A directed, typed link between two registry objects, e.g.
+/// `event:blood-test@v2 --supersedes--> event:blood-test@v1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Association {
+    /// Source object id.
+    pub source: String,
+    /// Target object id.
+    pub target: String,
+    /// Association type (e.g. `"supersedes"`, `"produced-by"`).
+    pub assoc_type: String,
+}
+
+impl Association {
+    /// Construct an association.
+    pub fn new(
+        source: impl Into<String>,
+        target: impl Into<String>,
+        assoc_type: impl Into<String>,
+    ) -> Self {
+        Association {
+            source: source.into(),
+            target: target.into(),
+            assoc_type: assoc_type.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let a = Association::new("a", "b", "supersedes");
+        assert_eq!(a.source, "a");
+        assert_eq!(a.assoc_type, "supersedes");
+    }
+}

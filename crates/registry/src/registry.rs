@@ -1,0 +1,320 @@
+//! The registry itself: object store, classifications, associations,
+//! queries.
+
+use std::collections::{BTreeSet, HashMap};
+
+use css_types::{CssError, CssResult};
+
+use crate::association::Association;
+use crate::classification::ClassificationScheme;
+use crate::object::{ObjectStatus, RegistryObject};
+use crate::query::Filter;
+
+/// In-memory ebXML-style registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    objects: HashMap<String, RegistryObject>,
+    schemes: HashMap<String, ClassificationScheme>,
+    /// object id → set of (scheme id, node path)
+    classifications: HashMap<String, BTreeSet<(String, String)>>,
+    associations: Vec<Association>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ---- objects ---------------------------------------------------
+
+    /// Submit a new object. Fails on duplicate id.
+    pub fn submit(&mut self, object: RegistryObject) -> CssResult<()> {
+        if self.objects.contains_key(&object.id) {
+            return Err(CssError::AlreadyExists(format!(
+                "registry object {} already submitted",
+                object.id
+            )));
+        }
+        self.objects.insert(object.id.clone(), object);
+        Ok(())
+    }
+
+    /// Replace an existing object (same id).
+    pub fn update(&mut self, object: RegistryObject) -> CssResult<()> {
+        if !self.objects.contains_key(&object.id) {
+            return Err(CssError::NotFound(format!(
+                "registry object {} not found",
+                object.id
+            )));
+        }
+        self.objects.insert(object.id.clone(), object);
+        Ok(())
+    }
+
+    /// Fetch an object by id.
+    pub fn get(&self, id: &str) -> Option<&RegistryObject> {
+        self.objects.get(id)
+    }
+
+    /// Change the lifecycle status of an object.
+    pub fn set_status(&mut self, id: &str, status: ObjectStatus) -> CssResult<()> {
+        match self.objects.get_mut(id) {
+            Some(o) => {
+                o.status = status;
+                Ok(())
+            }
+            None => Err(CssError::NotFound(format!(
+                "registry object {id} not found"
+            ))),
+        }
+    }
+
+    /// Remove an object and its classifications/associations.
+    pub fn remove(&mut self, id: &str) -> CssResult<RegistryObject> {
+        let obj = self
+            .objects
+            .remove(id)
+            .ok_or_else(|| CssError::NotFound(format!("registry object {id} not found")))?;
+        self.classifications.remove(id);
+        self.associations
+            .retain(|a| a.source != id && a.target != id);
+        Ok(obj)
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the registry holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    // ---- classification ---------------------------------------------
+
+    /// Install (or replace) a classification scheme.
+    pub fn install_scheme(&mut self, scheme: ClassificationScheme) {
+        self.schemes.insert(scheme.id.clone(), scheme);
+    }
+
+    /// Look up a scheme.
+    pub fn scheme(&self, id: &str) -> Option<&ClassificationScheme> {
+        self.schemes.get(id)
+    }
+
+    /// Classify an object under a scheme node. Both must exist.
+    pub fn classify(&mut self, object_id: &str, scheme_id: &str, node: &str) -> CssResult<()> {
+        if !self.objects.contains_key(object_id) {
+            return Err(CssError::NotFound(format!(
+                "registry object {object_id} not found"
+            )));
+        }
+        let scheme = self
+            .schemes
+            .get(scheme_id)
+            .ok_or_else(|| CssError::NotFound(format!("scheme {scheme_id} not found")))?;
+        if !scheme.has_node(node) {
+            return Err(CssError::NotFound(format!(
+                "node {node:?} not in scheme {scheme_id}"
+            )));
+        }
+        self.classifications
+            .entry(object_id.to_string())
+            .or_default()
+            .insert((scheme_id.to_string(), node.to_string()));
+        Ok(())
+    }
+
+    /// Whether `object_id` is classified at or below `node` in `scheme`.
+    pub fn is_classified_under(&self, object_id: &str, scheme_id: &str, node: &str) -> bool {
+        self.classifications
+            .get(object_id)
+            .map(|set| {
+                set.iter()
+                    .any(|(s, n)| s == scheme_id && ClassificationScheme::is_under(n, node))
+            })
+            .unwrap_or(false)
+    }
+
+    // ---- associations ------------------------------------------------
+
+    /// Associate two existing objects.
+    pub fn associate(&mut self, assoc: Association) -> CssResult<()> {
+        for id in [&assoc.source, &assoc.target] {
+            if !self.objects.contains_key(id) {
+                return Err(CssError::NotFound(format!(
+                    "registry object {id} not found"
+                )));
+            }
+        }
+        self.associations.push(assoc);
+        Ok(())
+    }
+
+    /// Associations whose source is `id`.
+    pub fn associations_from<'a>(&'a self, id: &'a str) -> impl Iterator<Item = &'a Association> {
+        self.associations.iter().filter(move |a| a.source == id)
+    }
+
+    /// Associations whose target is `id`.
+    pub fn associations_to<'a>(&'a self, id: &'a str) -> impl Iterator<Item = &'a Association> {
+        self.associations.iter().filter(move |a| a.target == id)
+    }
+
+    // ---- queries -----------------------------------------------------
+
+    /// All objects matching a filter, sorted by id for determinism.
+    pub fn query(&self, filter: &Filter) -> Vec<&RegistryObject> {
+        let classified =
+            |id: &str, scheme: &str, node: &str| self.is_classified_under(id, scheme, node);
+        let mut out: Vec<&RegistryObject> = self
+            .objects
+            .values()
+            .filter(|o| filter.matches(o, &classified))
+            .collect();
+        out.sort_by(|a, b| a.id.cmp(&b.id));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> Registry {
+        let mut reg = Registry::new();
+        reg.install_scheme(
+            ClassificationScheme::new("care-domain", "Care Domain")
+                .with_node("health/laboratory")
+                .with_node("social/home-care"),
+        );
+        reg.submit(
+            RegistryObject::new("evt:blood-test@v1", "EventSchema", "Blood Test")
+                .slot("producer", "act-00000001"),
+        )
+        .unwrap();
+        reg.submit(
+            RegistryObject::new("evt:home-care@v1", "EventSchema", "Home Care Service")
+                .slot("producer", "act-00000002"),
+        )
+        .unwrap();
+        reg.classify("evt:blood-test@v1", "care-domain", "health/laboratory")
+            .unwrap();
+        reg.classify("evt:home-care@v1", "care-domain", "social/home-care")
+            .unwrap();
+        reg
+    }
+
+    #[test]
+    fn submit_and_get() {
+        let reg = setup();
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get("evt:blood-test@v1").unwrap().name, "Blood Test");
+        assert!(reg.get("missing").is_none());
+    }
+
+    #[test]
+    fn duplicate_submit_rejected() {
+        let mut reg = setup();
+        let err = reg
+            .submit(RegistryObject::new(
+                "evt:blood-test@v1",
+                "EventSchema",
+                "Dup",
+            ))
+            .unwrap_err();
+        assert!(matches!(err, CssError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn update_requires_existence() {
+        let mut reg = setup();
+        assert!(reg
+            .update(RegistryObject::new("nope", "EventSchema", "X"))
+            .is_err());
+        let renamed = RegistryObject::new("evt:blood-test@v1", "EventSchema", "Blood Test v2");
+        reg.update(renamed).unwrap();
+        assert_eq!(reg.get("evt:blood-test@v1").unwrap().name, "Blood Test v2");
+    }
+
+    #[test]
+    fn classification_queries() {
+        let reg = setup();
+        let health = reg.query(&Filter::ClassifiedUnder {
+            scheme: "care-domain".into(),
+            node: "health".into(),
+        });
+        assert_eq!(health.len(), 1);
+        assert_eq!(health[0].id, "evt:blood-test@v1");
+        let all_classified = reg.query(
+            &Filter::ClassifiedUnder {
+                scheme: "care-domain".into(),
+                node: "health".into(),
+            }
+            .or(Filter::ClassifiedUnder {
+                scheme: "care-domain".into(),
+                node: "social".into(),
+            }),
+        );
+        assert_eq!(all_classified.len(), 2);
+    }
+
+    #[test]
+    fn classify_validates_object_scheme_and_node() {
+        let mut reg = setup();
+        assert!(reg.classify("nope", "care-domain", "health").is_err());
+        assert!(reg.classify("evt:blood-test@v1", "nope", "health").is_err());
+        assert!(reg
+            .classify("evt:blood-test@v1", "care-domain", "health/surgery")
+            .is_err());
+    }
+
+    #[test]
+    fn slot_and_name_queries() {
+        let reg = setup();
+        let by_producer = reg.query(&Filter::SlotEq("producer".into(), "act-00000002".into()));
+        assert_eq!(by_producer.len(), 1);
+        let by_name = reg.query(&Filter::NameLike("care".into()));
+        assert_eq!(by_name.len(), 1);
+        assert_eq!(reg.query(&Filter::All).len(), 2);
+    }
+
+    #[test]
+    fn associations_lifecycle() {
+        let mut reg = setup();
+        reg.associate(Association::new(
+            "evt:home-care@v1",
+            "evt:blood-test@v1",
+            "relates-to",
+        ))
+        .unwrap();
+        assert_eq!(reg.associations_from("evt:home-care@v1").count(), 1);
+        assert_eq!(reg.associations_to("evt:blood-test@v1").count(), 1);
+        assert!(reg
+            .associate(Association::new("missing", "evt:blood-test@v1", "x"))
+            .is_err());
+        // Removing an endpoint removes the association.
+        reg.remove("evt:blood-test@v1").unwrap();
+        assert_eq!(reg.associations_from("evt:home-care@v1").count(), 0);
+    }
+
+    #[test]
+    fn remove_cleans_classifications() {
+        let mut reg = setup();
+        reg.remove("evt:blood-test@v1").unwrap();
+        assert!(!reg.is_classified_under("evt:blood-test@v1", "care-domain", "health"));
+        assert!(reg.remove("evt:blood-test@v1").is_err());
+    }
+
+    #[test]
+    fn status_transitions() {
+        let mut reg = setup();
+        reg.set_status("evt:blood-test@v1", ObjectStatus::Approved)
+            .unwrap();
+        let approved = reg.query(&Filter::ByStatus(ObjectStatus::Approved));
+        assert_eq!(approved.len(), 1);
+        assert!(reg.set_status("missing", ObjectStatus::Approved).is_err());
+    }
+}

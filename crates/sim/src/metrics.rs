@@ -1,0 +1,59 @@
+//! Exposure metrics compared across integration architectures.
+
+/// What an integration architecture cost in messages and disclosure.
+///
+/// Produced by the baselines and by the CSS measurement so experiments
+/// E1 and E8 can compare like with like.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExposureReport {
+    /// Distinct communication channels that had to be provisioned
+    /// (point-to-point links, or topics + gateway links for CSS).
+    pub channels: usize,
+    /// Messages sent in total (documents, notifications, detail
+    /// responses).
+    pub messages: usize,
+    /// Total payload bytes moved.
+    pub total_bytes: usize,
+    /// Bytes of *sensitive* field values that crossed an organization
+    /// boundary.
+    pub sensitive_bytes: usize,
+    /// Count of sensitive field values disclosed to consumers that had
+    /// no need for them (over-disclosure events).
+    pub unnecessary_disclosures: usize,
+    /// Count of legitimate detail needs that went unserved (the
+    /// over-constraining failure mode: caregivers lacking data).
+    pub unserved_needs: usize,
+}
+
+impl ExposureReport {
+    /// Merge another report into this one.
+    pub fn absorb(&mut self, other: &ExposureReport) {
+        self.channels += other.channels;
+        self.messages += other.messages;
+        self.total_bytes += other.total_bytes;
+        self.sensitive_bytes += other.sensitive_bytes;
+        self.unnecessary_disclosures += other.unnecessary_disclosures;
+        self.unserved_needs += other.unserved_needs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums() {
+        let mut a = ExposureReport {
+            channels: 1,
+            messages: 2,
+            total_bytes: 3,
+            sensitive_bytes: 4,
+            unnecessary_disclosures: 5,
+            unserved_needs: 6,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.messages, 4);
+        assert_eq!(a.unnecessary_disclosures, 10);
+        assert_eq!(a.unserved_needs, 12);
+    }
+}

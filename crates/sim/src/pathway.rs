@@ -1,0 +1,151 @@
+//! The elderly care pathway.
+//!
+//! The processes the paper monitors "span multiple institutions": a
+//! hospital discharge triggers a welfare assessment, which starts a home
+//! care plan with meal deliveries and telecare monitoring. This module
+//! generates that correlated sequence for one citizen, exercising the
+//! multi-producer composition the paper calls the person's "social and
+//! health profile ... composition of data events on the same person
+//! produced by different sources".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use css_types::{Clock, CssResult, Duration, GlobalEventId, PersonIdentity};
+
+use crate::generator::synth_details;
+use crate::scenario::{types, Scenario};
+
+/// Events generated for one person's pathway.
+#[derive(Debug, Clone, Default)]
+pub struct PathwayReport {
+    /// Global ids in causal order.
+    pub events: Vec<GlobalEventId>,
+    /// Simulated days the pathway spanned.
+    pub span_days: u64,
+}
+
+/// Run the pathway for one person: discharge → autonomy assessment →
+/// `weeks` weeks of home care + meals, with occasional telecare alarms.
+pub fn run_pathway(
+    scenario: &Scenario,
+    person: &PersonIdentity,
+    weeks: usize,
+    seed: u64,
+) -> CssResult<PathwayReport> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = PathwayReport::default();
+    let start = scenario.clock.now();
+
+    let hospital = scenario.platform.producer(scenario.orgs.hospital)?;
+    let welfare = scenario.platform.producer(scenario.orgs.welfare)?;
+    let telecare = scenario.platform.producer(scenario.orgs.telecare)?;
+    let municipality = scenario.platform.producer(scenario.orgs.municipality)?;
+
+    let publish = |producer: &css_core::ProducerHandle<css_core::MemoryProvider>,
+                   ty: &css_types::EventTypeId,
+                   desc: &str,
+                   rng: &mut StdRng|
+     -> CssResult<GlobalEventId> {
+        let details = synth_details(ty, person.id, rng);
+        let receipt = producer.publish(person.clone(), desc, details, scenario.clock.now())?;
+        Ok(receipt.global_id)
+    };
+
+    // 1. Discharge from hospital.
+    report.events.push(publish(
+        &hospital,
+        &types::discharge(),
+        "discharged after hip surgery",
+        &mut rng,
+    )?);
+
+    // 2. Welfare assesses autonomy within a few days.
+    scenario.clock.advance(Duration::days(rng.gen_range(2..5)));
+    report.events.push(publish(
+        &welfare,
+        &types::autonomy(),
+        "autonomy assessed at home",
+        &mut rng,
+    )?);
+
+    // 3. Weekly care: 3 home-care visits + 5 meals, occasional alarms.
+    for _ in 0..weeks {
+        for _ in 0..3 {
+            scenario.clock.advance(Duration::days(2));
+            report.events.push(publish(
+                &telecare,
+                &types::home_care(),
+                "home care visit",
+                &mut rng,
+            )?);
+        }
+        for _ in 0..5 {
+            scenario.clock.advance(Duration::hours(24));
+            report.events.push(publish(
+                &municipality,
+                &types::meal_delivery(),
+                "meal delivered",
+                &mut rng,
+            )?);
+        }
+        if rng.gen_bool(0.2) {
+            report.events.push(publish(
+                &telecare,
+                &types::telecare_alarm(),
+                "telecare alarm",
+                &mut rng,
+            )?);
+        }
+    }
+
+    report.span_days =
+        scenario.clock.now().since(start).as_millis() / Duration::days(1).as_millis();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+
+    #[test]
+    fn pathway_produces_correlated_sequence() {
+        let scenario = Scenario::build(ScenarioConfig {
+            persons: 3,
+            family_doctors: 1,
+            seed: 1,
+        })
+        .unwrap();
+        let person = scenario.persons[0].clone();
+        let report = run_pathway(&scenario, &person, 2, 42).unwrap();
+        // discharge + assessment + 2*(3 home care + 5 meals) [+ alarms]
+        assert!(report.events.len() >= 18);
+        assert!(report.span_days >= 14);
+        // All events are about the same person, discoverable via the
+        // index by an authorized consumer (welfare sees the social
+        // profile).
+        let welfare = scenario.platform.consumer(scenario.orgs.welfare).unwrap();
+        let profile = welfare.inquire_by_person(person.id).unwrap();
+        assert!(profile.len() >= 10);
+        assert!(profile.iter().all(|n| n.person.id == person.id));
+    }
+
+    #[test]
+    fn pathway_events_are_ordered_in_time() {
+        let scenario = Scenario::build(ScenarioConfig {
+            persons: 3,
+            family_doctors: 1,
+            seed: 1,
+        })
+        .unwrap();
+        let person = scenario.persons[1].clone();
+        run_pathway(&scenario, &person, 1, 7).unwrap();
+        let welfare = scenario.platform.consumer(scenario.orgs.welfare).unwrap();
+        let profile = welfare.inquire_by_person(person.id).unwrap();
+        let times: Vec<_> = profile.iter().map(|n| n.occurred_at).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "profile should read as a timeline");
+    }
+}

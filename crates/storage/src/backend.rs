@@ -1,0 +1,205 @@
+//! Pluggable byte-log backends.
+//!
+//! A backend is an append-only byte vector with positional reads. The
+//! platform runs on [`FileBackend`] (one file per store); tests and
+//! benchmarks that don't care about durability use [`MemBackend`].
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use css_types::{CssError, CssResult};
+
+/// An append-only byte log with positional reads.
+pub trait LogBackend: Send {
+    /// Append bytes, returning the offset they were written at.
+    fn append(&mut self, data: &[u8]) -> CssResult<u64>;
+
+    /// Read exactly `len` bytes starting at `offset`.
+    fn read_at(&self, offset: u64, len: usize) -> CssResult<Vec<u8>>;
+
+    /// Total bytes in the log.
+    fn len(&self) -> u64;
+
+    /// Whether the log is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flush to stable storage (no-op for memory).
+    fn sync(&mut self) -> CssResult<()>;
+
+    /// Truncate the log to `len` bytes (used to drop a torn tail).
+    fn truncate(&mut self, len: u64) -> CssResult<()>;
+}
+
+/// In-memory backend.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    data: Vec<u8>,
+}
+
+impl MemBackend {
+    /// An empty in-memory log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl LogBackend for MemBackend {
+    fn append(&mut self, data: &[u8]) -> CssResult<u64> {
+        let offset = self.data.len() as u64;
+        self.data.extend_from_slice(data);
+        Ok(offset)
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> CssResult<Vec<u8>> {
+        let start = offset as usize;
+        let end = start
+            .checked_add(len)
+            .ok_or_else(|| CssError::Storage("read range overflow".into()))?;
+        if end > self.data.len() {
+            return Err(CssError::Storage(format!(
+                "read past end: {end} > {}",
+                self.data.len()
+            )));
+        }
+        Ok(self.data[start..end].to_vec())
+    }
+
+    fn len(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    fn sync(&mut self) -> CssResult<()> {
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> CssResult<()> {
+        if len as usize > self.data.len() {
+            return Err(CssError::Storage("truncate beyond end".into()));
+        }
+        self.data.truncate(len as usize);
+        Ok(())
+    }
+}
+
+/// File-backed backend. Appends go through a single owned handle;
+/// reads reopen at the requested offset via a cloned handle.
+#[derive(Debug)]
+pub struct FileBackend {
+    file: File,
+    len: u64,
+}
+
+impl FileBackend {
+    /// Open (creating if needed) the log file at `path`.
+    pub fn open(path: impl AsRef<Path>) -> CssResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path.as_ref())?;
+        let len = file.metadata()?.len();
+        Ok(FileBackend { file, len })
+    }
+}
+
+impl LogBackend for FileBackend {
+    fn append(&mut self, data: &[u8]) -> CssResult<u64> {
+        let offset = self.len;
+        self.file.write_all(data)?;
+        self.len += data.len() as u64;
+        Ok(offset)
+    }
+
+    fn read_at(&self, offset: u64, len: usize) -> CssResult<Vec<u8>> {
+        if offset + len as u64 > self.len {
+            return Err(CssError::Storage(format!(
+                "read past end: {} > {}",
+                offset + len as u64,
+                self.len
+            )));
+        }
+        let mut handle = self.file.try_clone()?;
+        handle.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        handle.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+
+    fn sync(&mut self) -> CssResult<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn truncate(&mut self, len: u64) -> CssResult<()> {
+        if len > self.len {
+            return Err(CssError::Storage("truncate beyond end".into()));
+        }
+        self.file.set_len(len)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.len = len;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(mut b: impl LogBackend) {
+        assert!(b.is_empty());
+        let o1 = b.append(b"hello").unwrap();
+        let o2 = b.append(b" world").unwrap();
+        assert_eq!(o1, 0);
+        assert_eq!(o2, 5);
+        assert_eq!(b.len(), 11);
+        assert_eq!(b.read_at(0, 5).unwrap(), b"hello");
+        assert_eq!(b.read_at(5, 6).unwrap(), b" world");
+        assert!(b.read_at(7, 10).is_err());
+        b.sync().unwrap();
+        b.truncate(5).unwrap();
+        assert_eq!(b.len(), 5);
+        assert!(b.truncate(100).is_err());
+        let o3 = b.append(b"!").unwrap();
+        assert_eq!(o3, 5);
+        assert_eq!(b.read_at(0, 6).unwrap(), b"hello!");
+    }
+
+    #[test]
+    fn mem_backend_contract() {
+        exercise(MemBackend::new());
+    }
+
+    #[test]
+    fn file_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("css-storage-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("contract.log");
+        let _ = std::fs::remove_file(&path);
+        exercise(FileBackend::open(&path).unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_backend_persists_across_reopen() {
+        let dir = std::env::temp_dir().join(format!("css-storage-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut b = FileBackend::open(&path).unwrap();
+            b.append(b"durable").unwrap();
+            b.sync().unwrap();
+        }
+        let b = FileBackend::open(&path).unwrap();
+        assert_eq!(b.len(), 7);
+        assert_eq!(b.read_at(0, 7).unwrap(), b"durable");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,318 @@
+//! A keyed store over the record log.
+//!
+//! Every mutation is appended to the log (`put` / `delete` records); an
+//! in-memory index maps live keys to the log offset of their latest
+//! value. Opening a store replays the log to rebuild the index, which
+//! is the crash-recovery story: anything appended (and synced) before a
+//! crash is recovered, a torn final append is dropped.
+
+use std::collections::HashMap;
+
+use crate::backend::LogBackend;
+use crate::log::{RecordLog, RecordPtr};
+
+use css_types::{CssError, CssResult};
+
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// Keyed store with log-structured persistence.
+pub struct KvStore<B: LogBackend> {
+    log: RecordLog<B>,
+    index: HashMap<Vec<u8>, RecordPtr>,
+    /// Records (live + dead) appended since the store was opened or
+    /// compacted; drives the compaction heuristic.
+    dead_records: usize,
+    live_records: usize,
+}
+
+impl<B: LogBackend> KvStore<B> {
+    /// Open a store over a backend, replaying any existing log.
+    ///
+    /// Returns the store plus the number of torn-tail bytes dropped
+    /// during recovery (0 on a clean open).
+    pub fn open(backend: B) -> CssResult<(Self, u64)> {
+        let (log, outcome) = RecordLog::recover(backend)?;
+        let mut index = HashMap::new();
+        let mut dead = 0usize;
+        for ptr in &outcome.records {
+            let payload = log.read(*ptr)?;
+            let (op, key, _) = decode(&payload)?;
+            match op {
+                OP_PUT => {
+                    if index.insert(key, *ptr).is_some() {
+                        dead += 1;
+                    }
+                }
+                OP_DELETE => {
+                    if index.remove(&key).is_some() {
+                        dead += 1;
+                    }
+                    dead += 1; // the delete record itself is dead weight
+                }
+                other => {
+                    return Err(CssError::Storage(format!("unknown kv opcode {other}")));
+                }
+            }
+        }
+        let live = index.len();
+        Ok((
+            KvStore {
+                log,
+                index,
+                dead_records: dead,
+                live_records: live,
+            },
+            outcome.truncated_bytes,
+        ))
+    }
+
+    /// Insert or replace a value.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> CssResult<()> {
+        let record = encode(OP_PUT, key, value);
+        let ptr = self.log.append(&record)?;
+        if self.index.insert(key.to_vec(), ptr).is_some() {
+            self.dead_records += 1;
+        } else {
+            self.live_records += 1;
+        }
+        Ok(())
+    }
+
+    /// Fetch a value.
+    pub fn get(&self, key: &[u8]) -> CssResult<Option<Vec<u8>>> {
+        match self.index.get(key) {
+            None => Ok(None),
+            Some(ptr) => {
+                let payload = self.log.read(*ptr)?;
+                let (_, _, value) = decode(&payload)?;
+                Ok(Some(value))
+            }
+        }
+    }
+
+    /// Whether a key is present.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Remove a key. Returns whether it was present.
+    pub fn delete(&mut self, key: &[u8]) -> CssResult<bool> {
+        if !self.index.contains_key(key) {
+            return Ok(false);
+        }
+        let record = encode(OP_DELETE, key, b"");
+        self.log.append(&record)?;
+        self.index.remove(key);
+        self.live_records -= 1;
+        self.dead_records += 2;
+        Ok(true)
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the store has no live keys.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Iterate over live keys (unspecified order).
+    pub fn keys(&self) -> impl Iterator<Item = &[u8]> {
+        self.index.keys().map(Vec::as_slice)
+    }
+
+    /// Flush the log to stable storage.
+    pub fn sync(&mut self) -> CssResult<()> {
+        self.log.sync()
+    }
+
+    /// Bytes currently occupied by the log (live + garbage).
+    pub fn log_bytes(&self) -> u64 {
+        self.log.byte_len()
+    }
+
+    /// Fraction of records that are dead weight (0.0 when fully compact).
+    pub fn garbage_ratio(&self) -> f64 {
+        let total = self.live_records + self.dead_records;
+        if total == 0 {
+            0.0
+        } else {
+            self.dead_records as f64 / total as f64
+        }
+    }
+
+    /// Rewrite only live entries into a fresh backend, returning the
+    /// compacted store. The old backend is discarded.
+    pub fn compact_into(self, backend: B) -> CssResult<Self> {
+        let mut fresh = RecordLog::new(backend);
+        let mut new_index = HashMap::with_capacity(self.index.len());
+        for (key, ptr) in &self.index {
+            let payload = self.log.read(*ptr)?;
+            let new_ptr = fresh.append(&payload)?;
+            new_index.insert(key.clone(), new_ptr);
+        }
+        fresh.sync()?;
+        let live = new_index.len();
+        Ok(KvStore {
+            log: fresh,
+            index: new_index,
+            dead_records: 0,
+            live_records: live,
+        })
+    }
+}
+
+fn encode(op: u8, key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9 + key.len() + value.len());
+    out.push(op);
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(&(value.len() as u32).to_le_bytes());
+    out.extend_from_slice(value);
+    out
+}
+
+fn decode(payload: &[u8]) -> CssResult<(u8, Vec<u8>, Vec<u8>)> {
+    let err = || CssError::Storage("malformed kv record".into());
+    if payload.len() < 9 {
+        return Err(err());
+    }
+    let op = payload[0];
+    let klen = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+    if payload.len() < 5 + klen + 4 {
+        return Err(err());
+    }
+    let key = payload[5..5 + klen].to_vec();
+    let vstart = 5 + klen + 4;
+    let vlen = u32::from_le_bytes(payload[5 + klen..vstart].try_into().unwrap()) as usize;
+    if payload.len() != vstart + vlen {
+        return Err(err());
+    }
+    let value = payload[vstart..].to_vec();
+    Ok((op, key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{FileBackend, MemBackend};
+
+    fn mem() -> KvStore<MemBackend> {
+        KvStore::open(MemBackend::new()).unwrap().0
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = mem();
+        kv.put(b"k1", b"v1").unwrap();
+        kv.put(b"k2", b"v2").unwrap();
+        assert_eq!(kv.get(b"k1").unwrap().unwrap(), b"v1");
+        assert_eq!(kv.len(), 2);
+        assert!(kv.delete(b"k1").unwrap());
+        assert!(!kv.delete(b"k1").unwrap());
+        assert_eq!(kv.get(b"k1").unwrap(), None);
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let mut kv = mem();
+        kv.put(b"k", b"old").unwrap();
+        kv.put(b"k", b"new").unwrap();
+        assert_eq!(kv.get(b"k").unwrap().unwrap(), b"new");
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn replay_rebuilds_index() {
+        let mut kv = mem();
+        kv.put(b"a", b"1").unwrap();
+        kv.put(b"b", b"2").unwrap();
+        kv.put(b"a", b"3").unwrap();
+        kv.delete(b"b").unwrap();
+        kv.put(b"c", b"4").unwrap();
+        let backend = kv.log.into_backend();
+        let (kv, torn) = KvStore::open(backend).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(kv.get(b"a").unwrap().unwrap(), b"3");
+        assert_eq!(kv.get(b"b").unwrap(), None);
+        assert_eq!(kv.get(b"c").unwrap().unwrap(), b"4");
+        assert_eq!(kv.len(), 2);
+    }
+
+    #[test]
+    fn torn_tail_dropped_on_open() {
+        let mut kv = mem();
+        kv.put(b"safe", b"value").unwrap();
+        kv.put(b"torn", b"lost").unwrap();
+        let mut backend = kv.log.into_backend();
+        let len = LogBackend::len(&backend);
+        backend.truncate(len - 3).unwrap();
+        let (kv, torn) = KvStore::open(backend).unwrap();
+        assert!(torn > 0);
+        assert_eq!(kv.get(b"safe").unwrap().unwrap(), b"value");
+        assert_eq!(kv.get(b"torn").unwrap(), None);
+    }
+
+    #[test]
+    fn compaction_preserves_live_data_and_shrinks_log() {
+        let mut kv = mem();
+        for i in 0..100u32 {
+            kv.put(b"hot", format!("version-{i}").as_bytes()).unwrap();
+        }
+        kv.put(b"cold", b"stable").unwrap();
+        kv.put(b"gone", b"bye").unwrap();
+        kv.delete(b"gone").unwrap();
+        let before = kv.log_bytes();
+        assert!(kv.garbage_ratio() > 0.9);
+        let kv = kv.compact_into(MemBackend::new()).unwrap();
+        assert!(kv.log_bytes() < before / 10);
+        assert_eq!(kv.garbage_ratio(), 0.0);
+        assert_eq!(kv.get(b"hot").unwrap().unwrap(), b"version-99");
+        assert_eq!(kv.get(b"cold").unwrap().unwrap(), b"stable");
+        assert_eq!(kv.get(b"gone").unwrap(), None);
+    }
+
+    #[test]
+    fn file_backed_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("css-kv-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kv.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut kv, _) = KvStore::open(FileBackend::open(&path).unwrap()).unwrap();
+            kv.put(b"detail:src-1", b"<BloodTest>...</BloodTest>")
+                .unwrap();
+            kv.sync().unwrap();
+        }
+        let (kv, torn) = KvStore::open(FileBackend::open(&path).unwrap()).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(
+            kv.get(b"detail:src-1").unwrap().unwrap(),
+            b"<BloodTest>...</BloodTest>"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_keys_and_values_are_legal() {
+        let mut kv = mem();
+        kv.put(b"", b"empty key").unwrap();
+        kv.put(b"empty value", b"").unwrap();
+        assert_eq!(kv.get(b"").unwrap().unwrap(), b"empty key");
+        assert_eq!(kv.get(b"empty value").unwrap().unwrap(), b"");
+    }
+
+    #[test]
+    fn keys_iterates_live_set() {
+        let mut kv = mem();
+        kv.put(b"a", b"1").unwrap();
+        kv.put(b"b", b"2").unwrap();
+        kv.delete(b"a").unwrap();
+        let keys: Vec<&[u8]> = kv.keys().collect();
+        assert_eq!(keys, vec![b"b".as_slice()]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Durable storage substrate for the CSS platform.
+//!
+//! The Local Cooperation Gateway "persists each detail message notified
+//! so that they can be retrieved even when the source systems are
+//! un-accessible", and detail requests "may arrive ... even months
+//! after the publication of the notification" (Section 4). That demands
+//! a small, crash-safe store:
+//!
+//! - [`RecordLog`]: an append-only log of checksummed records over a
+//!   pluggable backend (file or memory). Recovery scans tolerate a torn
+//!   tail (partial final record after a crash) and surface genuine
+//!   corruption as errors.
+//! - [`KvStore`]: a keyed store layered on the log — puts and deletes
+//!   are appended, an in-memory index maps keys to log offsets, recovery
+//!   replays the log, and compaction rewrites only live entries.
+//!
+//! This is the persistence layer under the gateway's detail store, the
+//! policy repository, and the audit log.
+
+pub mod backend;
+pub mod crc;
+pub mod kv;
+pub mod log;
+
+pub use backend::{FileBackend, LogBackend, MemBackend};
+pub use kv::KvStore;
+pub use log::{RecordLog, RecordPtr, ScanOutcome};

@@ -1,0 +1,254 @@
+//! Append-only record log with checksums and torn-tail recovery.
+//!
+//! Record layout: `MAGIC (1) | len (4, LE) | crc32 (4, LE) | payload`.
+//! The CRC covers the payload only; the magic byte catches gross
+//! misalignment early.
+
+use crate::backend::LogBackend;
+use crate::crc::crc32;
+
+use css_types::{CssError, CssResult};
+
+const MAGIC: u8 = 0xC5;
+const HEADER_LEN: usize = 9;
+
+/// Stable pointer to a record inside the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordPtr(pub u64);
+
+/// Result of a recovery scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// Pointers to every intact record, in append order.
+    pub records: Vec<RecordPtr>,
+    /// Bytes of torn tail dropped (crash artifact), if any.
+    pub truncated_bytes: u64,
+}
+
+/// An append-only log of checksummed records over a [`LogBackend`].
+pub struct RecordLog<B: LogBackend> {
+    backend: B,
+}
+
+impl<B: LogBackend> RecordLog<B> {
+    /// Wrap a backend **without** scanning it. Use [`RecordLog::recover`]
+    /// for logs that may contain existing data.
+    pub fn new(backend: B) -> Self {
+        RecordLog { backend }
+    }
+
+    /// Open a log over a backend, validating existing content.
+    ///
+    /// A torn final record (e.g. after a crash mid-append) is truncated
+    /// away; corruption *before* the tail is an error because silently
+    /// dropping acknowledged records would violate durability.
+    pub fn recover(mut backend: B) -> CssResult<(Self, ScanOutcome)> {
+        let mut records = Vec::new();
+        let mut pos = 0u64;
+        let total = backend.len();
+        let mut torn_at: Option<u64> = None;
+        while pos < total {
+            match Self::read_header(&backend, pos, total) {
+                Ok((payload_len, stored_crc)) => {
+                    let payload_at = pos + HEADER_LEN as u64;
+                    if payload_at + payload_len as u64 > total {
+                        torn_at = Some(pos);
+                        break;
+                    }
+                    let payload = backend.read_at(payload_at, payload_len)?;
+                    if crc32(&payload) != stored_crc {
+                        // A bad checksum on the *last* record is a torn
+                        // write; anywhere else it is corruption.
+                        if payload_at + payload_len as u64 == total {
+                            torn_at = Some(pos);
+                            break;
+                        }
+                        return Err(CssError::Storage(format!("corrupt record at offset {pos}")));
+                    }
+                    records.push(RecordPtr(pos));
+                    pos = payload_at + payload_len as u64;
+                }
+                Err(HeaderIssue::Torn) => {
+                    torn_at = Some(pos);
+                    break;
+                }
+                Err(HeaderIssue::BadMagic) => {
+                    return Err(CssError::Storage(format!(
+                        "bad record magic at offset {pos}"
+                    )));
+                }
+            }
+        }
+        let truncated_bytes = match torn_at {
+            Some(at) => {
+                let dropped = total - at;
+                backend.truncate(at)?;
+                dropped
+            }
+            None => 0,
+        };
+        Ok((
+            RecordLog { backend },
+            ScanOutcome {
+                records,
+                truncated_bytes,
+            },
+        ))
+    }
+
+    fn read_header(backend: &B, pos: u64, total: u64) -> Result<(usize, u32), HeaderIssue> {
+        if pos + HEADER_LEN as u64 > total {
+            return Err(HeaderIssue::Torn);
+        }
+        let header = backend
+            .read_at(pos, HEADER_LEN)
+            .map_err(|_| HeaderIssue::Torn)?;
+        if header[0] != MAGIC {
+            return Err(HeaderIssue::BadMagic);
+        }
+        let len = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[5..9].try_into().unwrap());
+        Ok((len, crc))
+    }
+
+    /// Append a record, returning its pointer.
+    pub fn append(&mut self, payload: &[u8]) -> CssResult<RecordPtr> {
+        let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+        buf.push(MAGIC);
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        buf.extend_from_slice(payload);
+        let offset = self.backend.append(&buf)?;
+        Ok(RecordPtr(offset))
+    }
+
+    /// Read the record at `ptr`, verifying its checksum.
+    pub fn read(&self, ptr: RecordPtr) -> CssResult<Vec<u8>> {
+        let total = self.backend.len();
+        let (len, stored_crc) = Self::read_header(&self.backend, ptr.0, total)
+            .map_err(|_| CssError::Storage(format!("invalid record pointer {ptr:?}")))?;
+        let payload = self.backend.read_at(ptr.0 + HEADER_LEN as u64, len)?;
+        if crc32(&payload) != stored_crc {
+            return Err(CssError::Storage(format!("checksum mismatch at {ptr:?}")));
+        }
+        Ok(payload)
+    }
+
+    /// Flush to stable storage.
+    pub fn sync(&mut self) -> CssResult<()> {
+        self.backend.sync()
+    }
+
+    /// Total bytes in the underlying backend.
+    pub fn byte_len(&self) -> u64 {
+        self.backend.len()
+    }
+
+    /// Consume the log and return the backend.
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+}
+
+enum HeaderIssue {
+    Torn,
+    BadMagic,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{LogBackend, MemBackend};
+
+    #[test]
+    fn append_read_roundtrip() {
+        let mut log = RecordLog::new(MemBackend::new());
+        let a = log.append(b"first").unwrap();
+        let b = log.append(b"second record").unwrap();
+        let c = log.append(b"").unwrap();
+        assert_eq!(log.read(a).unwrap(), b"first");
+        assert_eq!(log.read(b).unwrap(), b"second record");
+        assert_eq!(log.read(c).unwrap(), b"");
+    }
+
+    #[test]
+    fn recover_scans_all_records() {
+        let mut log = RecordLog::new(MemBackend::new());
+        for i in 0..20u32 {
+            log.append(format!("rec-{i}").as_bytes()).unwrap();
+        }
+        let backend = log.into_backend();
+        let (log, outcome) = RecordLog::recover(backend).unwrap();
+        assert_eq!(outcome.records.len(), 20);
+        assert_eq!(outcome.truncated_bytes, 0);
+        assert_eq!(log.read(outcome.records[7]).unwrap(), b"rec-7");
+    }
+
+    #[test]
+    fn recover_truncates_torn_tail() {
+        let mut log = RecordLog::new(MemBackend::new());
+        log.append(b"complete").unwrap();
+        log.append(b"will be torn").unwrap();
+        let mut backend = log.into_backend();
+        // Chop 5 bytes off the final record to simulate a crash.
+        let new_len = backend.len() - 5;
+        backend.truncate(new_len).unwrap();
+        let (log, outcome) = RecordLog::recover(backend).unwrap();
+        assert_eq!(outcome.records.len(), 1);
+        assert!(outcome.truncated_bytes > 0);
+        assert_eq!(log.read(outcome.records[0]).unwrap(), b"complete");
+        // Log is usable after truncation.
+        let mut log = log;
+        let p = log.append(b"after recovery").unwrap();
+        assert_eq!(log.read(p).unwrap(), b"after recovery");
+    }
+
+    #[test]
+    fn recover_truncates_header_only_tail() {
+        let mut log = RecordLog::new(MemBackend::new());
+        log.append(b"ok").unwrap();
+        let mut backend = log.into_backend();
+        backend.append(&[MAGIC, 9, 0]).unwrap(); // partial header
+        let (_, outcome) = RecordLog::recover(backend).unwrap();
+        assert_eq!(outcome.records.len(), 1);
+        assert_eq!(outcome.truncated_bytes, 3);
+    }
+
+    #[test]
+    fn mid_log_corruption_is_an_error() {
+        let mut log = RecordLog::new(MemBackend::new());
+        let first = log.append(b"aaaa").unwrap();
+        log.append(b"bbbb").unwrap();
+        let backend = log.into_backend();
+        // Flip a payload byte of the FIRST record.
+        let raw = backend.read_at(0, backend.len() as usize).unwrap();
+        let mut raw = raw;
+        raw[(first.0 as usize) + HEADER_LEN] ^= 0xFF;
+        let mut corrupted = MemBackend::new();
+        corrupted.append(&raw).unwrap();
+        assert!(RecordLog::recover(corrupted).is_err());
+    }
+
+    #[test]
+    fn bad_magic_is_an_error() {
+        let mut backend = MemBackend::new();
+        backend.append(&[0x00; 32]).unwrap();
+        assert!(RecordLog::recover(backend).is_err());
+    }
+
+    #[test]
+    fn read_with_bogus_pointer_fails() {
+        let mut log = RecordLog::new(MemBackend::new());
+        log.append(b"data").unwrap();
+        assert!(log.read(RecordPtr(3)).is_err());
+        assert!(log.read(RecordPtr(1_000)).is_err());
+    }
+
+    #[test]
+    fn empty_log_recovers_clean() {
+        let (log, outcome) = RecordLog::recover(MemBackend::new()).unwrap();
+        assert!(outcome.records.is_empty());
+        assert_eq!(outcome.truncated_bytes, 0);
+        assert_eq!(log.byte_len(), 0);
+    }
+}

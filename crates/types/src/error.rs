@@ -1,0 +1,131 @@
+//! The common error type shared by all CSS crates.
+
+use std::fmt;
+
+/// Result alias used across the CSS platform.
+pub type CssResult<T> = Result<T, CssError>;
+
+/// Errors surfaced by CSS platform operations.
+///
+/// `AccessDenied` deliberately carries only a coarse reason: per the
+/// paper, a denied detail request yields an *Access Denied message*, and
+/// the platform must not leak through the error channel which policies
+/// exist or which fields an event has.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CssError {
+    /// A referenced entity does not exist.
+    NotFound(String),
+    /// An entity with the same identity is already registered.
+    AlreadyExists(String),
+    /// The request was denied by policy (deny-by-default included).
+    AccessDenied(DenyReason),
+    /// Input failed validation (schema, wizard step, malformed message).
+    Invalid(String),
+    /// The data subject withheld or revoked consent.
+    ConsentWithheld(String),
+    /// A storage-layer failure (I/O, corruption detected by checksums).
+    Storage(String),
+    /// Serialization / parsing failure (XML, XACML, internal encodings).
+    Serialization(String),
+    /// A message bus failure (queue overflow, unknown topic, closed sub).
+    Bus(String),
+    /// Cryptographic failure (MAC mismatch, bad key material).
+    Crypto(String),
+    /// The participant has not signed a contract with the data controller.
+    NoContract(String),
+}
+
+/// Why an access was denied. Coarse by design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DenyReason {
+    /// No policy matched the request (deny-by-default, Definition 3).
+    NoMatchingPolicy,
+    /// A policy matched but is outside its validity window.
+    PolicyExpired,
+    /// The purpose stated in the request is not allowed by any policy.
+    PurposeNotAllowed,
+    /// The requester never received (and cannot see) the notification.
+    NotNotified,
+    /// The data subject opted out.
+    ConsentWithheld,
+    /// The requester attempted a non-read action (only reads exist).
+    ActionNotPermitted,
+}
+
+impl fmt::Display for DenyReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DenyReason::NoMatchingPolicy => "no matching policy",
+            DenyReason::PolicyExpired => "policy outside validity window",
+            DenyReason::PurposeNotAllowed => "purpose not allowed",
+            DenyReason::NotNotified => "requester was not notified of the event",
+            DenyReason::ConsentWithheld => "data subject withheld consent",
+            DenyReason::ActionNotPermitted => "action not permitted",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for CssError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CssError::NotFound(s) => write!(f, "not found: {s}"),
+            CssError::AlreadyExists(s) => write!(f, "already exists: {s}"),
+            CssError::AccessDenied(r) => write!(f, "access denied: {r}"),
+            CssError::Invalid(s) => write!(f, "invalid: {s}"),
+            CssError::ConsentWithheld(s) => write!(f, "consent withheld: {s}"),
+            CssError::Storage(s) => write!(f, "storage error: {s}"),
+            CssError::Serialization(s) => write!(f, "serialization error: {s}"),
+            CssError::Bus(s) => write!(f, "bus error: {s}"),
+            CssError::Crypto(s) => write!(f, "crypto error: {s}"),
+            CssError::NoContract(s) => write!(f, "no contract: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CssError {}
+
+impl From<std::io::Error> for CssError {
+    fn from(e: std::io::Error) -> Self {
+        CssError::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CssError::AccessDenied(DenyReason::NoMatchingPolicy);
+        assert_eq!(e.to_string(), "access denied: no matching policy");
+    }
+
+    #[test]
+    fn io_error_converts_to_storage() {
+        let io = std::io::Error::other("disk on fire");
+        let e: CssError = io.into();
+        assert!(matches!(e, CssError::Storage(_)));
+        assert!(e.to_string().contains("disk on fire"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: E) {}
+        assert_err(CssError::NotFound("x".into()));
+    }
+
+    #[test]
+    fn deny_reasons_display() {
+        for r in [
+            DenyReason::NoMatchingPolicy,
+            DenyReason::PolicyExpired,
+            DenyReason::PurposeNotAllowed,
+            DenyReason::NotNotified,
+            DenyReason::ConsentWithheld,
+            DenyReason::ActionNotPermitted,
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Purposes of use.
+//!
+//! Every detail request carries an explicitly stated purpose; privacy
+//! policies enumerate the purposes they allow (Definition 2 in the
+//! paper: `S` is a set of purposes). The two-phase protocol is what lets
+//! the platform be purpose-aware: consumers must *state why* before any
+//! sensitive field is released.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The stated reason for a data access.
+///
+/// The well-known variants cover the purposes mentioned in the paper
+/// (healthcare treatment provisioning, statistical analysis,
+/// administration) plus those implied by the scenario (reimbursement and
+/// service-efficiency assessment by the governing body, emergency care).
+/// `Custom` keeps the vocabulary open for new contracts.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Purpose {
+    /// Provisioning of healthcare treatment to the data subject.
+    HealthcareTreatment,
+    /// Provisioning of socio-assistive services (home care, meals, ...).
+    SocialAssistance,
+    /// Aggregate statistical analysis (e.g. needs of elderly people).
+    StatisticalAnalysis,
+    /// Administrative processing.
+    Administration,
+    /// Accountability and reimbursement towards the governing body.
+    Reimbursement,
+    /// Assessment of the efficiency of delivered services.
+    ServiceAssessment,
+    /// Emergency access (still logged and policy-gated).
+    Emergency,
+    /// Auditing inquiries by the privacy guarantor or the data subject.
+    Audit,
+    /// A contract-specific purpose outside the standard vocabulary.
+    Custom(String),
+}
+
+impl Purpose {
+    /// Stable textual code used in XACML serialization and audit logs.
+    pub fn code(&self) -> &str {
+        match self {
+            Purpose::HealthcareTreatment => "healthcare-treatment",
+            Purpose::SocialAssistance => "social-assistance",
+            Purpose::StatisticalAnalysis => "statistical-analysis",
+            Purpose::Administration => "administration",
+            Purpose::Reimbursement => "reimbursement",
+            Purpose::ServiceAssessment => "service-assessment",
+            Purpose::Emergency => "emergency",
+            Purpose::Audit => "audit",
+            Purpose::Custom(s) => s,
+        }
+    }
+
+    /// All standard (non-custom) purposes.
+    pub fn standard() -> &'static [Purpose] {
+        const ALL: &[Purpose] = &[
+            Purpose::HealthcareTreatment,
+            Purpose::SocialAssistance,
+            Purpose::StatisticalAnalysis,
+            Purpose::Administration,
+            Purpose::Reimbursement,
+            Purpose::ServiceAssessment,
+            Purpose::Emergency,
+            Purpose::Audit,
+        ];
+        ALL
+    }
+}
+
+impl fmt::Display for Purpose {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl FromStr for Purpose {
+    type Err = std::convert::Infallible;
+
+    /// Parsing never fails: unknown codes become `Custom`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(Purpose::standard()
+            .iter()
+            .find(|p| p.code() == s)
+            .cloned()
+            .unwrap_or_else(|| Purpose::Custom(s.to_string())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_roundtrip_for_standard_purposes() {
+        for p in Purpose::standard() {
+            let parsed: Purpose = p.code().parse().unwrap();
+            assert_eq!(&parsed, p);
+        }
+    }
+
+    #[test]
+    fn unknown_code_becomes_custom() {
+        let p: Purpose = "clinical-trial-x".parse().unwrap();
+        assert_eq!(p, Purpose::Custom("clinical-trial-x".into()));
+        assert_eq!(p.code(), "clinical-trial-x");
+    }
+
+    #[test]
+    fn custom_roundtrips_through_display() {
+        let p = Purpose::Custom("pilot".into());
+        let back: Purpose = p.to_string().parse().unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn purposes_are_ordered_and_hashable() {
+        use std::collections::BTreeSet;
+        let set: BTreeSet<Purpose> = [Purpose::Audit, Purpose::HealthcareTreatment, Purpose::Audit]
+            .into_iter()
+            .collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,119 @@
+//! Escaping and unescaping of XML character data.
+
+use std::borrow::Cow;
+
+/// Escape text content (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> Cow<'_, str> {
+    escape_inner(s, false)
+}
+
+/// Escape attribute values (`&`, `<`, `>`, `"`, `'`).
+pub fn escape_attr(s: &str) -> Cow<'_, str> {
+    escape_inner(s, true)
+}
+
+fn escape_inner(s: &str, attr: bool) -> Cow<'_, str> {
+    let needs = s
+        .bytes()
+        .any(|b| matches!(b, b'&' | b'<' | b'>') || (attr && matches!(b, b'"' | b'\'')));
+    if !needs {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' if attr => out.push_str("&quot;"),
+            '\'' if attr => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    Cow::Owned(out)
+}
+
+/// Expand the five predefined entities plus decimal/hex character
+/// references. Unknown entities are an error (returned as `None`).
+pub fn unescape(s: &str) -> Option<String> {
+    if !s.contains('&') {
+        return Some(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let end = rest.find(';')?;
+        let entity = &rest[1..end];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => {
+                let code = if let Some(hex) = entity.strip_prefix("#x") {
+                    u32::from_str_radix(hex, 16).ok()?
+                } else if let Some(dec) = entity.strip_prefix('#') {
+                    dec.parse::<u32>().ok()?
+                } else {
+                    return None;
+                };
+                out.push(char::from_u32(code)?);
+            }
+        }
+        rest = &rest[end + 1..];
+    }
+    out.push_str(rest);
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_text_is_borrowed() {
+        assert!(matches!(escape_text("hello"), Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn text_escaping() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        // Quotes are left alone in text content.
+        assert_eq!(escape_text(r#"say "hi""#), r#"say "hi""#);
+    }
+
+    #[test]
+    fn attr_escaping() {
+        assert_eq!(escape_attr(r#"a"b'c"#), "a&quot;b&apos;c");
+    }
+
+    #[test]
+    fn unescape_roundtrip() {
+        let original = r#"<results> "AIDS test" & more's </results>"#;
+        let escaped = escape_attr(original);
+        assert_eq!(unescape(&escaped).unwrap(), original);
+    }
+
+    #[test]
+    fn unescape_char_references() {
+        assert_eq!(unescape("&#65;&#x42;").unwrap(), "AB");
+        assert_eq!(unescape("caf&#xE9;").unwrap(), "café");
+    }
+
+    #[test]
+    fn unescape_rejects_unknown_entity() {
+        assert!(unescape("&nbsp;").is_none());
+        assert!(unescape("&unterminated").is_none());
+        assert!(unescape("&#xZZ;").is_none());
+        assert!(unescape("&#1114112;").is_none()); // beyond char::MAX
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        assert_eq!(escape_text("trentò"), "trentò");
+        assert_eq!(unescape("trentò").unwrap(), "trentò");
+    }
+}

@@ -1,0 +1,28 @@
+//! Minimal XML infrastructure for the CSS platform.
+//!
+//! The paper exchanges everything as XML: event details are described by
+//! XSD schemas "installed" in the event catalog, privacy policies are
+//! serialized as XACML documents, and messages travel as XML envelopes
+//! over the service bus. This crate provides the small, dependency-free
+//! XML subset the platform needs:
+//!
+//! - an element tree model with a builder API ([`Element`]),
+//! - a writer with correct escaping ([`writer`]),
+//! - a recursive-descent parser for the same subset ([`parser`]),
+//! - a schema language playing the role of XSD ([`schema`]): typed
+//!   fields, required/optional occurrence, enumerations.
+//!
+//! The subset deliberately excludes DTDs, namespace resolution,
+//! processing instructions and entities beyond the five predefined ones —
+//! none of which the platform's message formats use.
+
+pub mod doc;
+pub mod escape;
+pub mod parser;
+pub mod schema;
+pub mod writer;
+
+pub use doc::{Element, Node};
+pub use parser::{parse, ParseError};
+pub use schema::{ElementDecl, Occurs, Schema, SchemaError, ValueType};
+pub use writer::{to_document_string, to_string, to_string_pretty};

@@ -1,0 +1,487 @@
+//! Schema validation — the platform's stand-in for XSD.
+//!
+//! The paper "installs" an XSD for every class of event details in the
+//! event catalog, and validates instances against it. This module
+//! implements the subset the platform needs: a root element declaration
+//! with typed child elements, occurrence constraints, attribute
+//! declarations, and enumerated values.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::doc::Element;
+
+/// How many times a child element may occur.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Occurs {
+    /// Exactly once.
+    One,
+    /// Zero or one times.
+    Optional,
+    /// Zero or more times.
+    Many,
+    /// One or more times.
+    AtLeastOne,
+}
+
+impl Occurs {
+    fn accepts(self, n: usize) -> bool {
+        match self {
+            Occurs::One => n == 1,
+            Occurs::Optional => n <= 1,
+            Occurs::Many => true,
+            Occurs::AtLeastOne => n >= 1,
+        }
+    }
+}
+
+/// The type a text value must conform to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValueType {
+    /// Any character data.
+    String,
+    /// A 64-bit signed integer.
+    Integer,
+    /// A decimal number (integer part plus optional fraction).
+    Decimal,
+    /// `true` or `false`.
+    Boolean,
+    /// An ISO-8601 date-time as produced by `css_types::Timestamp`.
+    DateTime,
+    /// One of an enumerated set of codes.
+    Enumeration(Vec<String>),
+}
+
+impl ValueType {
+    /// Whether `value` conforms to this type.
+    pub fn accepts(&self, value: &str) -> bool {
+        match self {
+            ValueType::String => true,
+            ValueType::Integer => value.parse::<i64>().is_ok(),
+            ValueType::Decimal => {
+                let v = value.strip_prefix('-').unwrap_or(value);
+                match v.split_once('.') {
+                    Some((int, frac)) => {
+                        !int.is_empty()
+                            && !frac.is_empty()
+                            && int.bytes().all(|b| b.is_ascii_digit())
+                            && frac.bytes().all(|b| b.is_ascii_digit())
+                    }
+                    None => !v.is_empty() && v.bytes().all(|b| b.is_ascii_digit()),
+                }
+            }
+            ValueType::Boolean => matches!(value, "true" | "false"),
+            ValueType::DateTime => parse_datetime(value),
+            ValueType::Enumeration(allowed) => allowed.iter().any(|a| a == value),
+        }
+    }
+}
+
+/// Accept `YYYY-MM-DDTHH:MM:SS(.mmm)?Z`.
+fn parse_datetime(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    if bytes.len() < 20 || *bytes.last().unwrap() != b'Z' {
+        return false;
+    }
+    let s = &s[..s.len() - 1];
+    let (date, time) = match s.split_once('T') {
+        Some(p) => p,
+        None => return false,
+    };
+    let date_parts: Vec<&str> = date.split('-').collect();
+    if date_parts.len() != 3 || date_parts[0].len() != 4 {
+        return false;
+    }
+    let ok_num = |p: &str, max: u32| p.parse::<u32>().map(|v| v <= max).unwrap_or(false);
+    if !date_parts[0].bytes().all(|b| b.is_ascii_digit())
+        || !ok_num(date_parts[1], 12)
+        || !ok_num(date_parts[2], 31)
+        || !date_parts[1]
+            .parse::<u32>()
+            .map(|m| m >= 1)
+            .unwrap_or(false)
+    {
+        return false;
+    }
+    let (hms, millis) = match time.split_once('.') {
+        Some((a, b)) => (a, Some(b)),
+        None => (time, None),
+    };
+    if let Some(ms) = millis {
+        if ms.len() != 3 || !ms.bytes().all(|b| b.is_ascii_digit()) {
+            return false;
+        }
+    }
+    let t: Vec<&str> = hms.split(':').collect();
+    t.len() == 3 && ok_num(t[0], 23) && ok_num(t[1], 59) && ok_num(t[2], 60)
+}
+
+/// Declaration of a child element inside a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ElementDecl {
+    /// Tag name of the child.
+    pub name: String,
+    /// Type of the text content.
+    pub value_type: ValueType,
+    /// Occurrence constraint.
+    pub occurs: Occurs,
+    /// Whether an empty value is allowed even when the element occurs.
+    ///
+    /// Privacy-aware events leave filtered-out fields empty, so
+    /// validation of *responses* uses schemas with `nillable = true`.
+    pub nillable: bool,
+}
+
+impl ElementDecl {
+    /// A required child with the given type.
+    pub fn required(name: impl Into<String>, value_type: ValueType) -> Self {
+        ElementDecl {
+            name: name.into(),
+            value_type,
+            occurs: Occurs::One,
+            nillable: false,
+        }
+    }
+
+    /// An optional child with the given type.
+    pub fn optional(name: impl Into<String>, value_type: ValueType) -> Self {
+        ElementDecl {
+            name: name.into(),
+            value_type,
+            occurs: Occurs::Optional,
+            nillable: false,
+        }
+    }
+
+    /// Builder: mark the element nillable.
+    pub fn nillable(mut self) -> Self {
+        self.nillable = true;
+        self
+    }
+
+    /// Builder: override the occurrence constraint.
+    pub fn occurs(mut self, occurs: Occurs) -> Self {
+        self.occurs = occurs;
+        self
+    }
+}
+
+/// A schema for one root element: its required attributes and its child
+/// element declarations. Children not declared are rejected (closed
+/// content model, like a `sequence` in XSD).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// Expected root element name.
+    pub root: String,
+    /// Attribute declarations: name → required?
+    pub attributes: Vec<(String, bool)>,
+    /// Child element declarations.
+    pub elements: Vec<ElementDecl>,
+}
+
+impl Schema {
+    /// A schema for a root element with no attributes or children yet.
+    pub fn new(root: impl Into<String>) -> Self {
+        Schema {
+            root: root.into(),
+            attributes: Vec::new(),
+            elements: Vec::new(),
+        }
+    }
+
+    /// Builder: declare an attribute.
+    pub fn attribute(mut self, name: impl Into<String>, required: bool) -> Self {
+        self.attributes.push((name.into(), required));
+        self
+    }
+
+    /// Builder: declare a child element.
+    pub fn element(mut self, decl: ElementDecl) -> Self {
+        self.elements.push(decl);
+        self
+    }
+
+    /// Look up the declaration for a child name.
+    pub fn decl(&self, name: &str) -> Option<&ElementDecl> {
+        self.elements.iter().find(|d| d.name == name)
+    }
+
+    /// Validate a document against this schema.
+    ///
+    /// Returns all violations rather than stopping at the first, so the
+    /// elicitation tool can show a complete report.
+    pub fn validate(&self, doc: &Element) -> Result<(), Vec<SchemaError>> {
+        let mut errors = Vec::new();
+        if doc.name != self.root {
+            errors.push(SchemaError::WrongRoot {
+                expected: self.root.clone(),
+                found: doc.name.clone(),
+            });
+            return Err(errors);
+        }
+        for (attr, required) in &self.attributes {
+            if *required && doc.attribute(attr).is_none() {
+                errors.push(SchemaError::MissingAttribute(attr.clone()));
+            }
+        }
+        for (attr, _) in &doc.attributes {
+            if !self.attributes.iter().any(|(a, _)| a == attr) {
+                errors.push(SchemaError::UndeclaredAttribute(attr.clone()));
+            }
+        }
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for child in doc.elements() {
+            match self.decl(&child.name) {
+                None => errors.push(SchemaError::UndeclaredElement(child.name.clone())),
+                Some(decl) => {
+                    *counts.entry(decl.name.as_str()).or_default() += 1;
+                    let text = child.text_content();
+                    if text.is_empty() {
+                        if !decl.nillable {
+                            errors.push(SchemaError::EmptyValue(child.name.clone()));
+                        }
+                    } else if !decl.value_type.accepts(&text) {
+                        errors.push(SchemaError::BadValue {
+                            element: child.name.clone(),
+                            value: text,
+                        });
+                    }
+                }
+            }
+        }
+        for decl in &self.elements {
+            let n = counts.get(decl.name.as_str()).copied().unwrap_or(0);
+            if !decl.occurs.accepts(n) {
+                errors.push(SchemaError::BadOccurrence {
+                    element: decl.name.clone(),
+                    found: n,
+                });
+            }
+        }
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(errors)
+        }
+    }
+}
+
+/// A single schema violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The root element name did not match.
+    WrongRoot {
+        /// Name the schema expects.
+        expected: String,
+        /// Name actually found.
+        found: String,
+    },
+    /// A required attribute is absent.
+    MissingAttribute(String),
+    /// An attribute not declared by the schema is present.
+    UndeclaredAttribute(String),
+    /// A child element not declared by the schema is present.
+    UndeclaredElement(String),
+    /// A declared element occurs the wrong number of times.
+    BadOccurrence {
+        /// Element name.
+        element: String,
+        /// Number of occurrences found.
+        found: usize,
+    },
+    /// A value does not conform to the declared type.
+    BadValue {
+        /// Element name.
+        element: String,
+        /// Offending value.
+        value: String,
+    },
+    /// A non-nillable element has an empty value.
+    EmptyValue(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::WrongRoot { expected, found } => {
+                write!(
+                    f,
+                    "wrong root element: expected <{expected}>, found <{found}>"
+                )
+            }
+            SchemaError::MissingAttribute(a) => write!(f, "missing required attribute {a:?}"),
+            SchemaError::UndeclaredAttribute(a) => write!(f, "undeclared attribute {a:?}"),
+            SchemaError::UndeclaredElement(e) => write!(f, "undeclared element <{e}>"),
+            SchemaError::BadOccurrence { element, found } => {
+                write!(
+                    f,
+                    "element <{element}> occurs {found} times, violating schema"
+                )
+            }
+            SchemaError::BadValue { element, value } => {
+                write!(f, "element <{element}> has ill-typed value {value:?}")
+            }
+            SchemaError::EmptyValue(e) => write!(f, "element <{e}> must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blood_test_schema() -> Schema {
+        Schema::new("BloodTest")
+            .attribute("id", true)
+            .attribute("lab", false)
+            .element(ElementDecl::required("PatientId", ValueType::Integer))
+            .element(ElementDecl::required("CollectedAt", ValueType::DateTime))
+            .element(ElementDecl::required(
+                "Result",
+                ValueType::Enumeration(vec!["negative".into(), "positive".into()]),
+            ))
+            .element(ElementDecl::optional("Hemoglobin", ValueType::Decimal))
+            .element(ElementDecl::optional("Notes", ValueType::String).occurs(Occurs::Many))
+    }
+
+    fn valid_doc() -> Element {
+        Element::new("BloodTest")
+            .attr("id", "bt-1")
+            .child(Element::leaf("PatientId", "42"))
+            .child(Element::leaf("CollectedAt", "2010-03-01T09:30:00.000Z"))
+            .child(Element::leaf("Result", "negative"))
+            .child(Element::leaf("Hemoglobin", "13.5"))
+    }
+
+    #[test]
+    fn valid_document_passes() {
+        assert!(blood_test_schema().validate(&valid_doc()).is_ok());
+    }
+
+    #[test]
+    fn wrong_root_fails_fast() {
+        let errs = blood_test_schema()
+            .validate(&Element::new("UrineTest"))
+            .unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], SchemaError::WrongRoot { .. }));
+    }
+
+    #[test]
+    fn missing_required_attribute() {
+        let mut doc = valid_doc();
+        doc.attributes.clear();
+        let errs = blood_test_schema().validate(&doc).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SchemaError::MissingAttribute(a) if a == "id")));
+    }
+
+    #[test]
+    fn undeclared_attribute_and_element() {
+        let doc = valid_doc()
+            .attr("hacker", "yes")
+            .child(Element::leaf("Smuggled", "data"));
+        let errs = blood_test_schema().validate(&doc).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SchemaError::UndeclaredAttribute(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SchemaError::UndeclaredElement(_))));
+    }
+
+    #[test]
+    fn missing_required_element() {
+        let doc = Element::new("BloodTest").attr("id", "x");
+        let errs = blood_test_schema().validate(&doc).unwrap_err();
+        // Three required children missing.
+        let occ = errs
+            .iter()
+            .filter(|e| matches!(e, SchemaError::BadOccurrence { .. }))
+            .count();
+        assert_eq!(occ, 3);
+    }
+
+    #[test]
+    fn repeated_singleton_rejected() {
+        let doc = valid_doc().child(Element::leaf("Result", "positive"));
+        let errs = blood_test_schema().validate(&doc).unwrap_err();
+        assert!(errs.iter().any(
+            |e| matches!(e, SchemaError::BadOccurrence { element, found: 2 } if element == "Result")
+        ));
+    }
+
+    #[test]
+    fn many_occurrence_allows_repeats() {
+        let doc = valid_doc()
+            .child(Element::leaf("Notes", "a"))
+            .child(Element::leaf("Notes", "b"))
+            .child(Element::leaf("Notes", "c"));
+        assert!(blood_test_schema().validate(&doc).is_ok());
+    }
+
+    #[test]
+    fn ill_typed_values_rejected() {
+        let cases = [
+            ("PatientId", "not-a-number"),
+            ("CollectedAt", "yesterday"),
+            ("Result", "inconclusive"),
+            ("Hemoglobin", "13.5.2"),
+        ];
+        for (field, bad) in cases {
+            let mut doc = Element::new("BloodTest").attr("id", "x");
+            for child in valid_doc().elements() {
+                if child.name != field {
+                    doc.children.push(crate::doc::Node::Element(child.clone()));
+                }
+            }
+            let doc = doc.child(Element::leaf(field, bad));
+            let errs = blood_test_schema().validate(&doc).unwrap_err();
+            assert!(
+                errs.iter().any(
+                    |e| matches!(e, SchemaError::BadValue { element, .. } if element == field)
+                ),
+                "expected BadValue for {field}={bad}, got {errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_value_rejected_unless_nillable() {
+        let schema = Schema::new("r").element(ElementDecl::required("x", ValueType::String));
+        let doc = Element::new("r").child(Element::new("x"));
+        assert!(schema.validate(&doc).is_err());
+
+        let schema_nillable =
+            Schema::new("r").element(ElementDecl::required("x", ValueType::String).nillable());
+        assert!(schema_nillable.validate(&doc).is_ok());
+    }
+
+    #[test]
+    fn value_type_accepts_matrix() {
+        assert!(ValueType::Integer.accepts("-17"));
+        assert!(!ValueType::Integer.accepts("1.5"));
+        assert!(ValueType::Decimal.accepts("0.5"));
+        assert!(ValueType::Decimal.accepts("-12"));
+        assert!(!ValueType::Decimal.accepts(".5"));
+        assert!(!ValueType::Decimal.accepts("5."));
+        assert!(ValueType::Boolean.accepts("true"));
+        assert!(!ValueType::Boolean.accepts("True"));
+        assert!(ValueType::DateTime.accepts("2010-09-13T12:00:00Z"));
+        assert!(ValueType::DateTime.accepts("2010-09-13T12:00:00.123Z"));
+        assert!(!ValueType::DateTime.accepts("2010-13-13T12:00:00Z"));
+        assert!(!ValueType::DateTime.accepts("2010-09-13 12:00:00"));
+    }
+
+    #[test]
+    fn at_least_one_occurrence() {
+        let schema = Schema::new("r")
+            .element(ElementDecl::required("item", ValueType::String).occurs(Occurs::AtLeastOne));
+        assert!(schema.validate(&Element::new("r")).is_err());
+        let one = Element::new("r").child(Element::leaf("item", "a"));
+        assert!(schema.validate(&one).is_ok());
+    }
+}

@@ -1,0 +1,123 @@
+//! Serialization of element trees to XML text.
+
+use crate::doc::{Element, Node};
+use crate::escape::{escape_attr, escape_text};
+
+/// Serialize compactly (no insignificant whitespace).
+pub fn to_string(root: &Element) -> String {
+    let mut out = String::with_capacity(256);
+    write_element(&mut out, root, None, 0);
+    out
+}
+
+/// Serialize as a standalone document: XML declaration followed by the
+/// pretty-printed root element — the form messages take on the wire.
+pub fn to_document_string(root: &Element) -> String {
+    let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    out.push_str(&to_string_pretty(root));
+    out
+}
+
+/// Serialize with two-space indentation, one element per line.
+///
+/// Elements whose children are only text stay on one line so values
+/// remain whitespace-exact.
+pub fn to_string_pretty(root: &Element) -> String {
+    let mut out = String::with_capacity(512);
+    write_element(&mut out, root, Some(2), 0);
+    out.push('\n');
+    out
+}
+
+fn write_element(out: &mut String, e: &Element, indent: Option<usize>, depth: usize) {
+    let pad = |out: &mut String, depth: usize| {
+        if let Some(width) = indent {
+            if depth > 0 {
+                out.push('\n');
+            }
+            for _ in 0..depth * width {
+                out.push(' ');
+            }
+        }
+    };
+    pad(out, depth);
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attributes {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(&escape_attr(v));
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+    let text_only = e.children.iter().all(|n| matches!(n, Node::Text(_)));
+    for child in &e.children {
+        match child {
+            Node::Element(el) => write_element(out, el, indent, depth + 1),
+            Node::Text(t) => out.push_str(&escape_text(t)),
+        }
+    }
+    if let Some(width) = indent {
+        if !text_only {
+            out.push('\n');
+            for _ in 0..depth * width {
+                out.push(' ');
+            }
+        }
+    }
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push('>');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_serialization() {
+        let e = Element::new("a")
+            .attr("k", "v")
+            .child(Element::leaf("b", "text"))
+            .child(Element::new("c"));
+        assert_eq!(to_string(&e), r#"<a k="v"><b>text</b><c/></a>"#);
+    }
+
+    #[test]
+    fn escaping_applied() {
+        let e = Element::new("a").attr("q", r#"x"y"#).text("1 < 2 & 3");
+        assert_eq!(to_string(&e), r#"<a q="x&quot;y">1 &lt; 2 &amp; 3</a>"#);
+    }
+
+    #[test]
+    fn pretty_keeps_text_leaves_inline() {
+        let e = Element::new("root").child(Element::leaf("name", "Mario"));
+        let s = to_string_pretty(&e);
+        assert_eq!(s, "<root>\n  <name>Mario</name>\n</root>\n");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        assert_eq!(to_string(&Element::new("empty")), "<empty/>");
+    }
+
+    #[test]
+    fn document_string_has_declaration_and_parses() {
+        let e = Element::new("Notification").child(Element::leaf("What", "x"));
+        let doc = to_document_string(&e);
+        assert!(doc.starts_with("<?xml version=\"1.0\""));
+        assert_eq!(crate::parser::parse(&doc).unwrap(), e);
+    }
+
+    #[test]
+    fn pretty_nested() {
+        let e = Element::new("a").child(Element::new("b").child(Element::leaf("c", "x")));
+        let s = to_string_pretty(&e);
+        assert_eq!(s, "<a>\n  <b>\n    <c>x</c>\n  </b>\n</a>\n");
+    }
+}

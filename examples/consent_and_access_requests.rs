@@ -1,0 +1,97 @@
+//! Citizen consent and the pending-access-request flow.
+//!
+//! Run with: `cargo run --example consent_and_access_requests`
+//!
+//! Shows the two governance flows around the core protocol: a citizen
+//! opting out of sharing (checked at publish *and* at detail-request
+//! time), and a consumer with no policy asking for access — which lands
+//! in the producer's pending queue and is granted through the
+//! elicitation wizard (Section 5's flow).
+
+use css::prelude::*;
+use css::sim::{scenario::types, Scenario, ScenarioConfig};
+
+fn main() -> CssResult<()> {
+    let scenario = Scenario::build(ScenarioConfig {
+        persons: 3,
+        family_doctors: 1,
+        seed: 5,
+    })?;
+    let platform = &scenario.platform;
+    let anna = scenario.persons[0].clone();
+    let bruno = scenario.persons[1].clone();
+
+    // --- consent -----------------------------------------------------
+    // Anna opts out of telecare sharing entirely.
+    platform.record_consent(
+        anna.id,
+        ConsentScope::Producer(scenario.orgs.telecare),
+        ConsentDecision::OptOut,
+    )?;
+
+    let telecare = platform.producer(scenario.orgs.telecare)?;
+    let alarm = |person: &PersonIdentity| {
+        EventDetails::new(types::telecare_alarm())
+            .with("PatientId", FieldValue::Integer(person.id.value() as i64))
+            .with("AlarmKind", FieldValue::Code("fall".into()))
+            .with("Outcome", FieldValue::Text("ambulance dispatched".into()))
+    };
+    let now = platform.clock().now();
+
+    // Publishing Anna's alarm is blocked at the source.
+    let blocked = telecare.publish(anna.clone(), "fall alarm", alarm(&anna), now);
+    println!("publish for opted-out Anna -> {blocked:?}");
+    assert!(matches!(blocked, Err(CssError::ConsentWithheld(_))));
+
+    // Bruno has not opted out: his alarm flows normally.
+    let receipt = telecare.publish(bruno.clone(), "fall alarm", alarm(&bruno), now)?;
+    println!("publish for Bruno -> event {}", receipt.global_id);
+
+    // Bruno later opts out; already-published details become
+    // unreachable even for authorized consumers.
+    platform.record_consent(bruno.id, ConsentScope::All, ConsentDecision::OptOut)?;
+    let doctor = platform.consumer(scenario.orgs.family_doctors[0])?;
+    let seen = doctor.inquire_by_person(bruno.id)?;
+    let denied = doctor.request_details(&seen[0], Purpose::HealthcareTreatment);
+    println!("detail request after opt-out -> {denied:?}");
+    assert_eq!(
+        denied.unwrap_err(),
+        CssError::AccessDenied(DenyReason::ConsentWithheld)
+    );
+
+    // --- pending access requests ---------------------------------------
+    // The governance wants blood-test data it has no policy for.
+    let governance = platform.consumer(scenario.orgs.governance)?;
+    assert!(governance.subscribe(&types::blood_test()).is_err());
+    let request_id = governance.request_access(
+        types::blood_test(),
+        vec![Purpose::StatisticalAnalysis],
+        "anonymized lab statistics for the yearly health report",
+        now,
+    );
+    println!("\ngovernance filed access request #{request_id}");
+
+    // The hospital reviews its queue and grants a narrow policy:
+    // result statistics only, no patient identifiers, for one year.
+    let hospital = platform.producer(scenario.orgs.hospital)?;
+    let pending = hospital.pending_requests();
+    println!(
+        "hospital pending queue: {:?}",
+        pending
+            .iter()
+            .map(|r| (r.id, r.note.clone()))
+            .collect::<Vec<_>>()
+    );
+    hospital
+        .grant_request(request_id)?
+        .select_fields(["Result", "Hemoglobin"])?
+        .labeled("governance-lab-stats", "granted per request; 1 year")
+        .valid_until(now.plus(Duration::days(365)))
+        .save()?;
+    println!("granted: governance may now subscribe");
+    assert!(governance.subscribe(&types::blood_test()).is_ok());
+
+    platform.verify_audit()?;
+    println!("\naudit chain verified");
+    Ok(())
+}

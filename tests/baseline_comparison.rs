@@ -1,0 +1,112 @@
+//! Shape tests for the architecture comparison (experiments E1/E8):
+//! the qualitative claims the paper makes must hold across parameter
+//! sweeps, not just at one point.
+
+use css::sim::baseline::FlowParams;
+use css::sim::{full_push_exposure, point_to_point_exposure, two_phase_exposure};
+
+#[test]
+fn channel_growth_is_multiplicative_vs_additive() {
+    for n in [2usize, 5, 10, 20, 40] {
+        let p = FlowParams {
+            producers: n,
+            consumers: n,
+            ..Default::default()
+        };
+        let ptp = point_to_point_exposure(&p);
+        let css = two_phase_exposure(&p);
+        assert_eq!(ptp.channels, n * n);
+        assert_eq!(css.channels, 2 * n);
+        if n > 2 {
+            assert!(css.channels < ptp.channels);
+        }
+    }
+}
+
+#[test]
+fn sensitive_exposure_ordering_holds_across_request_rates() {
+    for prob in [0.0, 0.1, 0.3, 0.5, 0.9, 1.0] {
+        let p = FlowParams {
+            detail_request_prob: prob,
+            allowed_fraction: 0.5,
+            ..Default::default()
+        };
+        let ptp = point_to_point_exposure(&p);
+        let push = full_push_exposure(&p);
+        let css = two_phase_exposure(&p);
+        // Two-phase never exposes more sensitive bytes than either
+        // baseline (strictly less whenever the policy filters).
+        assert!(css.sensitive_bytes <= push.sensitive_bytes);
+        assert!(css.sensitive_bytes <= ptp.sensitive_bytes);
+        if prob < 1.0 {
+            assert!(css.sensitive_bytes < push.sensitive_bytes);
+        }
+        // And never discloses to consumers that did not ask.
+        assert_eq!(css.unnecessary_disclosures, 0);
+    }
+}
+
+#[test]
+fn message_count_crossover_at_high_request_rates() {
+    // Below ~50% request rate two-phase also sends FEWER bytes; the
+    // extra round-trips only dominate when almost everyone wants
+    // details. Locate the crossover and check it is interior.
+    let at = |prob: f64| {
+        let p = FlowParams {
+            detail_request_prob: prob,
+            ..Default::default()
+        };
+        (
+            two_phase_exposure(&p).total_bytes,
+            full_push_exposure(&p).total_bytes,
+        )
+    };
+    let (css_low, push_low) = at(0.1);
+    assert!(css_low < push_low, "low request rate favours two-phase");
+    // Even at 100%, filtered responses keep total bytes below full push
+    // with the default 50% allowed fraction.
+    let (css_high, push_high) = at(1.0);
+    assert!(css_high < push_high);
+    // But with allow-everything policies and 100% request rate, the
+    // protocol overhead finally makes two-phase more expensive.
+    let p = FlowParams {
+        detail_request_prob: 1.0,
+        allowed_fraction: 1.0,
+        ..Default::default()
+    };
+    assert!(two_phase_exposure(&p).total_bytes > full_push_exposure(&p).total_bytes);
+    assert!(two_phase_exposure(&p).messages > full_push_exposure(&p).messages);
+}
+
+#[test]
+fn measured_platform_behaviour_matches_analytic_shape() {
+    // The analytic two-phase model and the measured platform agree on
+    // the headline claim: raising the detail-request rate raises
+    // sensitive exposure roughly linearly, and it is zero at rate zero.
+    use css::sim::{run_workload, Scenario, ScenarioConfig, WorkloadConfig};
+    let mut released = Vec::new();
+    for (i, prob) in [0.0, 0.25, 0.5, 1.0].into_iter().enumerate() {
+        let scenario = Scenario::build(ScenarioConfig {
+            persons: 10,
+            family_doctors: 1,
+            seed: 42,
+        })
+        .unwrap();
+        let report = run_workload(
+            &scenario,
+            WorkloadConfig {
+                events: 100,
+                detail_request_prob: prob,
+                wrong_purpose_prob: 0.0,
+                seed: 1000 + i as u64,
+            },
+        );
+        released.push(report.sensitive_released_bytes);
+    }
+    assert_eq!(released[0], 0);
+    assert!(released[1] > 0);
+    assert!(
+        released[3] > released[1],
+        "exposure grows with request rate"
+    );
+}

@@ -1,0 +1,144 @@
+//! Concurrency tests: the platform under multi-threaded producers and
+//! consumers, and the bus under push-style dispatchers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use css::bus::{spawn_dispatcher, Broker, SubscriptionConfig};
+use css::prelude::*;
+
+fn build_platform() -> (Arc<CssPlatform>, ActorId, ActorId, SimClock) {
+    let clock = SimClock::starting_at(Timestamp(1_000));
+    let mut platform = CssPlatform::in_memory_with_clock(Arc::new(clock.clone()));
+    let hospital = platform.register_organization("Hospital").unwrap();
+    let doctor = platform.register_organization("Doctor").unwrap();
+    platform.join_as_producer(hospital).unwrap();
+    platform.join_as_consumer(doctor).unwrap();
+    let schema = EventSchema::new(EventTypeId::v1("obs"), "Observation", hospital)
+        .field(FieldDef::required("PatientId", FieldKind::Integer))
+        .field(FieldDef::optional("Value", FieldKind::Integer).sensitive());
+    let producer = platform.producer(hospital).unwrap();
+    producer.declare(&schema, None).unwrap();
+    producer
+        .policy_wizard(&EventTypeId::v1("obs"))
+        .unwrap()
+        .select_all_fields()
+        .grant_to([doctor])
+        .unwrap()
+        .for_purposes([Purpose::HealthcareTreatment])
+        .labeled("p", "")
+        .save()
+        .unwrap();
+    (Arc::new(platform), hospital, doctor, clock)
+}
+
+fn person(i: u64) -> PersonIdentity {
+    PersonIdentity {
+        id: PersonId(i),
+        fiscal_code: format!("FC{i}"),
+        name: "P".into(),
+        surname: format!("S{i}"),
+    }
+}
+
+#[test]
+fn concurrent_producers_and_detail_requests() {
+    let (platform, hospital, doctor, clock) = build_platform();
+    let consumer = platform.consumer(doctor).unwrap();
+    let sub = consumer.subscribe(&EventTypeId::v1("obs")).unwrap();
+
+    // 4 producer threads, 50 events each.
+    let mut publishers = Vec::new();
+    for t in 0..4u64 {
+        let platform = platform.clone();
+        let clock = clock.clone();
+        publishers.push(std::thread::spawn(move || {
+            let producer = platform.producer(hospital).unwrap();
+            for i in 0..50u64 {
+                producer
+                    .publish(
+                        person(t * 1_000 + i),
+                        "obs",
+                        EventDetails::new(EventTypeId::v1("obs"))
+                            .with("PatientId", FieldValue::Integer((t * 1_000 + i) as i64))
+                            .with("Value", FieldValue::Integer(i as i64)),
+                        clock.now(),
+                    )
+                    .unwrap();
+            }
+        }));
+    }
+    for p in publishers {
+        p.join().unwrap();
+    }
+
+    // A consumer thread chases details for everything it was notified of.
+    let notifications = sub.drain().unwrap();
+    assert_eq!(notifications.len(), 200);
+    let permits = Arc::new(AtomicUsize::new(0));
+    let mut consumers = Vec::new();
+    for chunk in notifications.chunks(50) {
+        let chunk: Vec<NotificationMessage> = chunk.to_vec();
+        let platform = platform.clone();
+        let permits = permits.clone();
+        consumers.push(std::thread::spawn(move || {
+            let handle = platform.consumer(doctor).unwrap();
+            for n in &chunk {
+                let response = handle
+                    .request_details(n, Purpose::HealthcareTreatment)
+                    .unwrap();
+                assert!(response.is_privacy_safe());
+                permits.fetch_add(1, Ordering::SeqCst);
+            }
+        }));
+    }
+    for c in consumers {
+        c.join().unwrap();
+    }
+    assert_eq!(permits.load(Ordering::SeqCst), 200);
+    platform.verify_audit().unwrap();
+    // Audit saw every publish and every detail request.
+    let report = platform.audit_report(&css::audit::AuditQuery::new());
+    assert_eq!(report.action_count(css::audit::AuditAction::Publish), 200);
+    assert_eq!(
+        report.action_count(css::audit::AuditAction::DetailRequest),
+        200
+    );
+}
+
+#[test]
+fn dispatcher_fleet_processes_fanout() {
+    let broker: Broker<u64> = Broker::new();
+    broker.create_topic("events");
+    let total = Arc::new(AtomicUsize::new(0));
+    let mut dispatchers = Vec::new();
+    for _ in 0..3 {
+        let sub = broker
+            .subscribe("events", SubscriptionConfig::default())
+            .unwrap();
+        let counter = total.clone();
+        dispatchers.push(spawn_dispatcher(sub, move |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        }));
+    }
+    let mut publishers = Vec::new();
+    for t in 0..4u64 {
+        let broker = broker.clone();
+        publishers.push(std::thread::spawn(move || {
+            for i in 0..100 {
+                broker.publish("events", t * 100 + i).unwrap();
+            }
+        }));
+    }
+    for p in publishers {
+        p.join().unwrap();
+    }
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while total.load(Ordering::SeqCst) < 1_200 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let processed: u64 = dispatchers.into_iter().map(|d| d.stop()).sum();
+    assert_eq!(processed, 1_200); // 400 events × 3 subscriptions
+    assert_eq!(broker.stats().fanned_out, 1_200);
+}
