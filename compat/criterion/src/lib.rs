@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so this workspace
+//! vendors the API subset the E1–E14 benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::{iter, iter_batched}`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! plain wall-clock loop (median of timed batches) — good enough to
+//! regenerate the experiment tables, with none of criterion's
+//! statistics machinery.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stand-in times each
+/// routine call individually, so the variants are equivalent.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Nanoseconds per iteration measured by the last `iter*` call.
+    ns_per_iter: f64,
+    measurement: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over repeated calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up and estimate a batch size targeting ~1ms per batch.
+        let start = Instant::now();
+        hint::black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(20));
+        let batch = (Duration::from_millis(1).as_nanos() / one.as_nanos()).clamp(1, 100_000) as u64;
+
+        let deadline = Instant::now() + self.measurement;
+        let mut samples: Vec<f64> = Vec::new();
+        while Instant::now() < deadline || samples.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(routine());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / batch as f64);
+            if samples.len() >= 5_000 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Time `routine` with a fresh untimed `setup` input per call.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.measurement;
+        let mut samples: Vec<f64> = Vec::new();
+        while Instant::now() < deadline || samples.is_empty() {
+            let input = setup();
+            let t0 = Instant::now();
+            hint::black_box(routine(input));
+            samples.push(t0.elapsed().as_nanos() as f64);
+            if samples.len() >= 5_000 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the stand-in sizes batches by
+    /// time, not sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (throughput annotations ignored).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d.min(Duration::from_millis(500));
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<O>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher) -> O,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            measurement: self.criterion.measurement,
+        };
+        f(&mut b);
+        report(&self.name, &id, b.ns_per_iter);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input.
+    pub fn bench_with_input<I: ?Sized, O>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I) -> O,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            measurement: self.criterion.measurement,
+        };
+        f(&mut b, input);
+        report(&self.name, &id, b.ns_per_iter);
+        self
+    }
+
+    /// End the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, id: &BenchmarkId, ns: f64) {
+    let (value, unit) = if ns >= 1_000_000.0 {
+        (ns / 1_000_000.0, "ms")
+    } else if ns >= 1_000.0 {
+        (ns / 1_000.0, "µs")
+    } else {
+        (ns, "ns")
+    };
+    eprintln!("{group}/{id:<40} time: {value:>10.3} {unit}/iter");
+}
+
+/// The top-level bench context.
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CSS_BENCH_MS overrides the per-benchmark measurement window.
+        let ms = std::env::var("CSS_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300);
+        Criterion {
+            measurement: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Define a bench group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from bench group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_positive_time() {
+        std::env::set_var("CSS_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_values() {
+        std::env::set_var("CSS_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("scale", 32).to_string(), "scale/32");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,461 @@
+//! The [`Strategy`] trait and core strategy implementations.
+
+use crate::TestRng;
+use rand::Rng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+/// A generator of random values of one type.
+///
+/// Unlike real proptest there is no shrinking: a strategy is just a
+/// pure function from an RNG to a value.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; `whence` names the filter in
+    /// the panic raised if it rejects too often.
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Randomly permute generated collections.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+        Self::Value: Shuffleable,
+    {
+        Shuffle { inner: self }
+    }
+
+    /// Build recursive structures: each of `depth` levels flips between
+    /// staying at the current depth and wrapping once more via `branch`.
+    /// The size/branch hints are accepted for API compatibility only.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = branch(current).boxed();
+            current = Union::new(vec![leaf.clone(), deeper]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Object-safe shim behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build from the alternatives (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.whence
+        );
+    }
+}
+
+/// Collections that [`Strategy::prop_shuffle`] can permute.
+pub trait Shuffleable {
+    /// Permute in place.
+    fn shuffle(&mut self, rng: &mut TestRng);
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle(&mut self, rng: &mut TestRng) {
+        // Fisher–Yates.
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        let mut v = self.inner.generate(rng);
+        v.shuffle(rng);
+        v
+    }
+}
+
+/// A collection-size specification (`0..10`, `1..=4`, or a fixed
+/// count), sampled uniformly per generated collection.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl SizeRange {
+    /// Draw one size.
+    pub fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Types with a canonical full-domain strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Sample uniformly from the whole domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: rand::Standard> Arbitrary for T {
+    fn arbitrary(rng: &mut TestRng) -> T {
+        rng.gen::<T>()
+    }
+}
+
+/// The canonical strategy for `T` (integers, `bool`, `f64`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: rand::SampleUniform + Copy + 'static,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: rand::SampleUniform + Copy + 'static,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---- regex-subset string strategies --------------------------------
+
+/// One repeated character class in a compiled pattern.
+struct Atom {
+    /// Inclusive `(lo, hi)` codepoint ranges.
+    ranges: Vec<(u32, u32)>,
+    min: u32,
+    max: u32,
+}
+
+/// Compile the supported regex subset: literal characters, `\`-escapes,
+/// `[...]` classes of literals and `a-z` ranges, and the quantifiers
+/// `{m}`, `{m,n}`, `?`, `*`, `+`. Anything else panics — the point is
+/// generating test data, not full regex semantics.
+fn compile_pattern(pattern: &str) -> Vec<Atom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut pending: Option<char> = None;
+                loop {
+                    let c = chars.next().unwrap_or_else(|| {
+                        panic!("unterminated character class in pattern {pattern:?}")
+                    });
+                    match c {
+                        ']' => {
+                            if let Some(p) = pending {
+                                ranges.push((p as u32, p as u32));
+                            }
+                            break;
+                        }
+                        '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                            let lo = pending.take().expect("pending start");
+                            let hi = chars.next().expect("range end");
+                            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                            ranges.push((lo as u32, hi as u32));
+                        }
+                        '\\' => {
+                            if let Some(p) = pending.replace(chars.next().unwrap_or_else(|| {
+                                panic!("dangling escape in pattern {pattern:?}")
+                            })) {
+                                ranges.push((p as u32, p as u32));
+                            }
+                        }
+                        '^' if pending.is_none() && ranges.is_empty() => {
+                            panic!("negated classes are unsupported in pattern {pattern:?}")
+                        }
+                        c => {
+                            if let Some(p) = pending.replace(c) {
+                                ranges.push((p as u32, p as u32));
+                            }
+                        }
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                ranges
+            }
+            '\\' => {
+                let c = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                vec![(c as u32, c as u32)]
+            }
+            '.' => vec![(' ' as u32, '~' as u32)],
+            c => vec![(c as u32, c as u32)],
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    body.push(c);
+                }
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {body:?}")),
+                        n.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {body:?}")),
+                    ),
+                    None => {
+                        let m = body
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier {body:?}"));
+                        (m, m)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        atoms.push(Atom { ranges, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in compile_pattern(self) {
+            let count = rng.gen_range(atom.min..=atom.max);
+            let total: u32 = atom.ranges.iter().map(|(lo, hi)| hi - lo + 1).sum();
+            for _ in 0..count {
+                let mut offset = rng.gen_range(0..total);
+                for &(lo, hi) in &atom.ranges {
+                    let span = hi - lo + 1;
+                    if offset < span {
+                        out.push(
+                            char::from_u32(lo + offset)
+                                .expect("pattern ranges are valid codepoints"),
+                        );
+                        break;
+                    }
+                    offset -= span;
+                }
+            }
+        }
+        out
+    }
+}

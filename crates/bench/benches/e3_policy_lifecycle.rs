@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use css_bench::print_header;
-use css_core::CssPlatform;
+use css_core::{CssPlatform, Role};
 use css_event::{EventSchema, FieldDef, FieldKind};
 use css_types::{EventTypeId, Purpose};
 
@@ -30,8 +30,8 @@ fn bench(c: &mut Criterion) {
                 let mut platform = CssPlatform::in_memory();
                 let hospital = platform.register_organization("Hospital").unwrap();
                 let doctor = platform.register_organization("Doctor").unwrap();
-                platform.join_as_producer(hospital).unwrap();
-                platform.join_as_consumer(doctor).unwrap();
+                platform.join(hospital, Role::Producer).unwrap();
+                platform.join(doctor, Role::Consumer).unwrap();
                 let producer = platform.producer(hospital).unwrap();
                 producer.declare(&schema(hospital), None).unwrap();
                 (platform, hospital, doctor)
@@ -60,8 +60,8 @@ fn bench(c: &mut Criterion) {
         let mut platform = CssPlatform::in_memory();
         let hospital = platform.register_organization("Hospital").unwrap();
         let doctor = platform.register_organization("Doctor").unwrap();
-        platform.join_as_producer(hospital).unwrap();
-        platform.join_as_consumer(doctor).unwrap();
+        platform.join(hospital, Role::Producer).unwrap();
+        platform.join(doctor, Role::Consumer).unwrap();
         let producer = platform.producer(hospital).unwrap();
         producer.declare(&schema(hospital), None).unwrap();
         let runs = 500;

@@ -131,6 +131,26 @@ fn bench(c: &mut Criterion) {
         })
     });
     group.finish();
+
+    // The controller's own registry timed every Algorithm-1 stage of
+    // the full-path runs above; report that breakdown alongside the
+    // per-stage micro-benchmarks.
+    let snapshot = world.controller.telemetry().snapshot();
+    println!("\nAlgorithm 1 stage breakdown (controller telemetry):");
+    for (name, h) in &snapshot.histograms {
+        if name.starts_with("stage.") {
+            println!(
+                "  {name:<24} count={:<8} p50={}ns p99={}ns max={}ns",
+                h.count, h.p50_ns, h.p99_ns, h.max_ns
+            );
+        }
+    }
+    println!(
+        "  permits={} denies={} of {} requests",
+        snapshot.counter("controller.detail_permits"),
+        snapshot.counter("controller.detail_denies"),
+        snapshot.counter("controller.detail_requests"),
+    );
 }
 
 criterion_group!(benches, bench);

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use css_core::CssPlatform;
+use css_core::{CssPlatform, Role};
 use css_event::{EventSchema, FieldDef, FieldKind};
 use css_types::{EventTypeId, Purpose};
 
@@ -22,9 +22,9 @@ fn bench(c: &mut Criterion) {
                 .unwrap(),
         );
     }
-    platform.join_as_producer(hospital).unwrap();
+    platform.join(hospital, Role::Producer).unwrap();
     for c in &consumers {
-        platform.join_as_consumer(*c).unwrap();
+        platform.join(*c, Role::Consumer).unwrap();
     }
     let schema = EventSchema::new(EventTypeId::v1("event"), "Event", hospital)
         .field(FieldDef::required("F1", FieldKind::Integer))

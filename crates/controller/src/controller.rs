@@ -9,6 +9,7 @@ use css_event::{EventSchema, NotificationMessage};
 use css_policy::{DetailRequest, PolicyDecisionPoint, PrivacyPolicy};
 use css_registry::EventCatalog;
 use css_storage::LogBackend;
+use css_telemetry::{MetricsRegistry, StageTimer};
 use css_types::{
     Actor, ActorId, ActorRegistry, Clock, CssError, CssResult, DenyReason, EventTypeId,
     GlobalEventId, IdGenerator, PersonId, PersonIdentity, PolicyId, Purpose, SourceEventId,
@@ -29,6 +30,9 @@ pub struct ControllerConfig {
     pub subscription: SubscriptionConfig,
     /// Clock used for policy evaluation, notifications and audit.
     pub clock: Arc<dyn Clock>,
+    /// Registry the controller and its bus record metrics into. Share
+    /// one registry across subsystems to get a platform-wide snapshot.
+    pub telemetry: MetricsRegistry,
 }
 
 impl ControllerConfig {
@@ -38,7 +42,15 @@ impl ControllerConfig {
             master_key: b"css-demo-master-key".to_vec(),
             subscription: SubscriptionConfig::default(),
             clock,
+            telemetry: MetricsRegistry::new(),
         }
+    }
+
+    /// Use an existing registry (e.g. the platform's) instead of a
+    /// private one.
+    pub fn with_telemetry(mut self, registry: MetricsRegistry) -> Self {
+        self.telemetry = registry;
+        self
     }
 }
 
@@ -69,6 +81,7 @@ pub struct DataController<B: LogBackend> {
     subscribers: HashMap<SubscriptionId, (ActorId, EventTypeId)>,
     clock: Arc<dyn Clock>,
     subscription_config: SubscriptionConfig,
+    telemetry: MetricsRegistry,
     eid_gen: IdGenerator,
     policy_gen: IdGenerator,
     request_gen: IdGenerator,
@@ -111,7 +124,7 @@ impl<B: LogBackend> DataController<B> {
             actors: ActorRegistry::new(),
             contracts: ContractRegistry::new(),
             catalog: EventCatalog::new(),
-            bus: Broker::new(),
+            bus: Broker::with_telemetry(&config.telemetry),
             index,
             pdp: PolicyDecisionPoint::new(),
             consent: ConsentRegistry::new(),
@@ -120,10 +133,16 @@ impl<B: LogBackend> DataController<B> {
             subscribers: HashMap::new(),
             clock: config.clock,
             subscription_config: config.subscription,
+            telemetry: config.telemetry,
             eid_gen: IdGenerator::starting_at(next_eid),
             policy_gen: IdGenerator::default(),
             request_gen: IdGenerator::default(),
         })
+    }
+
+    /// The registry this controller (and its bus) records into.
+    pub fn telemetry(&self) -> &MetricsRegistry {
+        &self.telemetry
     }
 
     /// Current controller time.
@@ -341,8 +360,11 @@ impl<B: LogBackend> DataController<B> {
             )));
         }
         let now = self.now();
+        let mut timer = StageTimer::start(&self.telemetry, "publish");
         // Consent gate at the source.
         if !self.consent.allows(person.id, producer, &event_type) {
+            timer.stage("consent_gate");
+            self.telemetry.counter("controller.publish_denied").inc();
             self.audit.append(
                 AuditRecord::new(now, producer, AuditAction::Publish)
                     .event_type(event_type.clone())
@@ -354,6 +376,7 @@ impl<B: LogBackend> DataController<B> {
                 person.id
             )));
         }
+        timer.stage("consent_gate");
         let global_id: GlobalEventId = self.eid_gen.next_id();
         let notification = NotificationMessage {
             global_id,
@@ -366,6 +389,7 @@ impl<B: LogBackend> DataController<B> {
         // Route first (all-or-nothing on overflow), then index.
         self.bus
             .publish(&event_type.to_string(), notification.clone())?;
+        timer.stage("route");
         let notified: HashSet<ActorId> = self
             .subscribers
             .values()
@@ -374,6 +398,7 @@ impl<B: LogBackend> DataController<B> {
             .collect();
         self.index
             .insert(&notification, src_event_id, notified.clone())?;
+        timer.stage("index");
         self.audit.append(
             AuditRecord::new(now, producer, AuditAction::Publish)
                 .event(global_id)
@@ -388,6 +413,9 @@ impl<B: LogBackend> DataController<B> {
                     .person(person.id),
             )?;
         }
+        timer.stage("audit");
+        timer.finish();
+        self.telemetry.counter("controller.published").inc();
         let mut notified: Vec<ActorId> = notified.into_iter().collect();
         notified.sort();
         Ok(PublishReceipt {
@@ -496,6 +524,7 @@ impl<B: LogBackend> DataController<B> {
             consent: &self.consent,
             audit: &mut self.audit,
             gateways: &self.gateways,
+            telemetry: &self.telemetry,
             now,
         };
         pep.get_event_details(&request)

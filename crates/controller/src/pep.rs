@@ -23,6 +23,7 @@ use css_audit::{AuditAction, AuditLog, AuditRecord};
 use css_event::PrivacyAwareEvent;
 use css_policy::{Decision, DetailRequest, PolicyDecisionPoint};
 use css_storage::LogBackend;
+use css_telemetry::{MetricsRegistry, StageTimer};
 use css_types::{ActorId, ActorRegistry, CssError, CssResult, DenyReason, Timestamp};
 
 use crate::consent::ConsentRegistry;
@@ -43,13 +44,23 @@ pub struct PolicyEnforcementPoint<'a, B: LogBackend> {
     pub audit: &'a mut AuditLog<B>,
     /// Producer gateways, keyed by producer organization.
     pub gateways: &'a HashMap<ActorId, Box<dyn GatewayClient>>,
+    /// Per-stage latency histograms (`stage.*`) and request counters.
+    pub telemetry: &'a MetricsRegistry,
     /// Evaluation instant.
     pub now: Timestamp,
 }
 
 impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
     /// Algorithm 1. Returns the privacy-aware event on permit.
+    ///
+    /// Each stage records its latency into a `stage.*` histogram; a
+    /// denied or failed request records only the stages it reached
+    /// (plus the `controller.detail_denies` counter), a permitted one
+    /// records all six and `stage.total`.
     pub fn get_event_details(&mut self, request: &DetailRequest) -> CssResult<PrivacyAwareEvent> {
+        self.telemetry.counter("controller.detail_requests").inc();
+        let denies = self.telemetry.counter("controller.detail_denies");
+        let mut timer = StageTimer::start(self.telemetry, "stage");
         let audit_base = || {
             AuditRecord::new(self.now, request.actor, AuditAction::DetailRequest)
                 .event(request.event_id)
@@ -63,12 +74,16 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
             match self.index.resolve_source(request.event_id) {
                 Ok(t) => t,
                 Err(e) => {
+                    timer.stage("pip_resolve");
+                    denies.inc();
                     self.audit
                         .append(audit_base().denied("event not found in index"))?;
                     return Err(e);
                 }
             };
         if indexed_type != request.event_type {
+            timer.stage("pip_resolve");
+            denies.inc();
             self.audit
                 .append(audit_base().denied("declared event type mismatch"))?;
             return Err(CssError::Invalid(format!(
@@ -76,6 +91,7 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                 request.event_type, request.event_id, indexed_type
             )));
         }
+        timer.stage("pip_resolve");
 
         // Precondition: the requester (or an enclosing organization)
         // received the notification.
@@ -85,7 +101,9 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                 .ancestors(request.actor)
                 .iter()
                 .any(|a| self.index.was_notified(request.event_id, *a));
+        timer.stage("notified_check");
         if !notified {
+            denies.inc();
             self.audit
                 .append(audit_base().denied(DenyReason::NotNotified.to_string()))?;
             return Err(CssError::AccessDenied(DenyReason::NotNotified));
@@ -94,10 +112,12 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
         // Precondition: data-subject consent (needs the person id, so
         // the controller unseals the identity it sealed at publish time).
         let notification = self.index.decrypt_notification(request.event_id)?;
-        if !self
+        let consented = self
             .consent
-            .allows(notification.person.id, producer, &request.event_type)
-        {
+            .allows(notification.person.id, producer, &request.event_type);
+        timer.stage("consent_check");
+        if !consented {
+            denies.inc();
             self.audit.append(
                 audit_base()
                     .person(notification.person.id)
@@ -108,8 +128,10 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
 
         // Steps 2–3 — PDP: find and evaluate the matching policy.
         let decision = self.pdp.evaluate(request, self.actors, self.now);
+        timer.stage("pdp_evaluate");
         match decision {
             Decision::Deny(reason) => {
+                denies.inc();
                 self.audit.append(
                     audit_base()
                         .person(notification.person.id)
@@ -127,6 +149,7 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                 let gateway = match self.gateways.get(&producer) {
                     Some(g) => g,
                     None => {
+                        denies.inc();
                         self.audit.append(
                             audit_base()
                                 .person(notification.person.id)
@@ -140,6 +163,8 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                 let details = match gateway.get_response(src_event_id, &allowed_fields) {
                     Ok(d) => d,
                     Err(e) => {
+                        timer.stage("gateway_retrieve");
+                        denies.inc();
                         self.audit.append(
                             audit_base()
                                 .person(notification.person.id)
@@ -148,12 +173,14 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                         return Err(e);
                     }
                 };
+                timer.stage("gateway_retrieve");
                 let response = PrivacyAwareEvent::release(
                     request.event_id,
                     producer,
                     &details,
                     allowed_fields,
                 );
+                timer.stage("obligation_filter");
                 let matched = matched_policies
                     .iter()
                     .map(|p| p.to_string())
@@ -164,6 +191,8 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                         .person(notification.person.id)
                         .with_detail(format!("matched: {matched}")),
                 )?;
+                timer.finish();
+                self.telemetry.counter("controller.detail_permits").inc();
                 Ok(response)
             }
         }

@@ -25,8 +25,8 @@
 //! let mut platform = CssPlatform::in_memory();
 //! let hospital = platform.register_organization("Hospital S. Maria").unwrap();
 //! let doctor = platform.register_organization("Family Doctor").unwrap();
-//! platform.join_as_producer(hospital).unwrap();
-//! platform.join_as_consumer(doctor).unwrap();
+//! platform.join(hospital, Role::Producer).unwrap();
+//! platform.join(doctor, Role::Consumer).unwrap();
 //!
 //! // Producer declares a class of events.
 //! let schema = EventSchema::new(EventTypeId::v1("blood-test"), "Blood Test", hospital)
@@ -57,14 +57,15 @@ pub use citizen::CitizenHandle;
 pub use consumer::{ConsumerHandle, Subscription};
 pub use elicitation::{PolicyWizard, WizardError};
 pub use pending::{AccessRequest, AccessRequestStatus};
-pub use platform::{CssPlatform, PlatformStats};
+pub use platform::{CssPlatform, CssPlatformBuilder, PlatformStats, Role};
 pub use producer::ProducerHandle;
 pub use provider::{BackendProvider, DirProvider, MemoryProvider};
 
 /// Commonly used items across the whole platform.
 pub mod prelude {
     pub use crate::{
-        CitizenHandle, ConsumerHandle, CssPlatform, PolicyWizard, ProducerHandle, Subscription,
+        CitizenHandle, ConsumerHandle, CssPlatform, CssPlatformBuilder, PolicyWizard,
+        ProducerHandle, Role, Subscription,
     };
     pub use css_controller::{ConsentDecision, ConsentScope, Credential, ParticipantRole};
     pub use css_event::{
@@ -72,6 +73,7 @@ pub mod prelude {
         NotificationMessage, PrivacyAwareEvent,
     };
     pub use css_policy::{PrivacyPolicy, ValidityWindow};
+    pub use css_telemetry::{MetricsRegistry, TelemetrySnapshot};
     pub use css_types::{
         Actor, ActorId, Clock, CssError, CssResult, DenyReason, Duration, EventTypeId,
         GlobalEventId, PersonId, PersonIdentity, Purpose, SimClock, Timestamp,

@@ -12,6 +12,8 @@ use css_controller::{
 };
 use css_gateway::LocalCooperationGateway;
 use css_policy::PolicyRepository;
+use css_storage::InstrumentedBackend;
+use css_telemetry::{MetricsRegistry, TelemetrySnapshot};
 use css_types::{Actor, ActorId, Clock, CssError, CssResult, IdGenerator, PersonId, SystemClock};
 
 use crate::citizen::CitizenHandle;
@@ -20,56 +22,119 @@ use crate::pending::AccessRequest;
 use crate::producer::ProducerHandle;
 use crate::provider::{BackendProvider, DirProvider, MemoryProvider};
 
-pub(crate) type SharedController<P> = Arc<Mutex<DataController<<P as BackendProvider>::Backend>>>;
-pub(crate) type SharedRepo<P> = Arc<Mutex<PolicyRepository<<P as BackendProvider>::Backend>>>;
+/// The backend an assembled platform actually runs on: the provider's
+/// backend wrapped with `storage.*` latency/byte telemetry.
+pub(crate) type PlatformBackend<P> = InstrumentedBackend<<P as BackendProvider>::Backend>;
+pub(crate) type SharedController<P> = Arc<Mutex<DataController<PlatformBackend<P>>>>;
+pub(crate) type SharedRepo<P> = Arc<Mutex<PolicyRepository<PlatformBackend<P>>>>;
 pub(crate) type SharedPending = Arc<Mutex<Vec<AccessRequest>>>;
 
-/// The assembled CSS platform: data controller + producer gateways +
-/// policy repository + pending-request queue.
-pub struct CssPlatform<P: BackendProvider = MemoryProvider> {
-    controller: SharedController<P>,
-    gateways: HashMap<ActorId, SharedGateway<P::Backend>>,
-    policy_repo: SharedRepo<P>,
-    pending: SharedPending,
-    roles: HashMap<ActorId, (bool, bool)>, // (produces, consumes)
-    src_gens: HashMap<ActorId, Arc<IdGenerator>>,
-    actor_gen: IdGenerator,
-    identity: IdentityManager,
-    identity_enforced: bool,
+/// The capacity in which an organization joins the platform
+/// ([`CssPlatform::join`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Publishes events: signs a producer contract and stands up a
+    /// Local Cooperation Gateway.
+    Producer,
+    /// Subscribes to notifications and requests event details.
+    Consumer,
+    /// Both capacities at once.
+    Both,
+}
+
+/// Step-by-step assembly of a [`CssPlatform`].
+///
+/// The presets ([`CssPlatform::in_memory`], [`CssPlatform::on_disk`])
+/// cover the common configurations; the builder exposes every knob:
+///
+/// ```
+/// use std::sync::Arc;
+/// use css_core::{CssPlatform, CssPlatformBuilder};
+/// use css_types::{SimClock, Timestamp};
+///
+/// let platform = CssPlatformBuilder::new()
+///     .clock(Arc::new(SimClock::starting_at(Timestamp(0))))
+///     .enforce_identity(true)
+///     .build()
+///     .unwrap();
+/// # let _ = platform;
+/// ```
+pub struct CssPlatformBuilder<P: BackendProvider = MemoryProvider> {
     provider: P,
     clock: Arc<dyn Clock>,
+    enforce_identity: bool,
+    telemetry: MetricsRegistry,
 }
 
-impl CssPlatform<MemoryProvider> {
-    /// An all-in-memory platform on the system clock — the quickstart
-    /// configuration.
-    pub fn in_memory() -> Self {
-        Self::with_provider(MemoryProvider, Arc::new(SystemClock)).expect("memory init")
-    }
-
-    /// An in-memory platform on an explicit (usually simulated) clock.
-    pub fn in_memory_with_clock(clock: Arc<dyn Clock>) -> Self {
-        Self::with_provider(MemoryProvider, clock).expect("memory init")
+impl Default for CssPlatformBuilder<MemoryProvider> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
-impl CssPlatform<DirProvider> {
-    /// A disk-backed platform storing all logs under `dir`.
-    pub fn on_disk(dir: impl Into<std::path::PathBuf>, clock: Arc<dyn Clock>) -> CssResult<Self> {
-        Self::with_provider(DirProvider::new(dir)?, clock)
+impl CssPlatformBuilder<MemoryProvider> {
+    /// A builder with the quickstart defaults: in-memory backends, the
+    /// system clock, no identity enforcement, a fresh metrics registry.
+    pub fn new() -> Self {
+        CssPlatformBuilder {
+            provider: MemoryProvider,
+            clock: Arc::new(SystemClock),
+            enforce_identity: false,
+            telemetry: MetricsRegistry::new(),
+        }
     }
 }
 
-impl<P: BackendProvider> CssPlatform<P> {
-    /// Assemble a platform over a backend provider.
-    pub fn with_provider(provider: P, clock: Arc<dyn Clock>) -> CssResult<Self> {
-        let config = ControllerConfig::with_clock(clock.clone());
+impl<P: BackendProvider> CssPlatformBuilder<P> {
+    /// Use a different storage backend provider (changes the platform's
+    /// type parameter).
+    pub fn provider<Q: BackendProvider>(self, provider: Q) -> CssPlatformBuilder<Q> {
+        CssPlatformBuilder {
+            provider,
+            clock: self.clock,
+            enforce_identity: self.enforce_identity,
+            telemetry: self.telemetry,
+        }
+    }
+
+    /// Use an explicit (usually simulated) clock.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Start with credential enforcement on: handles can then only be
+    /// obtained through the `*_with_credential` accessors.
+    pub fn enforce_identity(mut self, on: bool) -> Self {
+        self.enforce_identity = on;
+        self
+    }
+
+    /// Record platform metrics into an externally owned registry (e.g.
+    /// one shared with a benchmark harness) instead of a fresh one.
+    pub fn telemetry(mut self, registry: MetricsRegistry) -> Self {
+        self.telemetry = registry;
+        self
+    }
+
+    /// Assemble the platform.
+    pub fn build(self) -> CssResult<CssPlatform<P>> {
+        let CssPlatformBuilder {
+            provider,
+            clock,
+            enforce_identity,
+            telemetry,
+        } = self;
+        let config = ControllerConfig::with_clock(clock.clone()).with_telemetry(telemetry.clone());
         let controller = DataController::with_backends(
             config,
-            provider.backend("audit")?,
-            provider.backend("events-index")?,
+            InstrumentedBackend::new(provider.backend("audit")?, &telemetry),
+            InstrumentedBackend::new(provider.backend("events-index")?, &telemetry),
         )?;
-        let policy_repo = PolicyRepository::open(provider.backend("policies")?)?;
+        let policy_repo = PolicyRepository::open(InstrumentedBackend::new(
+            provider.backend("policies")?,
+            &telemetry,
+        ))?;
         Ok(CssPlatform {
             controller: Arc::new(Mutex::new(controller)),
             gateways: HashMap::new(),
@@ -79,10 +144,66 @@ impl<P: BackendProvider> CssPlatform<P> {
             src_gens: HashMap::new(),
             actor_gen: IdGenerator::default(),
             identity: IdentityManager::new(b"css-identity-master"),
-            identity_enforced: false,
+            identity_enforced: enforce_identity,
+            registry: telemetry,
             provider,
             clock,
         })
+    }
+}
+
+/// The assembled CSS platform: data controller + producer gateways +
+/// policy repository + pending-request queue.
+pub struct CssPlatform<P: BackendProvider = MemoryProvider> {
+    controller: SharedController<P>,
+    gateways: HashMap<ActorId, SharedGateway<PlatformBackend<P>>>,
+    policy_repo: SharedRepo<P>,
+    pending: SharedPending,
+    roles: HashMap<ActorId, (bool, bool)>, // (produces, consumes)
+    src_gens: HashMap<ActorId, Arc<IdGenerator>>,
+    actor_gen: IdGenerator,
+    identity: IdentityManager,
+    identity_enforced: bool,
+    registry: MetricsRegistry,
+    provider: P,
+    clock: Arc<dyn Clock>,
+}
+
+impl CssPlatform<MemoryProvider> {
+    /// A builder starting from the quickstart defaults.
+    pub fn builder() -> CssPlatformBuilder<MemoryProvider> {
+        CssPlatformBuilder::new()
+    }
+
+    /// An all-in-memory platform on the system clock — the quickstart
+    /// configuration.
+    pub fn in_memory() -> Self {
+        Self::builder().build().expect("memory init")
+    }
+
+    /// An in-memory platform on an explicit (usually simulated) clock.
+    pub fn in_memory_with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self::builder().clock(clock).build().expect("memory init")
+    }
+}
+
+impl CssPlatform<DirProvider> {
+    /// A disk-backed platform storing all logs under `dir`.
+    pub fn on_disk(dir: impl Into<std::path::PathBuf>, clock: Arc<dyn Clock>) -> CssResult<Self> {
+        CssPlatformBuilder::new()
+            .provider(DirProvider::new(dir)?)
+            .clock(clock)
+            .build()
+    }
+}
+
+impl<P: BackendProvider> CssPlatform<P> {
+    /// Assemble a platform over a backend provider.
+    pub fn with_provider(provider: P, clock: Arc<dyn Clock>) -> CssResult<Self> {
+        CssPlatformBuilder::new()
+            .provider(provider)
+            .clock(clock)
+            .build()
     }
 
     /// The platform clock.
@@ -134,29 +255,61 @@ impl<P: BackendProvider> CssPlatform<P> {
         self.controller.lock().sign_contract(actor, role)
     }
 
-    /// Sign a producer contract for an organization and stand up its
-    /// Local Cooperation Gateway.
-    pub fn join_as_producer(&mut self, actor: ActorId) -> CssResult<()> {
-        self.sign(actor, true, false)?;
-        if !self.gateways.contains_key(&actor) {
-            let backend = self.provider.backend(&format!("gateway-{actor}"))?;
-            let gateway: SharedGateway<P::Backend> =
-                Arc::new(Mutex::new(LocalCooperationGateway::open(actor, backend)?));
-            // Resume source-id generation past any records recovered
-            // from a previous session, so restarts never collide.
-            let next_src = gateway
-                .lock()
-                .max_src_id()
-                .map(|s| s.value() + 1)
-                .unwrap_or(1);
-            self.controller
-                .lock()
-                .register_gateway(actor, Box::new(gateway.clone()));
-            self.gateways.insert(actor, gateway);
-            self.src_gens
-                .insert(actor, Arc::new(IdGenerator::starting_at(next_src)));
+    /// Sign a contract for an organization in the given capacity.
+    /// Joining as [`Role::Producer`] (or [`Role::Both`]) also stands up
+    /// the organization's Local Cooperation Gateway. Joining again in
+    /// another capacity widens the contract.
+    pub fn join(&mut self, actor: ActorId, role: Role) -> CssResult<()> {
+        let (produce, consume) = match role {
+            Role::Producer => (true, false),
+            Role::Consumer => (false, true),
+            Role::Both => (true, true),
+        };
+        self.sign(actor, produce, consume)?;
+        if produce {
+            self.ensure_gateway(actor)?;
         }
         Ok(())
+    }
+
+    fn ensure_gateway(&mut self, actor: ActorId) -> CssResult<()> {
+        if self.gateways.contains_key(&actor) {
+            return Ok(());
+        }
+        let backend = InstrumentedBackend::new(
+            self.provider.backend(&format!("gateway-{actor}"))?,
+            &self.registry,
+        );
+        let mut gw = LocalCooperationGateway::open(actor, backend)?;
+        gw.instrument(&self.registry);
+        let gateway: SharedGateway<PlatformBackend<P>> = Arc::new(Mutex::new(gw));
+        // Resume source-id generation past any records recovered
+        // from a previous session, so restarts never collide.
+        let next_src = gateway
+            .lock()
+            .max_src_id()
+            .map(|s| s.value() + 1)
+            .unwrap_or(1);
+        self.controller
+            .lock()
+            .register_gateway(actor, Box::new(gateway.clone()));
+        self.gateways.insert(actor, gateway);
+        self.src_gens
+            .insert(actor, Arc::new(IdGenerator::starting_at(next_src)));
+        Ok(())
+    }
+
+    /// Sign a producer contract for an organization and stand up its
+    /// Local Cooperation Gateway.
+    #[deprecated(note = "use `join(actor, Role::Producer)`")]
+    pub fn join_as_producer(&mut self, actor: ActorId) -> CssResult<()> {
+        self.join(actor, Role::Producer)
+    }
+
+    /// Sign a consumer contract for an organization.
+    #[deprecated(note = "use `join(actor, Role::Consumer)`")]
+    pub fn join_as_consumer(&mut self, actor: ActorId) -> CssResult<()> {
+        self.join(actor, Role::Consumer)
     }
 
     /// Reload every policy from the certified repository into the
@@ -171,11 +324,6 @@ impl<P: BackendProvider> CssPlatform<P> {
             controller.restore_policy(policy);
         }
         Ok(n)
-    }
-
-    /// Sign a consumer contract for an organization.
-    pub fn join_as_consumer(&mut self, actor: ActorId) -> CssResult<()> {
-        self.sign(actor, false, true)
     }
 
     // ---- identity management (Section 5 future work) -------------------
@@ -223,8 +371,8 @@ impl<P: BackendProvider> CssPlatform<P> {
     /// The producer-side handle for a joined producer.
     pub fn producer(&self, actor: ActorId) -> CssResult<ProducerHandle<P>> {
         if self.identity_enforced {
-            return Err(CssError::Crypto(
-                "identity enforcement active: use producer_with_credential".into(),
+            return Err(CssError::CredentialRequired(
+                "use producer_with_credential".into(),
             ));
         }
         self.producer_unchecked(actor)
@@ -255,8 +403,8 @@ impl<P: BackendProvider> CssPlatform<P> {
     /// for the organization itself or any unit/role inside it.
     pub fn consumer(&self, actor: ActorId) -> CssResult<ConsumerHandle<P>> {
         if self.identity_enforced {
-            return Err(CssError::Crypto(
-                "identity enforcement active: use consumer_with_credential".into(),
+            return Err(CssError::CredentialRequired(
+                "use consumer_with_credential".into(),
             ));
         }
         self.consumer_unchecked(actor)
@@ -327,9 +475,52 @@ impl<P: BackendProvider> CssPlatform<P> {
         self.policy_repo.clone()
     }
 
-    /// All pending access requests (any producer).
+    // ---- telemetry ---------------------------------------------------------
+
+    /// A point-in-time snapshot of every platform metric: counters,
+    /// gauges, and latency histograms from the bus (`bus.*`), the
+    /// storage layer (`storage.*`), each gateway (`gateway.*`), the
+    /// publish pipeline (`publish.*`), and the Algorithm-1 enforcement
+    /// stages (`stage.*`), plus `platform.*` state-size gauges.
+    ///
+    /// This subsumes [`CssPlatform::stats`], which remains as a
+    /// compatibility shim over the same underlying counters.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        {
+            let controller = self.controller.lock();
+            let r = &self.registry;
+            r.gauge("platform.indexed_events")
+                .set(controller.index_len() as i64);
+            r.gauge("platform.audit_records")
+                .set(controller.audit_len() as i64);
+            r.gauge("platform.policies")
+                .set(controller.policy_count() as i64);
+            r.gauge("platform.actors")
+                .set(controller.actors().len() as i64);
+        }
+        let pending = self
+            .pending
+            .lock()
+            .iter()
+            .filter(|r| r.status == crate::pending::AccessRequestStatus::Pending)
+            .count();
+        self.registry
+            .gauge("platform.pending_requests")
+            .set(pending as i64);
+        self.registry.snapshot()
+    }
+
+    /// The live metrics registry behind [`CssPlatform::telemetry`] —
+    /// for wiring into benchmark harnesses or exporters.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
     /// Operational snapshot: sizes of the platform's core state, the
     /// kind of dashboard numbers a platform operator watches.
+    ///
+    /// Compatibility shim — prefer [`CssPlatform::telemetry`], which
+    /// adds latency histograms and hot-path counters.
     pub fn stats(&self) -> PlatformStats {
         let controller = self.controller.lock();
         PlatformStats {
@@ -347,6 +538,7 @@ impl<P: BackendProvider> CssPlatform<P> {
         }
     }
 
+    /// All pending access requests (any producer).
     pub fn pending_requests(&self) -> Vec<AccessRequest> {
         self.pending.lock().clone()
     }

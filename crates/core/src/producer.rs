@@ -11,7 +11,7 @@ use css_types::{
 
 use crate::elicitation::PolicyWizard;
 use crate::pending::{AccessRequest, AccessRequestStatus};
-use crate::platform::{SharedController, SharedPending, SharedRepo};
+use crate::platform::{PlatformBackend, SharedController, SharedPending, SharedRepo};
 use crate::provider::BackendProvider;
 
 /// What a data source system programs against: declare classes, publish
@@ -20,7 +20,7 @@ pub struct ProducerHandle<P: BackendProvider> {
     controller: SharedController<P>,
     policy_repo: SharedRepo<P>,
     pending: SharedPending,
-    gateway: SharedGateway<P::Backend>,
+    gateway: SharedGateway<PlatformBackend<P>>,
     src_gen: Arc<IdGenerator>,
     actor: ActorId,
 }
@@ -30,7 +30,7 @@ impl<P: BackendProvider> ProducerHandle<P> {
         controller: SharedController<P>,
         policy_repo: SharedRepo<P>,
         pending: SharedPending,
-        gateway: SharedGateway<P::Backend>,
+        gateway: SharedGateway<PlatformBackend<P>>,
         src_gen: Arc<IdGenerator>,
         actor: ActorId,
     ) -> Self {

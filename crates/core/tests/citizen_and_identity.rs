@@ -36,8 +36,8 @@ fn setup() -> World {
     let mut platform = CssPlatform::in_memory_with_clock(Arc::new(clock.clone()));
     let hospital = platform.register_organization("Hospital").unwrap();
     let doctor = platform.register_organization("Doctor").unwrap();
-    platform.join_as_producer(hospital).unwrap();
-    platform.join_as_consumer(doctor).unwrap();
+    platform.join(hospital, Role::Producer).unwrap();
+    platform.join(doctor, Role::Consumer).unwrap();
     let producer = platform.producer(hospital).unwrap();
     producer.declare(&schema(hospital), None).unwrap();
     producer
@@ -154,11 +154,11 @@ fn identity_enforcement_gates_handles() {
     // Plain handles are refused.
     assert!(matches!(
         w.platform.consumer(w.doctor),
-        Err(CssError::Crypto(_))
+        Err(CssError::CredentialRequired(_))
     ));
     assert!(matches!(
         w.platform.producer(w.hospital),
-        Err(CssError::Crypto(_))
+        Err(CssError::CredentialRequired(_))
     ));
 
     // Credentialed handles work.

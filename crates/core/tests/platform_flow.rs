@@ -44,9 +44,9 @@ fn setup() -> World {
     let hospital = platform.register_organization("Hospital S. Maria").unwrap();
     let doctor = platform.register_organization("Family Doctor").unwrap();
     let welfare = platform.register_organization("Social Welfare").unwrap();
-    platform.join_as_producer(hospital).unwrap();
-    platform.join_as_consumer(doctor).unwrap();
-    platform.join_as_consumer(welfare).unwrap();
+    platform.join(hospital, Role::Producer).unwrap();
+    platform.join(doctor, Role::Consumer).unwrap();
+    platform.join(welfare, Role::Consumer).unwrap();
     platform
         .producer(hospital)
         .unwrap()
@@ -379,8 +379,8 @@ fn on_disk_platform_restarts_with_policies() {
         let mut platform = CssPlatform::on_disk(&dir, Arc::new(clock.clone())).unwrap();
         hospital = platform.register_organization("Hospital").unwrap();
         doctor = platform.register_organization("Doctor").unwrap();
-        platform.join_as_producer(hospital).unwrap();
-        platform.join_as_consumer(doctor).unwrap();
+        platform.join(hospital, Role::Producer).unwrap();
+        platform.join(doctor, Role::Consumer).unwrap();
         let producer = platform.producer(hospital).unwrap();
         producer.declare(&blood_test(hospital), None).unwrap();
         policy_id = producer
@@ -534,4 +534,99 @@ fn schema_evolution_to_v2_keeps_both_versions_usable() {
     );
     // Result is sensitive and not in the v2 grant.
     assert!(resp.details.get("Result").unwrap().is_empty());
+}
+
+#[test]
+fn builder_configures_clock_identity_and_shared_telemetry() {
+    let clock = SimClock::starting_at(Timestamp(9_000));
+    let registry = MetricsRegistry::new();
+    let mut platform = CssPlatformBuilder::new()
+        .clock(Arc::new(clock.clone()))
+        .enforce_identity(true)
+        .telemetry(registry.clone())
+        .build()
+        .unwrap();
+    assert_eq!(platform.clock().now(), Timestamp(9_000));
+
+    let hospital = platform.register_organization("Hospital").unwrap();
+    platform.join(hospital, Role::Producer).unwrap();
+
+    // Identity enforcement was on from the start: plain handles refuse.
+    assert!(matches!(
+        platform.producer(hospital),
+        Err(CssError::CredentialRequired(_))
+    ));
+    let cred = platform.issue_credential(hospital).unwrap();
+    assert!(platform.producer_with_credential(&cred).is_ok());
+
+    // The externally owned registry is the one the platform records
+    // into (joining as producer instruments a gateway backend).
+    assert!(registry
+        .snapshot()
+        .histograms
+        .contains_key("storage.append"));
+}
+
+#[test]
+fn join_both_widens_and_deprecated_wrappers_delegate() {
+    let mut w = setup();
+    let clinic = w.platform.register_organization("Clinic").unwrap();
+    w.platform.join(clinic, Role::Both).unwrap();
+    // Producer side: gateway stood up; consumer side: contract signed.
+    assert!(w.platform.producer(clinic).is_ok());
+    assert!(w.platform.consumer(clinic).is_ok());
+
+    // Consumer-only joins never create a gateway.
+    assert!(w.platform.producer(w.doctor).is_err());
+
+    // The deprecated wrappers still compile and delegate to join().
+    let lab = w.platform.register_organization("Laboratory").unwrap();
+    #[allow(deprecated)]
+    {
+        w.platform.join_as_producer(lab).unwrap();
+        w.platform.join_as_consumer(lab).unwrap();
+    }
+    assert!(w.platform.producer(lab).is_ok());
+    assert!(w.platform.consumer(lab).is_ok());
+}
+
+#[test]
+fn telemetry_subsumes_stats() {
+    let w = setup();
+    let producer = w.platform.producer(w.hospital).unwrap();
+    producer
+        .policy_wizard(&EventTypeId::v1("blood-test"))
+        .unwrap()
+        .select_fields(["PatientId"])
+        .unwrap()
+        .grant_to([w.doctor])
+        .unwrap()
+        .for_purposes([Purpose::HealthcareTreatment])
+        .labeled("t", "")
+        .save()
+        .unwrap();
+    producer
+        .publish(mario(), "bt", details(), w.clock.now())
+        .unwrap();
+
+    let stats = w.platform.stats();
+    let telemetry = w.platform.telemetry();
+    assert_eq!(
+        telemetry.gauge("platform.indexed_events") as usize,
+        stats.indexed_events
+    );
+    assert_eq!(
+        telemetry.gauge("platform.audit_records") as usize,
+        stats.audit_records
+    );
+    assert_eq!(
+        telemetry.gauge("platform.policies") as usize,
+        stats.policies
+    );
+    assert_eq!(telemetry.counter("bus.published"), stats.bus.published);
+    assert_eq!(
+        telemetry.counter("controller.published"),
+        stats.bus.published
+    );
+    assert!(telemetry.histogram("publish.total").is_some());
 }

@@ -1,12 +1,40 @@
 //! The gateway proper: schema registry + detail store + Algorithm 2.
 
 use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
 
 use css_event::{DetailMessage, EventDetails, EventSchema};
 use css_storage::LogBackend;
+use css_telemetry::{Counter, Histogram, MetricsRegistry};
 use css_types::{ActorId, CssError, CssResult, EventTypeId, SourceEventId};
 
 use crate::store::DetailStore;
+
+/// Cached telemetry handles for the gateway's Algorithm 2 path.
+struct GatewayInstruments {
+    /// `gateway.persist` — schema validation + store append.
+    persist_latency: Histogram,
+    /// `gateway.retrieve` — repository lookup + record load.
+    retrieve_latency: Histogram,
+    /// `gateway.filter` — field filtering into the privacy-aware view.
+    filter_latency: Histogram,
+    /// `gateway.persisted` — detail messages stored.
+    persisted: Counter,
+    /// `gateway.responses` — successful `getResponse` answers.
+    responses: Counter,
+}
+
+impl GatewayInstruments {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        GatewayInstruments {
+            persist_latency: registry.histogram("gateway.persist"),
+            retrieve_latency: registry.histogram("gateway.retrieve"),
+            filter_latency: registry.histogram("gateway.filter"),
+            persisted: registry.counter("gateway.persisted"),
+            responses: registry.counter("gateway.responses"),
+        }
+    }
+}
 
 /// The producer-side gateway.
 ///
@@ -22,6 +50,7 @@ pub struct LocalCooperationGateway<B: LogBackend> {
     /// The gateway itself keeps answering when this is `false`; the flag
     /// exists so simulations can show the contrast with direct queries.
     source_online: bool,
+    telemetry: Option<GatewayInstruments>,
 }
 
 impl<B: LogBackend> LocalCooperationGateway<B> {
@@ -32,7 +61,15 @@ impl<B: LogBackend> LocalCooperationGateway<B> {
             schemas: HashMap::new(),
             store: DetailStore::open(backend)?,
             source_online: true,
+            telemetry: None,
         })
+    }
+
+    /// Record persist/retrieve/filter latencies and throughput counters
+    /// into `registry` under `gateway.*` names. Several gateways may
+    /// share one registry; their metrics aggregate.
+    pub fn instrument(&mut self, registry: &MetricsRegistry) {
+        self.telemetry = Some(GatewayInstruments::resolve(registry));
     }
 
     /// The producer this gateway serves.
@@ -76,7 +113,15 @@ impl<B: LogBackend> LocalCooperationGateway<B> {
                 ))
             })?;
         schema.validate(&message.details)?;
-        self.store.persist(schema, message)
+        let started = Instant::now();
+        let out = self.store.persist(schema, message);
+        if let Some(t) = &self.telemetry {
+            t.persist_latency.record_duration(started.elapsed());
+            if out.is_ok() {
+                t.persisted.inc();
+            }
+        }
+        out
     }
 
     /// Algorithm 2 — `getResponse(src_eID, F)`:
@@ -92,6 +137,7 @@ impl<B: LogBackend> LocalCooperationGateway<B> {
         src_event_id: SourceEventId,
         allowed: &BTreeSet<String>,
     ) -> CssResult<EventDetails> {
+        let started = Instant::now();
         let ty_text = self
             .store
             .stored_type(src_event_id)?
@@ -107,11 +153,18 @@ impl<B: LogBackend> LocalCooperationGateway<B> {
             .store
             .load(schema, src_event_id)?
             .ok_or_else(|| CssError::NotFound(format!("no details for {src_event_id}")))?;
+        let retrieved = Instant::now();
         let filtered = message.details.filtered_to(allowed);
         assert!(
             filtered.is_privacy_safe(allowed),
             "gateway postcondition: response must be privacy safe"
         );
+        if let Some(t) = &self.telemetry {
+            t.retrieve_latency
+                .record_duration(retrieved.duration_since(started));
+            t.filter_latency.record_duration(retrieved.elapsed());
+            t.responses.inc();
+        }
         Ok(filtered)
     }
 
@@ -299,6 +352,28 @@ mod tests {
             .unwrap();
         assert_eq!(resp.get("PatientId").unwrap(), &FieldValue::Integer(42));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn instrumented_gateway_records_algorithm2_metrics() {
+        let registry = css_telemetry::MetricsRegistry::new();
+        let mut gw = gateway();
+        gw.instrument(&registry);
+        gw.persist(&message(1)).unwrap();
+        gw.persist(&message(2)).unwrap();
+        gw.get_response(SourceEventId(1), &allowed(&["PatientId"]))
+            .unwrap();
+        // A failed lookup is not counted as a response.
+        assert!(gw
+            .get_response(SourceEventId(404), &allowed(&["PatientId"]))
+            .is_err());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("gateway.persisted"), 2);
+        assert_eq!(snap.counter("gateway.responses"), 1);
+        assert_eq!(snap.histogram("gateway.persist").unwrap().count, 2);
+        assert_eq!(snap.histogram("gateway.retrieve").unwrap().count, 1);
+        assert_eq!(snap.histogram("gateway.filter").unwrap().count, 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use css_core::{CssPlatform, MemoryProvider};
+use css_core::{CssPlatform, MemoryProvider, Role};
 use css_event::{EventSchema, FieldDef, FieldKind};
 use css_types::{
     ActorId, CssResult, EventTypeId, PersonId, PersonIdentity, Purpose, SimClock, Timestamp,
@@ -272,11 +272,11 @@ impl Scenario {
         // Contracts: producers also consume (e.g. telecare reacts to
         // discharges), doctors/governance only consume.
         for p in [hospital, municipality, telecare, welfare] {
-            platform.join_as_producer(p)?;
-            platform.join_as_consumer(p)?;
+            platform.join(p, Role::Producer)?;
+            platform.join(p, Role::Consumer)?;
         }
         for c in orgs.family_doctors.iter().copied().chain([governance]) {
-            platform.join_as_consumer(c)?;
+            platform.join(c, Role::Consumer)?;
         }
 
         // Declare event classes.

@@ -19,9 +19,11 @@
 
 pub mod backend;
 pub mod crc;
+pub mod instrument;
 pub mod kv;
 pub mod log;
 
 pub use backend::{FileBackend, LogBackend, MemBackend};
+pub use instrument::InstrumentedBackend;
 pub use kv::KvStore;
 pub use log::{RecordLog, RecordPtr, ScanOutcome};

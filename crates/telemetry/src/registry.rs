@@ -1,0 +1,208 @@
+//! Named instrument registry and point-in-time snapshots.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A shared, named collection of instruments.
+///
+/// Cloning is cheap and shares state, so one registry can thread
+/// through every subsystem of a platform instance. The internal mutex
+/// guards only the name → handle maps: components resolve their
+/// handles once (get-or-create) and then record lock-free.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter registered under `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock().expect("telemetry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge registered under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("telemetry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram registered under `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.histograms.lock().expect("telemetry lock");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Freeze every instrument into plain data.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("telemetry lock")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("telemetry lock")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("telemetry lock")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        TelemetrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// Every instrument's value at one instant, in stable name order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// A counter's total, 0 if it was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's level, 0 if it was never registered.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// A histogram's summary, if it was registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Line-oriented text exposition:
+    ///
+    /// ```text
+    /// counter bus.published 42
+    /// gauge bus.queue_depth 3
+    /// histogram stage.consent count=42 mean_ns=810 p50_ns=1023 p90_ns=2047 p99_ns=4095 max_ns=3891
+    /// ```
+    ///
+    /// One instrument per line, keys in stable order — greppable and
+    /// diffable, which is the point.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("counter {name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("gauge {name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name} count={} mean_ns={} p50_ns={} p90_ns={} p99_ns={} max_ns={}\n",
+                h.count,
+                h.mean_ns(),
+                h.p50_ns,
+                h.p90_ns,
+                h.p99_ns,
+                h.max_ns,
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for TelemetrySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_shared_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        a.inc();
+        b.inc();
+        assert_eq!(reg.counter("hits").get(), 2);
+
+        let g = reg.gauge("depth");
+        g.add(7);
+        assert_eq!(reg.gauge("depth").get(), 7);
+
+        reg.histogram("lat").record(100);
+        assert_eq!(reg.histogram("lat").count(), 1);
+    }
+
+    #[test]
+    fn cloned_registry_shares_instruments() {
+        let reg = MetricsRegistry::new();
+        let clone = reg.clone();
+        clone.counter("hits").add(3);
+        assert_eq!(reg.snapshot().counter("hits"), 3);
+    }
+
+    #[test]
+    fn snapshot_captures_all_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.count").add(5);
+        reg.gauge("b.depth").set(-2);
+        reg.histogram("c.lat").record(1_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a.count"), 5);
+        assert_eq!(snap.gauge("b.depth"), -2);
+        assert_eq!(snap.histogram("c.lat").unwrap().count, 1);
+        assert_eq!(snap.counter("missing"), 0);
+        assert!(snap.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn text_exposition_is_stable_and_complete() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").inc();
+        reg.gauge("depth").set(4);
+        reg.histogram("lat").record(10);
+        let text = reg.snapshot().to_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "counter a.first 1");
+        assert_eq!(lines[1], "counter z.last 1");
+        assert_eq!(lines[2], "gauge depth 4");
+        assert!(lines[3].starts_with("histogram lat count=1 "));
+        assert_eq!(reg.snapshot().to_string(), text);
+    }
+}

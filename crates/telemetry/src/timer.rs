@@ -1,0 +1,123 @@
+//! Multi-stage pipeline timing.
+
+use crate::MetricsRegistry;
+use std::time::{Duration, Instant};
+
+/// Splits one pass through a pipeline into per-stage histograms.
+///
+/// Each [`stage`](StageTimer::stage) call records the time since the
+/// previous boundary into `"{prefix}.{stage}"` — one clock read per
+/// boundary, so an N-stage pipeline costs N+1 `Instant::now()` calls
+/// total. A pass that bails early (a deny, an error) simply records
+/// the stages it reached, which is exactly the truth.
+///
+/// ```
+/// use css_telemetry::{MetricsRegistry, StageTimer};
+///
+/// let registry = MetricsRegistry::new();
+/// let mut timer = StageTimer::start(&registry, "stage");
+/// // ... resolve the event source ...
+/// timer.stage("pip_resolve");
+/// // ... evaluate policy ...
+/// timer.stage("pdp_evaluate");
+/// timer.finish();
+///
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.histogram("stage.pip_resolve").unwrap().count, 1);
+/// assert_eq!(snap.histogram("stage.total").unwrap().count, 1);
+/// ```
+#[derive(Debug)]
+pub struct StageTimer<'a> {
+    registry: &'a MetricsRegistry,
+    prefix: &'a str,
+    started: Instant,
+    last: Instant,
+}
+
+impl<'a> StageTimer<'a> {
+    /// Start timing; the first `stage` call measures from here.
+    pub fn start(registry: &'a MetricsRegistry, prefix: &'a str) -> Self {
+        let now = Instant::now();
+        StageTimer {
+            registry,
+            prefix,
+            started: now,
+            last: now,
+        }
+    }
+
+    /// Close the current stage: record the time since the previous
+    /// boundary into `"{prefix}.{stage}"` and start the next stage.
+    pub fn stage(&mut self, stage: &str) {
+        let now = Instant::now();
+        self.registry
+            .histogram(&format!("{}.{stage}", self.prefix))
+            .record_duration(now.duration_since(self.last));
+        self.last = now;
+    }
+
+    /// Time since `start`, across all stages so far.
+    pub fn elapsed_total(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Record the whole pass into `"{prefix}.total"` and consume the
+    /// timer. Optional — drop the timer to skip the total histogram.
+    pub fn finish(self) {
+        self.registry
+            .histogram(&format!("{}.total", self.prefix))
+            .record_duration(self.started.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_record_into_prefixed_histograms() {
+        let registry = MetricsRegistry::new();
+        let mut timer = StageTimer::start(&registry, "pipeline");
+        timer.stage("first");
+        std::thread::sleep(Duration::from_millis(2));
+        timer.stage("second");
+        timer.finish();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("pipeline.first").unwrap().count, 1);
+        let second = snap.histogram("pipeline.second").unwrap();
+        assert_eq!(second.count, 1);
+        assert!(
+            second.max_ns >= 2_000_000,
+            "slept 2ms, saw {}",
+            second.max_ns
+        );
+        let total = snap.histogram("pipeline.total").unwrap();
+        assert!(total.max_ns >= second.max_ns);
+    }
+
+    #[test]
+    fn early_exit_records_only_reached_stages() {
+        let registry = MetricsRegistry::new();
+        {
+            let mut timer = StageTimer::start(&registry, "p");
+            timer.stage("reached");
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("p.reached").unwrap().count, 1);
+        assert!(snap.histogram("p.total").is_none());
+    }
+
+    #[test]
+    fn repeated_passes_accumulate() {
+        let registry = MetricsRegistry::new();
+        for _ in 0..10 {
+            let mut timer = StageTimer::start(&registry, "p");
+            timer.stage("only");
+            timer.finish();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("p.only").unwrap().count, 10);
+        assert_eq!(snap.histogram("p.total").unwrap().count, 10);
+    }
+}

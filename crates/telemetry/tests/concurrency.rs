@@ -1,0 +1,70 @@
+//! Instruments must stay consistent under concurrent recording.
+
+use css_telemetry::MetricsRegistry;
+use std::thread;
+
+#[test]
+fn counters_are_exact_across_threads() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let registry = MetricsRegistry::new();
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                let counter = registry.counter("hits");
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        registry.snapshot().counter("hits"),
+        THREADS as u64 * PER_THREAD
+    );
+}
+
+#[test]
+fn histograms_lose_no_observations_across_threads() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 5_000;
+
+    let registry = MetricsRegistry::new();
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                let h = registry.histogram("lat");
+                for i in 0..PER_THREAD {
+                    // Spread across several buckets.
+                    h.record((t + 1) * 1_000 + i % 7);
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    let h = snap.histogram("lat").unwrap();
+    assert_eq!(h.count, THREADS * PER_THREAD);
+    assert!(h.max_ns >= THREADS * 1_000);
+    assert!(h.p50_ns <= h.p90_ns && h.p90_ns <= h.p99_ns);
+}
+
+#[test]
+fn gauges_balance_across_threads() {
+    let registry = MetricsRegistry::new();
+    thread::scope(|scope| {
+        for _ in 0..6 {
+            let registry = registry.clone();
+            scope.spawn(move || {
+                let g = registry.gauge("depth");
+                for _ in 0..1_000 {
+                    g.inc();
+                    g.dec();
+                }
+            });
+        }
+    });
+    assert_eq!(registry.snapshot().gauge("depth"), 0);
+}

@@ -31,6 +31,9 @@ pub enum CssError {
     Bus(String),
     /// Cryptographic failure (MAC mismatch, bad key material).
     Crypto(String),
+    /// Identity enforcement is active: the operation needs a validated
+    /// credential (the hint names the credentialed accessor to use).
+    CredentialRequired(String),
     /// The participant has not signed a contract with the data controller.
     NoContract(String),
 }
@@ -78,6 +81,7 @@ impl fmt::Display for CssError {
             CssError::Serialization(s) => write!(f, "serialization error: {s}"),
             CssError::Bus(s) => write!(f, "bus error: {s}"),
             CssError::Crypto(s) => write!(f, "crypto error: {s}"),
+            CssError::CredentialRequired(s) => write!(f, "credential required: {s}"),
             CssError::NoContract(s) => write!(f, "no contract: {s}"),
         }
     }

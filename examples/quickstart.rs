@@ -15,8 +15,8 @@ fn main() -> CssResult<()> {
     let mut platform = CssPlatform::in_memory();
     let hospital = platform.register_organization("Hospital S. Maria")?;
     let doctor = platform.register_organization("Family Doctor Bianchi")?;
-    platform.join_as_producer(hospital)?;
-    platform.join_as_consumer(doctor)?;
+    platform.join(hospital, Role::Producer)?;
+    platform.join(doctor, Role::Consumer)?;
 
     // 2. The hospital declares a class of events (its "XSD" in the
     //    catalog).
@@ -86,5 +86,12 @@ fn main() -> CssResult<()> {
         "audit: {} records, {} denied, head intact",
         report.total, report.denied
     );
+
+    // 9. The platform timed every hot-path stage along the way.
+    let telemetry = platform.telemetry();
+    assert!(telemetry.counter("controller.published") >= 1);
+    assert!(telemetry.counter("bus.published") >= 1);
+    assert!(telemetry.histogram("stage.pdp_evaluate").is_some());
+    println!("\ntelemetry snapshot:\n{telemetry}");
     Ok(())
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: formatting, lints, build, tests.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: build + test"
+cargo build --release
+cargo test -q

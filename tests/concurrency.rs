@@ -12,8 +12,8 @@ fn build_platform() -> (Arc<CssPlatform>, ActorId, ActorId, SimClock) {
     let mut platform = CssPlatform::in_memory_with_clock(Arc::new(clock.clone()));
     let hospital = platform.register_organization("Hospital").unwrap();
     let doctor = platform.register_organization("Doctor").unwrap();
-    platform.join_as_producer(hospital).unwrap();
-    platform.join_as_consumer(doctor).unwrap();
+    platform.join(hospital, Role::Producer).unwrap();
+    platform.join(doctor, Role::Consumer).unwrap();
     let schema = EventSchema::new(EventTypeId::v1("obs"), "Observation", hospital)
         .field(FieldDef::required("PatientId", FieldKind::Integer))
         .field(FieldDef::optional("Value", FieldKind::Integer).sensitive());

@@ -48,8 +48,8 @@ fn platform_survives_full_restart_cycle() {
         let mut platform = CssPlatform::on_disk(&dir, Arc::new(clock.clone())).unwrap();
         let hospital = platform.register_organization(hospital_name).unwrap();
         let doctor = platform.register_organization("Doctor").unwrap();
-        platform.join_as_producer(hospital).unwrap();
-        platform.join_as_consumer(doctor).unwrap();
+        platform.join(hospital, Role::Producer).unwrap();
+        platform.join(doctor, Role::Consumer).unwrap();
         let schema = EventSchema::new(EventTypeId::v1("visit"), "Visit", hospital)
             .field(FieldDef::required("PatientId", FieldKind::Integer))
             .field(FieldDef::optional("Notes", FieldKind::Text).sensitive());
@@ -110,8 +110,8 @@ fn audit_tampering_detected_on_reload() {
         let mut platform = CssPlatform::on_disk(&dir, Arc::new(clock.clone())).unwrap();
         let org = platform.register_organization("Org").unwrap();
         let org2 = platform.register_organization("Org2").unwrap();
-        platform.join_as_consumer(org).unwrap();
-        platform.join_as_consumer(org2).unwrap();
+        platform.join(org, Role::Consumer).unwrap();
+        platform.join(org2, Role::Consumer).unwrap();
     }
     // Flip one byte inside the FIRST audit record's payload. (A flipped
     // final record is indistinguishable from a torn tail and is dropped
@@ -217,8 +217,8 @@ fn full_restart_preserves_events_policies_and_details() {
         let mut platform = CssPlatform::on_disk(&dir, Arc::new(clock.clone())).unwrap();
         let hospital = platform.register_organization("Hospital").unwrap();
         let doctor = platform.register_organization("Doctor").unwrap();
-        platform.join_as_producer(hospital).unwrap();
-        platform.join_as_consumer(doctor).unwrap();
+        platform.join(hospital, Role::Producer).unwrap();
+        platform.join(doctor, Role::Consumer).unwrap();
         let producer = platform.producer(hospital).unwrap();
         producer.declare(&schema_of(hospital), None).unwrap();
         producer
@@ -250,8 +250,8 @@ fn full_restart_preserves_events_policies_and_details() {
         // same ids) and re-declare schemas.
         let hospital = platform.register_organization("Hospital").unwrap();
         let doctor = platform.register_organization("Doctor").unwrap();
-        platform.join_as_producer(hospital).unwrap();
-        platform.join_as_consumer(doctor).unwrap();
+        platform.join(hospital, Role::Producer).unwrap();
+        platform.join(doctor, Role::Consumer).unwrap();
         let producer = platform.producer(hospital).unwrap();
         producer.declare(&schema_of(hospital), None).unwrap();
         // Policies come back from the certified repository.
