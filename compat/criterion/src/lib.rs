@@ -74,6 +74,8 @@ impl fmt::Display for BenchmarkId {
 pub struct Bencher {
     /// Nanoseconds per iteration measured by the last `iter*` call.
     ns_per_iter: f64,
+    /// Total routine invocations across the last `iter*` call.
+    iters: u64,
     measurement: Duration,
 }
 
@@ -98,6 +100,7 @@ impl Bencher {
                 break;
             }
         }
+        self.iters = 1 + batch * samples.len() as u64;
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
         self.ns_per_iter = samples[samples.len() / 2];
     }
@@ -120,6 +123,7 @@ impl Bencher {
                 break;
             }
         }
+        self.iters = samples.len() as u64;
         samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
         self.ns_per_iter = samples[samples.len() / 2];
     }
@@ -153,10 +157,11 @@ impl<'a> BenchmarkGroup<'a> {
         let id = id.into();
         let mut b = Bencher {
             ns_per_iter: 0.0,
+            iters: 0,
             measurement: self.criterion.measurement,
         };
         f(&mut b);
-        report(&self.name, &id, b.ns_per_iter);
+        report(&self.name, &id, b.ns_per_iter, b.iters);
         self
     }
 
@@ -170,10 +175,11 @@ impl<'a> BenchmarkGroup<'a> {
         let id = id.into();
         let mut b = Bencher {
             ns_per_iter: 0.0,
+            iters: 0,
             measurement: self.criterion.measurement,
         };
         f(&mut b, input);
-        report(&self.name, &id, b.ns_per_iter);
+        report(&self.name, &id, b.ns_per_iter, b.iters);
         self
     }
 
@@ -181,7 +187,7 @@ impl<'a> BenchmarkGroup<'a> {
     pub fn finish(self) {}
 }
 
-fn report(group: &str, id: &BenchmarkId, ns: f64) {
+fn report(group: &str, id: &BenchmarkId, ns: f64, iters: u64) {
     let (value, unit) = if ns >= 1_000_000.0 {
         (ns / 1_000_000.0, "ms")
     } else if ns >= 1_000.0 {
@@ -189,7 +195,7 @@ fn report(group: &str, id: &BenchmarkId, ns: f64) {
     } else {
         (ns, "ns")
     };
-    eprintln!("{group}/{id:<40} time: {value:>10.3} {unit}/iter");
+    eprintln!("{group}/{id:<40} time: {value:>10.3} {unit}/iter (n={iters})");
 }
 
 /// The top-level bench context.

@@ -78,6 +78,39 @@ impl<B: LogBackend> AuditLog<B> {
         Ok(seq)
     }
 
+    /// Append several records as one group commit, assigning their
+    /// sequence numbers. Returns the seq of the first record.
+    ///
+    /// The persisted frames are byte-identical to sequential
+    /// [`AuditLog::append`] calls — recovery cannot tell them apart —
+    /// but the storage backend sees a single write for the whole batch.
+    /// The publish path uses this for the per-consumer Delivery fan-out.
+    pub fn append_batch(
+        &mut self,
+        records: impl IntoIterator<Item = AuditRecord>,
+    ) -> CssResult<u64> {
+        let first_seq = self.records.len() as u64;
+        let mut assigned = Vec::new();
+        let mut payloads = Vec::new();
+        for mut record in records {
+            record.seq = first_seq + assigned.len() as u64;
+            payloads.push(css_xml::to_string(&record.to_xml()).into_bytes());
+            assigned.push(record);
+        }
+        if assigned.is_empty() {
+            return Ok(first_seq);
+        }
+        if let Some(storage) = &mut self.storage {
+            let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+            storage.append_batch(&refs)?;
+        }
+        for (record, payload) in assigned.into_iter().zip(payloads) {
+            self.chain.append(payload);
+            self.records.push(record);
+        }
+        Ok(first_seq)
+    }
+
     /// Flush persisted records to stable storage.
     pub fn sync(&mut self) -> CssResult<()> {
         if let Some(storage) = &mut self.storage {
@@ -155,6 +188,37 @@ mod tests {
         log.append(rec(1)).unwrap();
         assert_ne!(h0, h1);
         assert_ne!(h1, log.head());
+    }
+
+    #[test]
+    fn append_batch_matches_sequential_appends() {
+        let mut sequential = AuditLog::open(MemBackend::new()).unwrap();
+        for i in 0..6 {
+            sequential.append(rec(i)).unwrap();
+        }
+        let mut batched = AuditLog::open(MemBackend::new()).unwrap();
+        batched.append(rec(0)).unwrap();
+        let first = batched.append_batch((1..6).map(rec)).unwrap();
+        assert_eq!(first, 1);
+        assert_eq!(batched.len(), 6);
+        assert_eq!(batched.head(), sequential.head());
+        batched.verify().unwrap();
+        // Reopen replays batched frames exactly like sequential ones.
+        let backend = batched.storage.unwrap().into_backend();
+        let reopened = AuditLog::open(backend).unwrap();
+        assert_eq!(reopened.len(), 6);
+        assert_eq!(reopened.head(), sequential.head());
+        assert_eq!(reopened.records()[4].seq, 4);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut log = AuditLog::<MemBackend>::in_memory();
+        log.append(rec(0)).unwrap();
+        let head = log.head();
+        assert_eq!(log.append_batch(std::iter::empty()).unwrap(), 1);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.head(), head);
     }
 
     #[test]

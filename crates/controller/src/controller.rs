@@ -113,13 +113,7 @@ impl<B: LogBackend> DataController<B> {
     ) -> CssResult<Self> {
         // Continue minting global ids after the highest recovered one so
         // restarts never reuse an eID (nonce safety for the sealer).
-        let next_eid = index
-            .events_between(Timestamp::EPOCH, Timestamp(u64::MAX))
-            .iter()
-            .map(|id| id.value())
-            .max()
-            .map(|m| m + 1)
-            .unwrap_or(1);
+        let next_eid = index.max_event_id().map(|m| m.value() + 1).unwrap_or(1);
         Ok(DataController {
             actors: ActorRegistry::new(),
             contracts: ContractRegistry::new(),
@@ -154,7 +148,12 @@ impl<B: LogBackend> DataController<B> {
 
     /// Register an actor in the organizational registry.
     pub fn register_actor(&mut self, actor: Actor) -> CssResult<()> {
-        self.actors.register(actor)
+        self.actors.register(actor)?;
+        // The hierarchy is an input to policy matching (a new unit under
+        // an organization inherits its grants), so cached decisions are
+        // no longer trustworthy.
+        self.pdp.invalidate_cache();
+        Ok(())
     }
 
     /// The actor registry (read-only).
@@ -280,13 +279,10 @@ impl<B: LogBackend> DataController<B> {
 
     /// Whether any policy (valid now, not revoked) authorizes `consumer`
     /// for events of `event_type` — the subscription / inquiry gate.
+    /// Served from the PDP's generation-stamped cache on repeat checks.
     pub fn is_authorized_consumer(&self, consumer: ActorId, event_type: &EventTypeId) -> bool {
-        let now = self.now();
-        self.pdp.policies_for(event_type).iter().any(|p| {
-            !p.revoked
-                && p.validity.contains(now)
-                && self.actors.is_same_or_descendant(consumer, p.actor)
-        })
+        self.pdp
+            .is_authorized(consumer, event_type, &self.actors, self.now())
     }
 
     // ---- subscription --------------------------------------------------
@@ -399,20 +395,24 @@ impl<B: LogBackend> DataController<B> {
         self.index
             .insert(&notification, src_event_id, notified.clone())?;
         timer.stage("index");
-        self.audit.append(
+        // One group commit for the Publish record and the per-consumer
+        // Delivery fan-out: a single storage write instead of 1 + N.
+        let mut records = Vec::with_capacity(1 + notified.len());
+        records.push(
             AuditRecord::new(now, producer, AuditAction::Publish)
                 .event(global_id)
                 .event_type(event_type.clone())
                 .person(person.id),
-        )?;
+        );
         for consumer in &notified {
-            self.audit.append(
+            records.push(
                 AuditRecord::new(now, *consumer, AuditAction::Delivery)
                     .event(global_id)
                     .event_type(event_type.clone())
                     .person(person.id),
-            )?;
+            );
         }
+        self.audit.append_batch(records)?;
         timer.stage("audit");
         timer.finish();
         self.telemetry.counter("controller.published").inc();
@@ -473,19 +473,14 @@ impl<B: LogBackend> DataController<B> {
             .ok_or_else(|| CssError::NotFound(format!("actor {consumer} not registered")))?;
         self.contracts.require_consumer(org)?;
         let now = self.now();
-        let mut out = Vec::new();
-        for id in candidates {
-            let ty = match self.index.entry(id) {
-                Some(e) => e.event_type.clone(),
-                None => continue,
-            };
-            if !self.is_authorized_consumer(consumer, &ty) {
-                continue;
-            }
-            let notification = self.index.decrypt_notification(id)?;
-            self.index.mark_notified(id, consumer)?;
-            out.push(notification);
-        }
+        // Resolve each candidate once inside the index (entry lookup,
+        // authorization, decrypt and notified-marking share a single
+        // entry resolution; markers are persisted as one batch).
+        let pdp = &self.pdp;
+        let actors = &self.actors;
+        let mut out = self.index.filter_authorized(&candidates, consumer, |ty| {
+            pdp.is_authorized(consumer, ty, actors, now)
+        })?;
         self.audit.append(
             AuditRecord::new(now, consumer, AuditAction::IndexInquiry)
                 .with_detail(format!("{} events returned", out.len())),

@@ -20,7 +20,7 @@
 //! identity persisted as hex, never plaintext) and replayed on restart,
 //! so a controller restart loses no notifications.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use css_crypto::SealedBox;
 use css_event::NotificationMessage;
@@ -129,6 +129,11 @@ pub struct EventsIndex<B: LogBackend = MemBackend> {
     entries: HashMap<GlobalEventId, IndexEntry>,
     by_person_tag: HashMap<[u8; 32], Vec<GlobalEventId>>,
     by_type: HashMap<EventTypeId, Vec<GlobalEventId>>,
+    /// Secondary time index: `events_between` becomes a range scan
+    /// instead of a full-index sweep.
+    by_time: BTreeMap<Timestamp, Vec<GlobalEventId>>,
+    /// Largest indexed event id (assembly resumes numbering from here).
+    max_id: Option<GlobalEventId>,
     storage: Option<RecordLog<B>>,
 }
 
@@ -144,6 +149,8 @@ impl<B: LogBackend> EventsIndex<B> {
             entries: HashMap::new(),
             by_person_tag: HashMap::new(),
             by_type: HashMap::new(),
+            by_time: BTreeMap::new(),
+            max_id: None,
             storage: None,
         }
     }
@@ -200,6 +207,13 @@ impl<B: LogBackend> EventsIndex<B> {
             .entry(entry.event_type.clone())
             .or_default()
             .push(entry.global_id);
+        self.by_time
+            .entry(entry.occurred_at)
+            .or_default()
+            .push(entry.global_id);
+        if self.max_id.is_none_or(|m| entry.global_id > m) {
+            self.max_id = Some(entry.global_id);
+        }
         self.entries.insert(entry.global_id, entry);
     }
 
@@ -326,16 +340,73 @@ impl<B: LogBackend> EventsIndex<B> {
         self.by_type.get(ty).cloned().unwrap_or_default()
     }
 
-    /// Event ids in a time range (inclusive), any class.
+    /// Event ids in a time range (inclusive), any class — a range scan
+    /// over the time index, touching only in-window entries.
     pub fn events_between(&self, from: Timestamp, to: Timestamp) -> Vec<GlobalEventId> {
+        if from > to {
+            return Vec::new();
+        }
         let mut out: Vec<GlobalEventId> = self
-            .entries
-            .values()
-            .filter(|e| e.occurred_at >= from && e.occurred_at <= to)
-            .map(|e| e.global_id)
+            .by_time
+            .range(from..=to)
+            .flat_map(|(_, ids)| ids.iter().copied())
             .collect();
         out.sort();
         out
+    }
+
+    /// Largest indexed event id, if any (O(1); assembly resumes global
+    /// numbering from here without walking the index).
+    pub fn max_event_id(&self) -> Option<GlobalEventId> {
+        self.max_id
+    }
+
+    /// Resolve each candidate event once for an inquiry on behalf of
+    /// `consumer`: one entry lookup covers the authorization check
+    /// (`authorize` is asked per event class), the identity decryption
+    /// and the notified-marking, instead of three separate map probes.
+    /// Newly-set notified markers are persisted as one batch append.
+    pub fn filter_authorized(
+        &mut self,
+        candidates: &[GlobalEventId],
+        consumer: ActorId,
+        mut authorize: impl FnMut(&EventTypeId) -> bool,
+    ) -> CssResult<Vec<NotificationMessage>> {
+        let mut out = Vec::new();
+        let mut markers: Vec<Vec<u8>> = Vec::new();
+        for &id in candidates {
+            let Some(entry) = self.entries.get_mut(&id) else {
+                continue;
+            };
+            if !authorize(&entry.event_type) {
+                continue;
+            }
+            let bytes = self
+                .sealer
+                .open(&entry.sealed_identity)
+                .map_err(|e| CssError::Crypto(e.to_string()))?;
+            let person = PersonIdentity::from_bytes(&bytes)
+                .ok_or_else(|| CssError::Crypto("sealed identity malformed".into()))?;
+            out.push(NotificationMessage {
+                global_id: entry.global_id,
+                event_type: entry.event_type.clone(),
+                person,
+                description: entry.description.clone(),
+                occurred_at: entry.occurred_at,
+                producer: entry.producer,
+            });
+            if entry.notified.insert(consumer) {
+                let marker = Element::new("Notified")
+                    .attr("eventId", id.to_string())
+                    .attr("actor", consumer.to_string());
+                markers.push(css_xml::to_string(&marker).into_bytes());
+            }
+        }
+        if let Some(storage) = &mut self.storage {
+            let refs: Vec<&[u8]> = markers.iter().map(Vec::as_slice).collect();
+            storage.append_batch(&refs)?;
+        }
+        Ok(out)
     }
 
     /// Flush persisted records to stable storage.
@@ -462,6 +533,76 @@ mod tests {
             window,
             vec![GlobalEventId(2), GlobalEventId(3), GlobalEventId(4)]
         );
+    }
+
+    #[test]
+    fn time_index_agrees_with_full_scan() {
+        let mut idx = index();
+        // Deliberately colliding timestamps: ids 1..=12 mapped onto four
+        // instants, inserted out of id order.
+        for (i, id) in [5u64, 1, 9, 3, 12, 7, 2, 11, 4, 8, 6, 10]
+            .iter()
+            .enumerate()
+        {
+            let mut n = notif(*id, *id, "x");
+            n.occurred_at = Timestamp((i as u64 % 4) * 100);
+            idx.insert(&n, SourceEventId(*id), HashSet::new()).unwrap();
+        }
+        let full_scan = |from: Timestamp, to: Timestamp| {
+            let mut out: Vec<GlobalEventId> = (1..=12)
+                .map(GlobalEventId)
+                .filter(|id| {
+                    let at = idx.entry(*id).unwrap().occurred_at;
+                    at >= from && at <= to
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        for (from, to) in [
+            (Timestamp(0), Timestamp(u64::MAX)),
+            (Timestamp(0), Timestamp(0)),
+            (Timestamp(100), Timestamp(200)),
+            (Timestamp(150), Timestamp(250)),
+            (Timestamp(301), Timestamp(u64::MAX)),
+        ] {
+            assert_eq!(idx.events_between(from, to), full_scan(from, to));
+        }
+        // Inverted range: empty, not a panic.
+        assert!(idx.events_between(Timestamp(10), Timestamp(5)).is_empty());
+        assert_eq!(idx.max_event_id(), Some(GlobalEventId(12)));
+    }
+
+    #[test]
+    fn filter_authorized_resolves_marks_and_persists_once() {
+        let mut idx = EventsIndex::open(b"k", MemBackend::new()).unwrap();
+        for id in 1..=3u64 {
+            idx.insert(
+                &notif(id, id, if id == 2 { "secret" } else { "open" }),
+                SourceEventId(id),
+                HashSet::new(),
+            )
+            .unwrap();
+        }
+        let candidates = [
+            GlobalEventId(1),
+            GlobalEventId(2),
+            GlobalEventId(3),
+            GlobalEventId(404),
+        ];
+        let open = EventTypeId::v1("open");
+        let out = idx
+            .filter_authorized(&candidates, ActorId(5), |ty| *ty == open)
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].person.fiscal_code, "FC1");
+        assert!(idx.was_notified(GlobalEventId(1), ActorId(5)));
+        assert!(!idx.was_notified(GlobalEventId(2), ActorId(5)));
+        // Re-running adds no new markers (and so no new bytes).
+        let bytes = idx.storage.as_ref().unwrap().byte_len();
+        idx.filter_authorized(&candidates, ActorId(5), |ty| *ty == open)
+            .unwrap();
+        assert_eq!(idx.storage.as_ref().unwrap().byte_len(), bytes);
     }
 
     #[test]

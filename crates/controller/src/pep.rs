@@ -126,9 +126,17 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
             return Err(CssError::AccessDenied(DenyReason::ConsentWithheld));
         }
 
-        // Steps 2–3 — PDP: find and evaluate the matching policy.
-        let decision = self.pdp.evaluate(request, self.actors, self.now);
+        // Steps 2–3 — PDP: find and evaluate the matching policy. The
+        // PDP answers repeat (actor, type, purpose) requests from its
+        // decision cache; hits and misses are counted separately so the
+        // cache-hit rate is visible in a telemetry snapshot.
+        let (decision, cache_hit) = self.pdp.evaluate_traced(request, self.actors, self.now);
         timer.stage("pdp_evaluate");
+        if cache_hit {
+            self.telemetry.counter("pdp.cache_hit").inc();
+        } else {
+            self.telemetry.counter("pdp.cache_miss").inc();
+        }
         match decision {
             Decision::Deny(reason) => {
                 denies.inc();

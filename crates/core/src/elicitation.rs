@@ -195,6 +195,7 @@ impl<P: BackendProvider> PolicyWizard<P> {
         let mut controller = self.controller.lock();
         let mut repo = self.repo.lock();
         let mut ids = Vec::with_capacity(self.consumers.len());
+        let mut saved = Vec::with_capacity(self.consumers.len());
         for consumer in &self.consumers {
             let policy = PrivacyPolicy::new(
                 controller.next_policy_id(),
@@ -206,11 +207,13 @@ impl<P: BackendProvider> PolicyWizard<P> {
             )
             .valid(self.validity)
             .labeled(self.label.clone(), self.description.clone());
-            let id = policy.id;
+            ids.push(policy.id);
             controller.define_policy(policy.clone())?;
-            repo.save(&policy)?;
-            ids.push(id);
+            saved.push(policy);
         }
+        // One group commit for the whole consumer fan-out: a single
+        // storage write + sync instead of one per policy.
+        repo.save_all(&saved)?;
         Ok(ids)
     }
 }

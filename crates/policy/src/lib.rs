@@ -22,6 +22,7 @@
 //! "certificated repository of the privacy policies" held by the data
 //! controller.
 
+pub mod cache;
 pub mod decision;
 pub mod matching;
 pub mod model;
@@ -30,6 +31,7 @@ pub mod repository;
 pub mod request;
 pub mod xacml;
 
+pub use cache::CacheStats;
 pub use decision::Decision;
 pub use matching::{matches, MatchOutcome};
 pub use model::{PrivacyPolicy, ValidityWindow};

@@ -13,19 +13,38 @@
 //! read-only rules.
 
 use std::collections::HashMap;
+use std::fmt;
 
-use css_types::{ActorRegistry, DenyReason, EventTypeId, PolicyId, Timestamp};
+use css_types::{ActorId, ActorRegistry, DenyReason, EventTypeId, PolicyId, Purpose, Timestamp};
 
+use crate::cache::{CacheStats, DecisionCache, Generation, StabilityInterval};
 use crate::decision::Decision;
 use crate::matching::{matches, MatchOutcome};
 use crate::model::PrivacyPolicy;
 use crate::request::DetailRequest;
 
-/// In-memory decision point over an indexed policy set.
-#[derive(Debug, Default)]
+/// In-memory decision point over an indexed policy set, with a
+/// generation-stamped decision cache over the evaluation paths.
+#[derive(Default)]
 pub struct PolicyDecisionPoint {
     by_type: HashMap<EventTypeId, Vec<PrivacyPolicy>>,
-    count: usize,
+    /// `id → event type` so removal and revocation resolve their bucket
+    /// in O(1) instead of scanning every bucket.
+    by_id: HashMap<PolicyId, EventTypeId>,
+    /// Bumped on every policy mutation; stale cache entries miss.
+    generation: Generation,
+    eval_cache: DecisionCache<(ActorId, EventTypeId, Purpose), Decision>,
+    auth_cache: DecisionCache<(ActorId, EventTypeId), bool>,
+}
+
+impl fmt::Debug for PolicyDecisionPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyDecisionPoint")
+            .field("policies", &self.by_id.len())
+            .field("event_types", &self.by_type.len())
+            .field("generation", &self.generation.current())
+            .finish()
+    }
 }
 
 impl PolicyDecisionPoint {
@@ -34,47 +53,87 @@ impl PolicyDecisionPoint {
         Self::default()
     }
 
+    /// Invalidate every cached decision (policy set changed, or an
+    /// external input of matching — e.g. the actor hierarchy — did).
+    pub fn invalidate_cache(&self) {
+        self.generation.bump();
+        self.eval_cache.clear();
+        self.auth_cache.clear();
+    }
+
+    /// The current cache generation (bumped on every mutation).
+    pub fn cache_generation(&self) -> u64 {
+        self.generation.current()
+    }
+
+    /// Hit/miss totals across both decision caches.
+    pub fn cache_stats(&self) -> CacheStats {
+        let e = self.eval_cache.stats();
+        let a = self.auth_cache.stats();
+        CacheStats {
+            hits: e.hits + a.hits,
+            misses: e.misses + a.misses,
+        }
+    }
+
     /// Load a policy. Replaces any existing policy with the same id.
     pub fn install(&mut self, policy: PrivacyPolicy) {
         self.remove(policy.id);
+        self.by_id.insert(policy.id, policy.event_type.clone());
         self.by_type
             .entry(policy.event_type.clone())
             .or_default()
             .push(policy);
-        self.count += 1;
+        self.invalidate_cache();
     }
 
     /// Remove a policy by id. Returns whether it was present.
     pub fn remove(&mut self, id: PolicyId) -> bool {
-        for policies in self.by_type.values_mut() {
-            if let Some(pos) = policies.iter().position(|p| p.id == id) {
-                policies.remove(pos);
-                self.count -= 1;
-                return true;
-            }
+        let Some(event_type) = self.by_id.remove(&id) else {
+            return false;
+        };
+        let bucket = self
+            .by_type
+            .get_mut(&event_type)
+            .expect("by_id points at a live bucket");
+        let pos = bucket
+            .iter()
+            .position(|p| p.id == id)
+            .expect("by_id entry present in its bucket");
+        bucket.remove(pos);
+        // Drop emptied buckets so churn doesn't grow the map forever.
+        if bucket.is_empty() {
+            self.by_type.remove(&event_type);
         }
-        false
+        self.invalidate_cache();
+        true
     }
 
     /// Mark a policy revoked (kept for audit, never matches again).
     pub fn revoke(&mut self, id: PolicyId) -> bool {
-        for policies in self.by_type.values_mut() {
-            if let Some(p) = policies.iter_mut().find(|p| p.id == id) {
-                p.revoke();
-                return true;
-            }
+        let Some(event_type) = self.by_id.get(&id) else {
+            return false;
+        };
+        let revoked = self
+            .by_type
+            .get_mut(event_type)
+            .and_then(|bucket| bucket.iter_mut().find(|p| p.id == id))
+            .map(|p| p.revoke())
+            .is_some();
+        if revoked {
+            self.invalidate_cache();
         }
-        false
+        revoked
     }
 
     /// Number of installed policies (including revoked ones).
     pub fn len(&self) -> usize {
-        self.count
+        self.by_id.len()
     }
 
     /// Whether no policies are installed.
     pub fn is_empty(&self) -> bool {
-        self.count == 0
+        self.by_id.is_empty()
     }
 
     /// All policies for an event type.
@@ -90,11 +149,73 @@ impl PolicyDecisionPoint {
         self.by_type.values().flatten()
     }
 
-    /// Evaluate a request (Algorithm 1, steps 2–3).
+    /// Evaluate a request (Algorithm 1, steps 2–3), consulting the
+    /// decision cache first.
     ///
     /// Returns `Permit` with the union of allowed fields over all
     /// matching policies, or the most precise deny reason observed.
     pub fn evaluate(
+        &self,
+        request: &DetailRequest,
+        actors: &ActorRegistry,
+        now: Timestamp,
+    ) -> Decision {
+        self.evaluate_traced(request, actors, now).0
+    }
+
+    /// Like [`PolicyDecisionPoint::evaluate`], also reporting whether
+    /// the decision was answered from the cache (for telemetry).
+    pub fn evaluate_traced(
+        &self,
+        request: &DetailRequest,
+        actors: &ActorRegistry,
+        now: Timestamp,
+    ) -> (Decision, bool) {
+        let generation = self.generation.current();
+        let key = (
+            request.actor,
+            request.event_type.clone(),
+            request.purpose.clone(),
+        );
+        if let Some(decision) = self.eval_cache.get(&key, generation, now) {
+            return (decision, true);
+        }
+        let decision = self.evaluate_uncached(request, actors, now);
+        let stable = StabilityInterval::around(now, self.policies_for(&request.event_type));
+        self.eval_cache
+            .put(key, generation, stable, decision.clone());
+        (decision, false)
+    }
+
+    /// Whether `consumer` (or an ancestor organization) holds any live,
+    /// in-window policy over `event_type` — the notification-routing
+    /// authorization check, cached per `(consumer, event type)`.
+    pub fn is_authorized(
+        &self,
+        consumer: ActorId,
+        event_type: &EventTypeId,
+        actors: &ActorRegistry,
+        now: Timestamp,
+    ) -> bool {
+        let generation = self.generation.current();
+        let key = (consumer, event_type.clone());
+        if let Some(authorized) = self.auth_cache.get(&key, generation, now) {
+            return authorized;
+        }
+        let candidates = self.policies_for(event_type);
+        let authorized = candidates.iter().any(|p| {
+            !p.revoked
+                && p.validity.contains(now)
+                && actors.is_same_or_descendant(consumer, p.actor)
+        });
+        let stable = StabilityInterval::around(now, candidates);
+        self.auth_cache.put(key, generation, stable, authorized);
+        authorized
+    }
+
+    /// Evaluate a request without touching the cache (the raw
+    /// Algorithm-1 matching walk; benchmark baseline).
+    pub fn evaluate_uncached(
         &self,
         request: &DetailRequest,
         actors: &ActorRegistry,
@@ -367,6 +488,156 @@ mod tests {
             Timestamp(0),
         );
         assert_eq!(d, Decision::Deny(DenyReason::NoMatchingPolicy));
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use crate::model::ValidityWindow;
+    use css_types::{Actor, ActorId, GlobalEventId, Purpose, RequestId};
+
+    fn registry() -> ActorRegistry {
+        let mut reg = ActorRegistry::new();
+        reg.register(Actor::organization(ActorId(1), "Hospital"))
+            .unwrap();
+        reg
+    }
+
+    fn policy(id: u64) -> PrivacyPolicy {
+        PrivacyPolicy::new(
+            PolicyId(id),
+            ActorId(9),
+            ActorId(1),
+            EventTypeId::v1("blood-test"),
+            [Purpose::HealthcareTreatment],
+            ["a".to_string()],
+        )
+    }
+
+    fn request() -> DetailRequest {
+        DetailRequest::new(
+            RequestId(1),
+            ActorId(1),
+            EventTypeId::v1("blood-test"),
+            GlobalEventId(1),
+            Purpose::HealthcareTreatment,
+        )
+    }
+
+    #[test]
+    fn repeat_evaluation_hits_the_cache() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(policy(1));
+        let actors = registry();
+        let (d1, hit1) = pdp.evaluate_traced(&request(), &actors, Timestamp(5));
+        let (d2, hit2) = pdp.evaluate_traced(&request(), &actors, Timestamp(6));
+        assert!(!hit1, "first evaluation computes");
+        assert!(hit2, "second evaluation is served from cache");
+        assert_eq!(d1, d2);
+        let stats = pdp.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn revocation_denies_on_the_very_next_request() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(policy(1));
+        let actors = registry();
+        // Warm the cache with a permit.
+        assert!(pdp.evaluate(&request(), &actors, Timestamp(0)).is_permit());
+        assert!(pdp.evaluate(&request(), &actors, Timestamp(0)).is_permit());
+        assert!(pdp.revoke(PolicyId(1)));
+        // No propagation window: the generation bump invalidates the
+        // cached permit immediately.
+        let (d, hit) = pdp.evaluate_traced(&request(), &actors, Timestamp(0));
+        assert!(!hit);
+        assert_eq!(d, Decision::Deny(DenyReason::NoMatchingPolicy));
+    }
+
+    #[test]
+    fn install_invalidates_cached_deny() {
+        let mut pdp = PolicyDecisionPoint::new();
+        let actors = registry();
+        assert!(!pdp.evaluate(&request(), &actors, Timestamp(0)).is_permit());
+        pdp.install(policy(1));
+        assert!(pdp.evaluate(&request(), &actors, Timestamp(0)).is_permit());
+    }
+
+    #[test]
+    fn cached_permit_expires_at_validity_boundary() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(policy(1).valid(ValidityWindow::until(Timestamp(100))));
+        let actors = registry();
+        assert!(pdp.evaluate(&request(), &actors, Timestamp(50)).is_permit());
+        // Inside the stability interval: cached permit still valid.
+        let (d, hit) = pdp.evaluate_traced(&request(), &actors, Timestamp(100));
+        assert!(hit && d.is_permit());
+        // Past the boundary: the cached entry must NOT answer.
+        let (d, hit) = pdp.evaluate_traced(&request(), &actors, Timestamp(101));
+        assert!(!hit);
+        assert_eq!(d, Decision::Deny(DenyReason::PolicyExpired));
+    }
+
+    #[test]
+    fn authorization_check_is_cached_and_invalidated() {
+        let mut pdp = PolicyDecisionPoint::new();
+        pdp.install(policy(1));
+        let actors = registry();
+        let ty = EventTypeId::v1("blood-test");
+        assert!(pdp.is_authorized(ActorId(1), &ty, &actors, Timestamp(0)));
+        assert!(pdp.is_authorized(ActorId(1), &ty, &actors, Timestamp(0)));
+        assert!(!pdp.is_authorized(ActorId(7), &ty, &actors, Timestamp(0)));
+        pdp.revoke(PolicyId(1));
+        assert!(!pdp.is_authorized(ActorId(1), &ty, &actors, Timestamp(0)));
+    }
+
+    #[test]
+    fn generation_bump_is_visible_to_concurrent_readers() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::{Arc, RwLock};
+
+        // Readers evaluate through a shared lock while the writer
+        // revokes; after the revocation no reader may observe a permit.
+        let pdp = Arc::new(RwLock::new(PolicyDecisionPoint::new()));
+        pdp.write().unwrap().install(policy(1));
+        let actors = Arc::new(registry());
+        let revoked = Arc::new(AtomicBool::new(false));
+
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let pdp = Arc::clone(&pdp);
+                let actors = Arc::clone(&actors);
+                let revoked = Arc::clone(&revoked);
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        let seen_revoked = revoked.load(Ordering::SeqCst);
+                        let d = pdp
+                            .read()
+                            .unwrap()
+                            .evaluate(&request(), &actors, Timestamp(0));
+                        // If the revocation happened-before this read,
+                        // a cached permit would be a correctness bug.
+                        if seen_revoked {
+                            assert!(!d.is_permit(), "stale cached permit after revoke");
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        pdp.write().unwrap().revoke(PolicyId(1));
+        revoked.store(true, Ordering::SeqCst);
+
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert!(!pdp
+            .read()
+            .unwrap()
+            .evaluate(&request(), &actors, Timestamp(0))
+            .is_permit());
     }
 }
 

@@ -31,6 +31,28 @@ impl<B: LogBackend> PolicyRepository<B> {
         self.store.sync()
     }
 
+    /// Persist a set of policies as one group commit: every record is
+    /// written in a single backend append and synced once, instead of
+    /// one write + fsync per policy. Bulk loads (elicitation-tool
+    /// imports, consumer fan-outs) use this path.
+    pub fn save_all(&mut self, policies: &[PrivacyPolicy]) -> CssResult<()> {
+        if policies.is_empty() {
+            return Ok(());
+        }
+        let keys: Vec<Vec<u8>> = policies.iter().map(|p| key(p.id)).collect();
+        let docs: Vec<Vec<u8>> = policies
+            .iter()
+            .map(|p| css_xml::to_string(&to_xacml(p)).into_bytes())
+            .collect();
+        let pairs: Vec<(&[u8], &[u8])> = keys
+            .iter()
+            .zip(&docs)
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        self.store.put_batch(&pairs)?;
+        self.store.sync()
+    }
+
     /// Load a policy by id.
     pub fn load(&self, id: PolicyId) -> CssResult<Option<PrivacyPolicy>> {
         match self.store.get(&key(id))? {
@@ -153,6 +175,21 @@ mod tests {
         let all = repo.load_all().unwrap();
         let ids: Vec<u64> = all.iter().map(|p| p.id.value()).collect();
         assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn save_all_matches_sequential_saves() {
+        let mut sequential = PolicyRepository::open(MemBackend::new()).unwrap();
+        for id in 1..=4 {
+            sequential.save(&policy(id)).unwrap();
+        }
+        let mut batched = PolicyRepository::open(MemBackend::new()).unwrap();
+        let all: Vec<PrivacyPolicy> = (1..=4).map(policy).collect();
+        batched.save_all(&all).unwrap();
+        assert_eq!(batched.len(), 4);
+        assert_eq!(batched.load_all().unwrap(), sequential.load_all().unwrap());
+        batched.save_all(&[]).unwrap();
+        assert_eq!(batched.len(), 4);
     }
 
     #[test]

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Run experiment benches in smoke mode and emit machine-readable
+# BENCH_<name>.json files: per-benchmark ns/op + iteration counts, and
+# the stage.* telemetry percentiles the benches print (p50/p99).
+#
+# Usage: scripts/bench.sh [bench ...]
+#   (default benches: e4_detail_request e9_encrypted_index
+#    e11_policy_scaling e15_mixed_workload)
+#
+# Environment:
+#   CSS_BENCH_MS  measurement window per benchmark in ms (default 50;
+#                 the criterion shim reads the same variable)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES=("$@")
+if [ ${#BENCHES[@]} -eq 0 ]; then
+  BENCHES=(e4_detail_request e9_encrypted_index e11_policy_scaling e15_mixed_workload)
+fi
+: "${CSS_BENCH_MS:=50}"
+export CSS_BENCH_MS
+
+for bench in "${BENCHES[@]}"; do
+  out=$(mktemp)
+  echo "== $bench (CSS_BENCH_MS=${CSS_BENCH_MS})"
+  cargo bench -q -p css-bench --bench "$bench" 2>&1 | tee "$out"
+  awk -v bench="$bench" -v ms="$CSS_BENCH_MS" '
+    # Benchmark lines: group/id    time:   12.345 µs/iter (n=1234)
+    $1 ~ /\// && $0 ~ / time: / && $0 ~ /\/iter/ {
+      v = ""; u = ""
+      for (i = 2; i <= NF; i++) if ($i == "time:") { v = $(i + 1); u = $(i + 2); break }
+      if (v == "") next
+      f = 1000.0                      # default µs (non-ASCII prefix)
+      if (u ~ /^ns/) f = 1.0
+      else if (u ~ /^ms/) f = 1000000.0
+      iters = 0
+      if ($NF ~ /^\(n=/) { s = $NF; gsub(/[^0-9]/, "", s); iters = s + 0 }
+      nr++
+      rname[nr] = $1; rns[nr] = v * f; rit[nr] = iters
+    }
+    # Telemetry lines: stage.pdp_evaluate  count=N  p50=Xns p99=Yns ...
+    $1 ~ /^stage\./ && $2 ~ /^count=/ {
+      name = $1; sub(/:$/, "", name)
+      c = $2; gsub(/[^0-9]/, "", c)
+      p50 = 0; p99 = 0
+      for (i = 3; i <= NF; i++) {
+        if ($i ~ /^p50=/) { p50 = $i; sub(/^p50=/, "", p50); gsub(/[^0-9]/, "", p50) }
+        if ($i ~ /^p99=/) { p99 = $i; sub(/^p99=/, "", p99); gsub(/[^0-9]/, "", p99) }
+      }
+      nt++
+      tname[nt] = name; tc[nt] = c + 0; t50[nt] = p50 + 0; t99[nt] = p99 + 0
+    }
+    END {
+      printf "{\n  \"bench\": \"%s\",\n  \"bench_ms\": %d,\n  \"results\": [", bench, ms
+      for (i = 1; i <= nr; i++)
+        printf "%s\n    {\"name\": \"%s\", \"ns_per_iter\": %.3f, \"iters\": %d}", (i > 1 ? "," : ""), rname[i], rns[i], rit[i]
+      printf "\n  ],\n  \"telemetry\": ["
+      for (i = 1; i <= nt; i++)
+        printf "%s\n    {\"stage\": \"%s\", \"count\": %d, \"p50_ns\": %d, \"p99_ns\": %d}", (i > 1 ? "," : ""), tname[i], tc[i], t50[i], t99[i]
+      printf "\n  ]\n}\n"
+    }
+  ' "$out" > "BENCH_${bench}.json"
+  rm -f "$out"
+  echo "-- wrote BENCH_${bench}.json"
+done

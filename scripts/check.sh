@@ -13,3 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tier-1: build + test"
 cargo build --release
 cargo test -q
+
+echo "== benches: build + smoke run"
+cargo build --benches
+CSS_BENCH_MS=5 scripts/bench.sh
