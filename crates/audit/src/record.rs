@@ -237,7 +237,7 @@ impl AuditRecord {
             .map(|s| s.parse::<PersonId>())
             .transpose()
             .map_err(|x| bad(format!("bad person: {x}")))?;
-        let purpose = opt("purpose").map(|s| s.parse::<Purpose>().expect("infallible"));
+        let purpose = opt("purpose").map(Purpose::from_code);
         let request = opt("request")
             .map(|s| s.parse::<RequestId>())
             .transpose()

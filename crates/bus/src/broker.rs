@@ -180,12 +180,13 @@ impl<M: Clone + Send> Broker<M> {
         config: SubscriptionConfig,
     ) -> CssResult<SubscriberHandle<M>> {
         let mut st = self.inner.state.lock();
-        if !st.topics.contains_key(topic) {
+        let state = &mut *st;
+        let Some(ids) = state.topics.get_mut(topic) else {
             return Err(CssError::Bus(format!("no such topic {topic:?}")));
-        }
-        let id = SubscriptionId(st.next_sub);
-        st.next_sub += 1;
-        st.subs.insert(
+        };
+        let id = SubscriptionId(state.next_sub);
+        state.next_sub += 1;
+        state.subs.insert(
             id,
             SubState {
                 topic: topic.to_string(),
@@ -195,7 +196,7 @@ impl<M: Clone + Send> Broker<M> {
                 stats: SubscriptionStats::default(),
             },
         );
-        st.topics.get_mut(topic).expect("checked above").push(id);
+        ids.push(id);
         Ok(SubscriberHandle {
             inner: Arc::clone(&self.inner),
             id,
@@ -220,7 +221,7 @@ impl<M: Clone + Send> Broker<M> {
         };
         // Pre-flight: with Reject overflow, check all queues first.
         let overflowing = sub_ids.iter().find_map(|id| {
-            let sub = st.subs.get(id).expect("topic list consistent");
+            let sub = st.subs.get(id)?;
             (sub.config.overflow == OverflowPolicy::Reject
                 && sub.queue.len() >= sub.config.capacity)
                 .then_some((*id, sub.config.capacity))
@@ -234,7 +235,11 @@ impl<M: Clone + Send> Broker<M> {
         let mut fanout = 0usize;
         let mut dropped = 0i64;
         for id in &sub_ids {
-            let sub = st.subs.get_mut(id).expect("topic list consistent");
+            // The topic list and the subscription map are kept in sync;
+            // a missing entry means the subscription raced away — skip.
+            let Some(sub) = st.subs.get_mut(id) else {
+                continue;
+            };
             if sub.queue.len() >= sub.config.capacity {
                 // Only reachable under DropOldest.
                 sub.queue.pop_front();

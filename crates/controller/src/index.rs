@@ -279,15 +279,10 @@ impl<B: LogBackend> EventsIndex<B> {
 
     /// Record that `consumer` has been notified of event `id`.
     pub fn mark_notified(&mut self, id: GlobalEventId, consumer: ActorId) -> CssResult<()> {
-        if !self.entries.contains_key(&id) {
+        let Some(entry) = self.entries.get_mut(&id) else {
             return Err(CssError::NotFound(format!("event {id} not in index")));
-        }
-        let newly = self
-            .entries
-            .get_mut(&id)
-            .expect("checked above")
-            .notified
-            .insert(consumer);
+        };
+        let newly = entry.notified.insert(consumer);
         if newly {
             let marker = Element::new("Notified")
                 .attr("eventId", id.to_string())

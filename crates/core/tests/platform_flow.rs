@@ -568,7 +568,7 @@ fn builder_configures_clock_identity_and_shared_telemetry() {
 }
 
 #[test]
-fn join_both_widens_and_deprecated_wrappers_delegate() {
+fn join_both_widens() {
     let mut w = setup();
     let clinic = w.platform.register_organization("Clinic").unwrap();
     w.platform.join(clinic, Role::Both).unwrap();
@@ -578,8 +578,14 @@ fn join_both_widens_and_deprecated_wrappers_delegate() {
 
     // Consumer-only joins never create a gateway.
     assert!(w.platform.producer(w.doctor).is_err());
+}
 
-    // The deprecated wrappers still compile and delegate to join().
+/// Compatibility: the deprecated `join_as_*` wrappers must keep
+/// delegating to `join()` until they are removed. This is the only
+/// place in the workspace allowed to call them.
+#[test]
+fn deprecated_join_wrappers_still_delegate() {
+    let mut w = setup();
     let lab = w.platform.register_organization("Laboratory").unwrap();
     #[allow(deprecated)]
     {

@@ -1,0 +1,182 @@
+//! Workspace loading and rule execution.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{Finding, Severity};
+use crate::manifest::{expand_members, read_manifest, Manifest};
+use crate::rules::{all_rules, Rule};
+use crate::source::{FileRole, SourceFile};
+use crate::waiver::apply_waivers;
+
+/// The lint result for a whole workspace (or a single file).
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Workspace root the lint ran against.
+    pub root: String,
+    /// Active findings (not waived), reporting order.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by an inline waiver, with the reason.
+    pub waived: Vec<Finding>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warn)
+            .count()
+    }
+
+    /// Exit status the CLI should use.
+    pub fn exit_code(&self) -> i32 {
+        if self.errors() > 0 {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+/// Source subdirectories of a crate and the role their files get.
+const SOURCE_DIRS: &[(&str, FileRole)] = &[
+    ("src", FileRole::Production),
+    ("tests", FileRole::Test),
+    ("benches", FileRole::Test),
+    ("examples", FileRole::Test),
+];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Run one file through every file-scoped rule, honoring waivers.
+/// This is also the fixture-testing entry point.
+pub fn lint_file_source(
+    crate_name: &str,
+    rel_path: &str,
+    role: FileRole,
+    src: &str,
+) -> Vec<Finding> {
+    let rules = all_rules();
+    lint_file_with(&rules, crate_name, rel_path, role, src)
+}
+
+fn lint_file_with(
+    rules: &[Box<dyn Rule>],
+    crate_name: &str,
+    rel_path: &str,
+    role: FileRole,
+    src: &str,
+) -> Vec<Finding> {
+    let file = SourceFile::parse(crate_name, rel_path, role, src);
+    let mut findings = file.load_findings.clone();
+    for rule in rules {
+        rule.check_file(&file, &mut findings);
+    }
+    for f in &mut findings {
+        if f.crate_name.is_empty() {
+            f.crate_name = crate_name.to_string();
+        }
+    }
+    apply_waivers(findings, &file.waivers)
+}
+
+/// Lint the workspace rooted at `root`: every member crate's sources
+/// plus the manifest dependency graph.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let rules = all_rules();
+    let root_manifest = read_manifest(root, ".")?;
+    let mut manifests: Vec<Manifest> = Vec::new();
+    // The root package, if the root manifest is not purely virtual.
+    if !root_manifest.name.is_empty() {
+        manifests.push(root_manifest.clone());
+    }
+    for member_dir in expand_members(root, &root_manifest.members) {
+        if let Ok(m) = read_manifest(&root.join(&member_dir), &member_dir) {
+            manifests.push(m);
+        }
+    }
+
+    let mut report = Report {
+        root: root.display().to_string(),
+        ..Report::default()
+    };
+    let mut all_findings: Vec<Finding> = Vec::new();
+
+    for manifest in &manifests {
+        if manifest.name.is_empty() {
+            continue;
+        }
+        let crate_dir = if manifest.dir == "." {
+            root.to_path_buf()
+        } else {
+            root.join(&manifest.dir)
+        };
+        for (sub, role) in SOURCE_DIRS {
+            let mut files = Vec::new();
+            collect_rs_files(&crate_dir.join(sub), &mut files);
+            for path in files {
+                let Ok(src) = fs::read_to_string(&path) else {
+                    continue;
+                };
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .display()
+                    .to_string();
+                report.files_scanned += 1;
+                all_findings.extend(lint_file_with(&rules, &manifest.name, &rel, *role, &src));
+            }
+        }
+    }
+
+    for rule in &rules {
+        rule.check_workspace(&manifests, &mut all_findings);
+    }
+
+    for f in all_findings {
+        if f.is_waived() {
+            report.waived.push(f);
+        } else {
+            report.findings.push(f);
+        }
+    }
+    Ok(report)
+}
+
+/// Render the human-readable report.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "css-lint: {} file(s) scanned, {} error(s), {} warning(s), {} waived\n",
+        report.files_scanned,
+        report.errors(),
+        report.warnings(),
+        report.waived.len()
+    ));
+    out
+}

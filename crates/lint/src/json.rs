@@ -1,0 +1,91 @@
+//! Hand-rolled JSON rendering for `--format json` (schema version 1).
+//!
+//! Shape:
+//! ```json
+//! {
+//!   "version": 1,
+//!   "root": "...",
+//!   "rules": [{"id": "...", "severity": "...", "description": "..."}],
+//!   "findings": [{"rule","severity","crate","file","line","message"}],
+//!   "waived":   [... same fields plus "reason"],
+//!   "summary": {"errors","warnings","waived","files_scanned"}
+//! }
+//! ```
+
+use crate::diag::Finding;
+use crate::engine::Report;
+use crate::rules::all_rules;
+
+/// Escape a string for a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    let mut s = format!(
+        "{{\"rule\":\"{}\",\"severity\":\"{}\",\"crate\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"",
+        escape(f.rule),
+        f.severity.as_str(),
+        escape(&f.crate_name),
+        escape(&f.file),
+        f.line,
+        escape(&f.message),
+    );
+    if let Some(reason) = &f.waive_reason {
+        s.push_str(&format!(",\"reason\":\"{}\"", escape(reason)));
+    }
+    s.push('}');
+    s
+}
+
+/// Render the full report as JSON.
+pub fn render_json(report: &Report) -> String {
+    let rules: Vec<String> = all_rules()
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":\"{}\",\"severity\":\"{}\",\"description\":\"{}\"}}",
+                escape(r.id()),
+                r.severity().as_str(),
+                escape(r.description())
+            )
+        })
+        .collect();
+    let findings: Vec<String> = report.findings.iter().map(finding_json).collect();
+    let waived: Vec<String> = report.waived.iter().map(finding_json).collect();
+    format!(
+        "{{\"version\":1,\"root\":\"{}\",\"rules\":[{}],\"findings\":[{}],\"waived\":[{}],\
+         \"summary\":{{\"errors\":{},\"warnings\":{},\"waived\":{},\"files_scanned\":{}}}}}\n",
+        escape(&report.root),
+        rules.join(","),
+        findings.join(","),
+        waived.join(","),
+        report.errors(),
+        report.warnings(),
+        report.waived.len(),
+        report.files_scanned,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+}

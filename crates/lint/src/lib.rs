@@ -1,0 +1,40 @@
+//! `css-lint` — a workspace-aware static analysis pass enforcing the
+//! paper's privacy architecture as machine-checked invariants.
+//!
+//! The guarantees of *Privacy Preserving Event Driven Integration for
+//! Interoperating Social and Health Systems* are architectural: detail
+//! messages stay behind the producer's gateway until an authorized
+//! request arrives, release decisions are deny-by-default (Definitions
+//! 3–4), and every release is traceable for the Privacy Requirements
+//! Analysis. This crate turns those review-time conventions into named,
+//! gating rules over the whole workspace:
+//!
+//! | rule                  | invariant                                            |
+//! |-----------------------|------------------------------------------------------|
+//! | `detail-confinement`  | detail-payload types unnameable in controller/bus/registry |
+//! | `permit-provenance`   | `Decision::Permit` constructed only inside css-policy |
+//! | `audit-before-release`| releases always append an audit record               |
+//! | `no-panic-hot-path`   | no unwrap/expect/panic in the enforcement path       |
+//! | `lock-across-io`      | no lock guard held across unrelated storage writes   |
+//! | `layering`            | crate dependencies point strictly down the stack     |
+//!
+//! No external dependencies: a hand-rolled token scanner (comment-,
+//! string- and raw-string-aware) plus a minimal Cargo manifest reader.
+//! Findings can be suppressed inline with
+//! `// css-lint: allow(<rule>): <reason>` — the reason is mandatory and
+//! carried into the report, so waivers stay as reviewable as the audit
+//! trail the platform itself keeps.
+
+pub mod diag;
+pub mod engine;
+pub mod json;
+pub mod manifest;
+pub mod rules;
+pub mod scanner;
+pub mod source;
+pub mod waiver;
+
+pub use diag::{Finding, Severity};
+pub use engine::{lint_file_source, lint_workspace, render_text, Report};
+pub use json::render_json;
+pub use source::FileRole;

@@ -1,0 +1,105 @@
+//! The `css-lint` binary.
+//!
+//! ```text
+//! css-lint [--root PATH] [--format text|json] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 — no error-severity findings; 1 — at least one error
+//! finding; 2 — usage or I/O failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use css_lint::manifest::find_workspace_root;
+use css_lint::rules::all_rules;
+use css_lint::{lint_workspace, render_json, render_text};
+
+fn usage() -> &'static str {
+    "usage: css-lint [--root PATH] [--format text|json] [--list-rules]\n"
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format_json = false;
+    let mut list_rules = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprint!("--root needs a path\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--format" => match args.next().as_deref() {
+                Some("json") => format_json = true,
+                Some("text") => format_json = false,
+                _ => {
+                    eprint!("--format must be `text` or `json`\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => list_rules = true,
+            "-h" | "--help" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprint!("unknown argument `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if list_rules {
+        for rule in all_rules() {
+            println!(
+                "{:<22} {:<5} {}",
+                rule.id(),
+                rule.severity(),
+                rule.description()
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("css-lint: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("css-lint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "css-lint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if format_json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_text(&report));
+    }
+    ExitCode::from(report.exit_code() as u8)
+}

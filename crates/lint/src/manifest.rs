@@ -1,0 +1,272 @@
+//! A minimal Cargo manifest reader: workspace member discovery and
+//! dependency extraction, enough to check the crate layering invariant
+//! without pulling in a TOML parser.
+//!
+//! Understands the subset of TOML the workspace actually uses:
+//! `[workspace] members = [..]` (with trailing `/*` globs),
+//! `[package] name = "..."`, and dependency tables in both inline
+//! (`css-types.workspace = true`, `rand = { path = ".." }`) and header
+//! (`[dependencies.css-types]`) form.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One parsed `Cargo.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Manifest {
+    /// `[package] name`, empty for a virtual manifest.
+    pub name: String,
+    /// Directory containing the manifest, relative to the workspace root.
+    pub dir: String,
+    /// Dependency names from `[dependencies]` (and target-specific
+    /// dependency tables, which this workspace does not use).
+    pub deps: Vec<String>,
+    /// Dependency names from `[dev-dependencies]` and `[build-dependencies]`.
+    pub dev_deps: Vec<String>,
+    /// `[workspace] members` entries (globs unexpanded).
+    pub members: Vec<String>,
+}
+
+/// Strip a trailing line comment that is outside any string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_string = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_string = !in_string,
+            b'\\' if in_string => i += 1,
+            b'#' if !in_string => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// The dependency name on a `key = value` line inside a deps table:
+/// everything before the first `.`, `=`, or whitespace.
+fn dep_key(line: &str) -> Option<String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('[') {
+        return None;
+    }
+    let end = line
+        .find(|c: char| c == '.' || c == '=' || c.is_whitespace())
+        .unwrap_or(line.len());
+    let key = line[..end].trim_matches('"');
+    (!key.is_empty()).then(|| key.to_string())
+}
+
+/// Parse manifest text. `dir` is recorded verbatim.
+pub fn parse_manifest(text: &str, dir: &str) -> Manifest {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        Package,
+        Workspace,
+        Deps,
+        DevDeps,
+        Other,
+    }
+    let mut m = Manifest {
+        dir: dir.to_string(),
+        ..Manifest::default()
+    };
+    let mut section = Section::Other;
+    let mut in_members_list = false;
+
+    for raw in text.lines() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if in_members_list {
+            for piece in line.split(',') {
+                let piece = piece.trim().trim_matches(|c| c == ']' || c == ',').trim();
+                let piece = piece.trim_matches('"');
+                if !piece.is_empty() {
+                    m.members.push(piece.to_string());
+                }
+            }
+            if line.contains(']') {
+                in_members_list = false;
+            }
+            continue;
+        }
+        if line.starts_with('[') {
+            let header = line.trim_matches(|c| c == '[' || c == ']');
+            section = match header {
+                "package" => Section::Package,
+                "workspace" => Section::Workspace,
+                "dependencies" => Section::Deps,
+                "dev-dependencies" | "build-dependencies" => Section::DevDeps,
+                other => {
+                    // Header-form dependency: `[dependencies.css-types]`.
+                    if let Some(rest) = other.strip_prefix("dependencies.") {
+                        m.deps.push(rest.trim_matches('"').to_string());
+                    } else if let Some(rest) = other.strip_prefix("dev-dependencies.") {
+                        m.dev_deps.push(rest.trim_matches('"').to_string());
+                    } else if other == "workspace.dependencies"
+                        || other.starts_with("workspace.")
+                        || other.starts_with("profile")
+                        || other.starts_with("lints")
+                    {
+                        // Not a member dependency table.
+                    }
+                    Section::Other
+                }
+            };
+            continue;
+        }
+        match section {
+            Section::Package => {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let rest = rest.trim_start();
+                    if let Some(rest) = rest.strip_prefix('=') {
+                        m.name = rest.trim().trim_matches('"').to_string();
+                    }
+                }
+            }
+            Section::Workspace => {
+                if let Some(rest) = line.strip_prefix("members") {
+                    let rest = rest.trim_start();
+                    if let Some(rest) = rest.strip_prefix('=') {
+                        let rest = rest.trim();
+                        if let Some(list) = rest.strip_prefix('[') {
+                            for piece in list.split(',') {
+                                let piece =
+                                    piece.trim().trim_matches(|c| c == ']' || c == ',').trim();
+                                let piece = piece.trim_matches('"');
+                                if !piece.is_empty() {
+                                    m.members.push(piece.to_string());
+                                }
+                            }
+                            in_members_list = !rest.contains(']');
+                        }
+                    }
+                }
+            }
+            Section::Deps => {
+                if let Some(key) = dep_key(line) {
+                    m.deps.push(key);
+                }
+            }
+            Section::DevDeps => {
+                if let Some(key) = dep_key(line) {
+                    m.dev_deps.push(key);
+                }
+            }
+            Section::Other => {}
+        }
+    }
+    m
+}
+
+/// Read and parse `dir/Cargo.toml`; `rel_dir` is stored for diagnostics.
+pub fn read_manifest(dir: &Path, rel_dir: &str) -> std::io::Result<Manifest> {
+    let text = fs::read_to_string(dir.join("Cargo.toml"))?;
+    Ok(parse_manifest(&text, rel_dir))
+}
+
+/// Expand the root manifest's `members` globs against the filesystem.
+/// Only trailing `/*` globs are supported (all this workspace uses);
+/// exact paths pass through. Returns member directories relative to
+/// `root`, sorted.
+pub fn expand_members(root: &Path, members: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for member in members {
+        if let Some(prefix) = member.strip_suffix("/*") {
+            let Ok(entries) = fs::read_dir(root.join(prefix)) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.join("Cargo.toml").is_file() {
+                    if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                        out.push(format!("{prefix}/{name}"));
+                    }
+                }
+            }
+        } else if root.join(member).join("Cargo.toml").is_file() {
+            out.push(member.clone());
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Find the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing a `[workspace]` table is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.lines().any(|l| l.trim() == "[workspace]") {
+                    return Some(d);
+                }
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+[package]
+name = "css-example" # the name
+version.workspace = true
+
+[dependencies]
+css-types.workspace = true
+rand = { path = "compat/rand" }
+
+[dependencies.css-xml]
+workspace = true
+
+[dev-dependencies]
+proptest.workspace = true
+
+[lints]
+workspace = true
+"#;
+
+    #[test]
+    fn parses_name_and_deps() {
+        let m = parse_manifest(SAMPLE, "crates/example");
+        assert_eq!(m.name, "css-example");
+        assert_eq!(m.deps, vec!["css-types", "rand", "css-xml"]);
+        assert_eq!(m.dev_deps, vec!["proptest"]);
+        assert_eq!(m.dir, "crates/example");
+    }
+
+    #[test]
+    fn parses_workspace_members_inline_and_multiline() {
+        let m = parse_manifest("[workspace]\nmembers = [\"crates/*\", \"compat/*\"]\n", ".");
+        assert_eq!(m.members, vec!["crates/*", "compat/*"]);
+        let m2 = parse_manifest("[workspace]\nmembers = [\n  \"a\",\n  \"b/*\",\n]\n", ".");
+        assert_eq!(m2.members, vec!["a", "b/*"]);
+    }
+
+    #[test]
+    fn comments_and_lints_tables_do_not_confuse_deps() {
+        let m = parse_manifest(
+            "[dependencies]\n# css-bogus.workspace = true\ncss-real.workspace = true\n[lints]\nworkspace = true\n",
+            ".",
+        );
+        assert_eq!(m.deps, vec!["css-real"]);
+    }
+
+    #[test]
+    fn finds_live_workspace_root() {
+        let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates").is_dir());
+    }
+}

@@ -1,0 +1,681 @@
+//! The paper-derived invariant rules.
+//!
+//! Each rule is a named check with a fixed severity. File-scoped rules
+//! see one [`SourceFile`] at a time; the layering rule sees the parsed
+//! manifests of the whole workspace. See `DESIGN.md` §9 for the mapping
+//! from each rule to the paper mechanism it encodes.
+
+use crate::diag::{Finding, Severity};
+use crate::manifest::Manifest;
+use crate::source::{matching_brace, FnBody, SourceFile};
+
+/// A named invariant check.
+pub trait Rule {
+    fn id(&self) -> &'static str;
+    fn severity(&self) -> Severity;
+    /// One-line description for `--list-rules` and the JSON report.
+    fn description(&self) -> &'static str;
+    /// Check one source file (no-op for workspace-scoped rules).
+    fn check_file(&self, _file: &SourceFile, _out: &mut Vec<Finding>) {}
+    /// Check the workspace dependency graph (no-op for file rules).
+    fn check_workspace(&self, _manifests: &[Manifest], _out: &mut Vec<Finding>) {}
+}
+
+/// Every shipped rule, in reporting order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(DetailConfinement),
+        Box::new(PermitProvenance),
+        Box::new(AuditBeforeRelease),
+        Box::new(NoPanicHotPath),
+        Box::new(LockAcrossIo),
+        Box::new(Layering),
+    ]
+}
+
+fn finding(
+    rule: &'static str,
+    severity: Severity,
+    file: &SourceFile,
+    tok: usize,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        severity,
+        crate_name: file.crate_name.clone(),
+        file: file.path.clone(),
+        line: file.tokens.get(tok).map(|t| t.line).unwrap_or(0),
+        message,
+        waive_reason: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: detail-confinement
+// ---------------------------------------------------------------------------
+
+/// Detail payloads never leave the producer's gateway until an
+/// authorized request arrives (the paper's core architectural claim),
+/// so the types that carry them must be unnameable in the event-sharing
+/// middle layers: controller, bus, registry.
+pub struct DetailConfinement;
+
+/// Types that hold unfiltered detail payloads at rest.
+const CONFINED_TYPES: &[&str] = &["DetailMessage", "DetailStore"];
+/// Crates that must never name them outside tests.
+const CONFINED_CRATES: &[&str] = &["css-controller", "css-bus", "css-registry"];
+
+impl Rule for DetailConfinement {
+    fn id(&self) -> &'static str {
+        "detail-confinement"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "detail-payload types must not appear in controller/bus/registry non-test code"
+    }
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !CONFINED_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        for (i, tok) in file.tokens.iter().enumerate() {
+            if !file.is_prod(i) {
+                continue;
+            }
+            if CONFINED_TYPES.iter().any(|t| tok.is_ident(t)) {
+                out.push(finding(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    i,
+                    format!(
+                        "detail-payload type `{}` named in `{}`: details must stay \
+                         behind the producer gateway (only the filtered \
+                         `getResponse` interface may cross)",
+                        tok.text, file.crate_name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: permit-provenance
+// ---------------------------------------------------------------------------
+
+/// Definitions 3–4 make release decisions deny-by-default: a permit
+/// exists only if an installed policy produced it. Constructing
+/// `Decision::Permit { .. }` anywhere but `css-policy` would mint
+/// permits without policy provenance, so elsewhere the variant may only
+/// be pattern-matched.
+pub struct PermitProvenance;
+
+impl Rule for PermitProvenance {
+    fn id(&self) -> &'static str {
+        "permit-provenance"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "`Decision::Permit { .. }` may be constructed only inside css-policy"
+    }
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.crate_name == "css-policy" {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !file.is_prod(i) {
+                continue;
+            }
+            let is_path = toks[i].is_ident("Decision")
+                && file.puncts(i + 1, "::")
+                && toks.get(i + 3).is_some_and(|t| t.is_ident("Permit"));
+            if !is_path {
+                continue;
+            }
+            let Some(open) = toks.get(i + 4).filter(|t| t.is_punct('{')).map(|_| i + 4) else {
+                continue; // bare path (e.g. a `use` import): not a struct expr
+            };
+            let close = matching_brace(toks, open);
+            if is_permit_pattern(file, open, close) {
+                continue;
+            }
+            out.push(finding(
+                self.id(),
+                self.severity(),
+                file,
+                i,
+                format!(
+                    "`Decision::Permit {{ .. }}` constructed outside css-policy (in `{}`): \
+                     permits must originate from the PDP so deny-by-default \
+                     (Defs. 3-4) cannot be bypassed",
+                    file.crate_name
+                ),
+            ));
+        }
+    }
+}
+
+/// Classify `Decision::Permit { <open>..<close> }` as a pattern (match
+/// arm, `if let`/`let else` binding, or `..` rest pattern) rather than a
+/// struct expression.
+fn is_permit_pattern(file: &SourceFile, _open: usize, close: usize) -> bool {
+    let toks = &file.tokens;
+    // A `..` rest pattern directly before the closing brace. A struct
+    // *expression* can also contain `..base` (functional update), but
+    // there the `..` is followed by the base expression, not `}`.
+    if close >= 2 && file.puncts(close - 2, "..") {
+        return true;
+    }
+    // `=>`: a match arm. `=` (not `==`): an `if let` / `let` binding.
+    if file.puncts(close + 1, "=>") {
+        return true;
+    }
+    if toks.get(close + 1).is_some_and(|t| t.is_punct('='))
+        && !toks.get(close + 2).is_some_and(|t| t.is_punct('='))
+    {
+        return true;
+    }
+    // A match guard: `Decision::Permit { x } if cond =>`.
+    if toks.get(close + 1).is_some_and(|t| t.is_ident("if")) {
+        return true;
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: audit-before-release
+// ---------------------------------------------------------------------------
+
+/// The Privacy Requirements Analysis requires every release to be
+/// traceable: any function that rebuilds an identity-bearing
+/// notification or pulls filtered details from a gateway must also
+/// append an audit record in the same body.
+pub struct AuditBeforeRelease;
+
+/// Calls that constitute a release of protected data.
+const RELEASE_CALLS: &[&str] = &["decrypt_notification", "get_response"];
+/// Crates where releases happen and the audit obligation applies.
+const RELEASE_CRATES: &[&str] = &["css-controller", "css-gateway"];
+
+impl Rule for AuditBeforeRelease {
+    fn id(&self) -> &'static str {
+        "audit-before-release"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "functions releasing notification identities or gateway details must append an audit record"
+    }
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !RELEASE_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        for body in &file.fns {
+            // A forwarding impl or the defining method itself (e.g. a
+            // `get_response` trait impl delegating inward) is the narrow
+            // interface, not a release site.
+            if RELEASE_CALLS.contains(&body.name.as_str()) {
+                continue;
+            }
+            if !file.is_prod(body.open) {
+                continue;
+            }
+            let Some(call_at) = find_release_call(file, body) else {
+                continue;
+            };
+            if body_appends_audit(file, body) {
+                continue;
+            }
+            out.push(finding(
+                self.id(),
+                self.severity(),
+                file,
+                call_at,
+                format!(
+                    "fn `{}` calls `.{}(..)` but never appends an audit record: \
+                     every release must be traceable (PRA)",
+                    body.name,
+                    file.ident(call_at + 1).unwrap_or("?")
+                ),
+            ));
+        }
+    }
+}
+
+/// First `.decrypt_notification(` / `.get_response(` call in the body.
+fn find_release_call(file: &SourceFile, body: &FnBody) -> Option<usize> {
+    let toks = &file.tokens;
+    (body.open..body.close).find(|&i| {
+        toks[i].is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| RELEASE_CALLS.iter().any(|c| t.is_ident(c)))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && file.is_prod(i)
+    })
+}
+
+/// Does the body contain an `audit ... .append(` / `.append_batch(` call
+/// (in either order of discovery — `self.audit.append(..)` et al)?
+fn body_appends_audit(file: &SourceFile, body: &FnBody) -> bool {
+    let toks = &file.tokens;
+    let mut saw_audit = false;
+    let mut saw_append = false;
+    for i in body.open..body.close {
+        let t = &toks[i];
+        if t.kind == crate::scanner::TokenKind::Ident && t.text.contains("audit") {
+            saw_audit = true;
+        }
+        if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.is_ident("append") || t.is_ident("append_batch"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            saw_append = true;
+        }
+    }
+    saw_audit && saw_append
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: no-panic-hot-path
+// ---------------------------------------------------------------------------
+
+/// A panic in the enforcement or storage path takes down the platform
+/// mid-request; at millions of users that is an availability incident.
+/// Non-test code in the hot crates must use `CssResult` error paths.
+pub struct NoPanicHotPath;
+
+/// Crates forming the request hot path.
+const HOT_CRATES: &[&str] = &[
+    "css-policy",
+    "css-controller",
+    "css-storage",
+    "css-bus",
+    "css-gateway",
+];
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl Rule for NoPanicHotPath {
+    fn id(&self) -> &'static str {
+        "no-panic-hot-path"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "no unwrap()/expect()/panic! in policy/controller/storage/bus/gateway non-test code"
+    }
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !HOT_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let toks = &file.tokens;
+        for i in 0..toks.len() {
+            if !file.is_prod(i) {
+                continue;
+            }
+            // `.unwrap()` — exactly, so `unwrap_or(..)` stays allowed.
+            if toks[i].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_ident("unwrap"))
+                && file.puncts(i + 2, "()")
+            {
+                out.push(finding(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    i + 1,
+                    "`.unwrap()` in hot-path non-test code: return a `CssResult` error instead"
+                        .into(),
+                ));
+            }
+            // `.expect(` — method-call form only.
+            if toks[i].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_ident("expect"))
+                && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            {
+                out.push(finding(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    i + 1,
+                    "`.expect(..)` in hot-path non-test code: return a `CssResult` error instead"
+                        .into(),
+                ));
+            }
+            // panic-family macros: `panic!`, `unreachable!`, ...
+            if toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+                && PANIC_MACROS.iter().any(|m| toks[i].is_ident(m))
+            {
+                out.push(finding(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    i,
+                    format!(
+                        "`{}!` in hot-path non-test code: restructure to make the state unrepresentable or return an error",
+                        toks[i].text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: lock-across-io
+// ---------------------------------------------------------------------------
+
+/// Holding a `parking_lot` guard across a storage-backend write stalls
+/// every thread contending that lock for the duration of the disk
+/// round-trip. Writes to the guarded resource itself are the point of
+/// the lock and stay allowed; flagged is a guard on X held while
+/// writing through some *other* path Y.
+pub struct LockAcrossIo;
+
+const GUARD_CALLS: &[&str] = &["lock", "read", "write"];
+const IO_CALLS: &[&str] = &[
+    "append",
+    "append_batch",
+    "persist",
+    "put",
+    "put_batch",
+    "save",
+    "save_all",
+    "sync",
+    "flush",
+    "write_all",
+];
+
+impl Rule for LockAcrossIo {
+    fn id(&self) -> &'static str {
+        "lock-across-io"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "a held lock guard should not span a storage write on an unrelated path"
+    }
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for body in &file.fns {
+            if !file.is_prod(body.open) {
+                continue;
+            }
+            check_lock_across_io(self, file, body, out);
+        }
+    }
+}
+
+struct ActiveGuard {
+    name: String,
+    depth: usize,
+    line: u32,
+}
+
+fn check_lock_across_io(
+    rule: &LockAcrossIo,
+    file: &SourceFile,
+    body: &FnBody,
+    out: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    let mut guards: Vec<ActiveGuard> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = body.open;
+    while i <= body.close {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+        } else if t.is_ident("let") {
+            // `let [mut] NAME = ... .lock();` — a guard iff the statement
+            // *ends* with a guard-taking call (a temporary like
+            // `repo.lock().load_all()?` is dropped at the `;`).
+            let mut n = i + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            if let Some(name) = file.ident(n) {
+                // Find the end of the statement at paren depth 0.
+                let mut paren = 0isize;
+                let mut j = n + 1;
+                while j <= body.close {
+                    let tj = &toks[j];
+                    if tj.is_punct('(') {
+                        paren += 1;
+                    } else if tj.is_punct(')') {
+                        paren -= 1;
+                    } else if tj.is_punct(';') && paren <= 0 {
+                        break;
+                    } else if tj.is_punct('{') && paren == 0 {
+                        // A block expression initializer; too clever to
+                        // track — skip this statement.
+                        j = matching_brace(toks, j);
+                    }
+                    j += 1;
+                }
+                // Statement tail: `.` GUARD `(` `)` `;`
+                if j >= 4
+                    && toks.get(j).is_some_and(|t| t.is_punct(';'))
+                    && file.puncts(j - 2, "()")
+                    && toks
+                        .get(j - 3)
+                        .is_some_and(|t| GUARD_CALLS.iter().any(|g| t.is_ident(g)))
+                    && toks.get(j - 4).is_some_and(|t| t.is_punct('.'))
+                {
+                    guards.push(ActiveGuard {
+                        name: name.to_string(),
+                        depth,
+                        line: t.line,
+                    });
+                }
+                i = j;
+                continue;
+            }
+        } else if t.is_ident("drop") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(name) = file.ident(i + 2) {
+                if toks.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                    guards.retain(|g| g.name != name);
+                }
+            }
+        } else if !guards.is_empty()
+            && t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| IO_CALLS.iter().any(|c| t.is_ident(c)))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+            && file.is_prod(i)
+        {
+            // Receiver chain root: walk back over `ident . ident ...`.
+            let root = chain_root(file, i);
+            let through_guard = root
+                .as_deref()
+                .is_some_and(|r| guards.iter().any(|g| g.name == r));
+            if !through_guard {
+                let guard = &guards[guards.len() - 1];
+                out.push(finding(
+                    rule.id(),
+                    rule.severity(),
+                    file,
+                    i + 1,
+                    format!(
+                        "storage write `.{}(..)` while lock guard `{}` (taken line {}) is held: \
+                         move the write out of the critical section or write through the guard",
+                        file.ident(i + 1).unwrap_or("?"),
+                        guard.name,
+                        guard.line
+                    ),
+                ));
+            }
+        }
+        i += 1;
+    }
+}
+
+/// The root identifier of a method-call chain ending at the `.` token
+/// `dot` (e.g. `self.audit.append(` → `self`; `markers.flush(` →
+/// `markers`). `None` when the chain starts with a call or index result.
+fn chain_root(file: &SourceFile, dot: usize) -> Option<String> {
+    let toks = &file.tokens;
+    let mut i = dot;
+    loop {
+        // Expect ident before the dot.
+        let prev = i.checked_sub(1)?;
+        let name = file.ident(prev)?;
+        if prev == 0 {
+            return Some(name.to_string());
+        }
+        if toks[prev - 1].is_punct('.') {
+            i = prev - 1;
+            continue;
+        }
+        return Some(name.to_string());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: layering
+// ---------------------------------------------------------------------------
+
+/// The crate DAG is the privacy architecture: types at the bottom,
+/// enforcement in the middle, assembly on top. An upward dependency
+/// (say, css-bus pulling in css-gateway) would let detail payloads leak
+/// into the shared event plane by construction.
+pub struct Layering;
+
+/// Crate → layer. A dependency must live on a *strictly lower* layer.
+const LAYERS: &[(&str, u8)] = &[
+    ("css-types", 0),
+    ("css-xml", 1),
+    ("css-crypto", 1),
+    ("css-telemetry", 1),
+    ("css-storage", 2),
+    ("css-event", 2),
+    ("css-policy", 3),
+    ("css-bus", 3),
+    ("css-registry", 3),
+    ("css-audit", 3),
+    ("css-gateway", 3),
+    ("css-monitor", 3),
+    ("css-controller", 4),
+    ("css-core", 5),
+    ("css-sim", 6),
+    ("css-lint", 6),
+    ("css-bench", 7),
+    ("css", 7),
+];
+
+/// Offline stand-ins for external crates: allowed everywhere, must
+/// themselves depend on nothing.
+const COMPAT_SHIMS: &[&str] = &["rand", "proptest", "criterion", "parking_lot"];
+
+fn layer_of(name: &str) -> Option<u8> {
+    LAYERS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, l)| *l)
+        .or_else(|| COMPAT_SHIMS.contains(&name).then_some(0))
+}
+
+impl Rule for Layering {
+    fn id(&self) -> &'static str {
+        "layering"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "crate dependencies must point strictly down the layer stack; compat shims depend on nothing"
+    }
+    fn check_workspace(&self, manifests: &[Manifest], out: &mut Vec<Finding>) {
+        let mut report = |m: &Manifest, message: String| {
+            out.push(Finding {
+                rule: self.id(),
+                severity: self.severity(),
+                crate_name: m.name.clone(),
+                file: format!("{}/Cargo.toml", m.dir),
+                line: 0,
+                message,
+                waive_reason: None,
+            });
+        };
+        let member_names: Vec<&str> = manifests.iter().map(|m| m.name.as_str()).collect();
+        for m in manifests {
+            if m.name.is_empty() {
+                continue; // virtual manifest
+            }
+            if COMPAT_SHIMS.contains(&m.name.as_str()) {
+                // Shims stand in for external crates: they may lean on
+                // each other (proptest uses the rand shim) but must
+                // never reach into the platform.
+                for dep in m.deps.iter().chain(m.dev_deps.iter()) {
+                    if !COMPAT_SHIMS.contains(&dep.as_str()) {
+                        report(
+                            m,
+                            format!(
+                                "compat shim `{}` must not depend on platform crates, found `{dep}`",
+                                m.name
+                            ),
+                        );
+                    }
+                }
+                continue;
+            }
+            let Some(own_layer) = layer_of(&m.name) else {
+                report(
+                    m,
+                    format!(
+                        "crate `{}` is not in the layer map: assign it a layer in \
+                         css-lint's layering rule before depending on it",
+                        m.name
+                    ),
+                );
+                continue;
+            };
+            // Only `[dependencies]` constrain the layering; dev-deps may
+            // reach across for tests (they cannot create runtime cycles).
+            for dep in &m.deps {
+                if !member_names.contains(&dep.as_str()) {
+                    continue; // external (none exist offline, but be safe)
+                }
+                let Some(dep_layer) = layer_of(dep) else {
+                    continue; // reported on the dep's own manifest
+                };
+                if COMPAT_SHIMS.contains(&dep.as_str()) {
+                    continue; // shims are allowed everywhere
+                }
+                if dep_layer >= own_layer {
+                    report(
+                        m,
+                        format!(
+                            "`{}` (layer {}) depends on `{}` (layer {}): dependencies \
+                             must point strictly down the stack",
+                            m.name, own_layer, dep, dep_layer
+                        ),
+                    );
+                }
+            }
+            // The named paper constraint, spelled out even though the
+            // layer map implies it: the controller (PEP/PDP plane) must
+            // not depend on assembly or simulation.
+            if m.name == "css-controller" {
+                for dep in m.deps.iter().chain(m.dev_deps.iter()) {
+                    if dep == "css-core" || dep == "css-sim" {
+                        report(m, format!("css-controller must never depend on `{dep}`"));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Every rule must demonstrably fire on its checked-in `fire` fixture
+//! and stay silent on its `clean` twin. The fixtures live under
+//! `tests/fixtures/` (cargo does not compile them; the lint reads them
+//! as text), each linted as if it were production code of the crate
+//! the rule targets.
+
+use std::path::Path;
+
+use css_lint::{lint_file_source, lint_workspace, FileRole, Finding, Severity};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Lint a fixture as production code of `crate_name`; return active
+/// (non-waived) findings for `rule` only.
+fn fire(crate_name: &str, name: &str, rule: &str) -> Vec<Finding> {
+    let src = fixture(name);
+    lint_file_source(crate_name, name, FileRole::Production, &src)
+        .into_iter()
+        .filter(|f| f.rule == rule && !f.is_waived())
+        .collect()
+}
+
+#[test]
+fn detail_confinement_fires_and_clean_passes() {
+    let hits = fire(
+        "css-bus",
+        "detail_confinement/fire.rs",
+        "detail-confinement",
+    );
+    assert_eq!(hits.len(), 2, "DetailMessage + DetailStore: {hits:#?}");
+    assert!(hits.iter().all(|f| f.severity == Severity::Error));
+    assert!(hits[0].message.contains("DetailMessage"));
+
+    let clean = fire(
+        "css-bus",
+        "detail_confinement/clean.rs",
+        "detail-confinement",
+    );
+    assert!(clean.is_empty(), "clean fixture fired: {clean:#?}");
+}
+
+#[test]
+fn detail_confinement_ignores_unconfined_crates() {
+    // The same source in the gateway crate (where details legitimately
+    // live) is fine.
+    let hits = fire(
+        "css-gateway",
+        "detail_confinement/fire.rs",
+        "detail-confinement",
+    );
+    assert!(hits.is_empty());
+}
+
+#[test]
+fn permit_provenance_fires_and_clean_passes() {
+    let hits = fire(
+        "css-controller",
+        "permit_provenance/fire.rs",
+        "permit-provenance",
+    );
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits[0].message.contains("deny-by-default"));
+
+    let clean = fire(
+        "css-controller",
+        "permit_provenance/clean.rs",
+        "permit-provenance",
+    );
+    assert!(
+        clean.is_empty(),
+        "patterns misread as construction: {clean:#?}"
+    );
+}
+
+#[test]
+fn permit_provenance_allows_css_policy() {
+    let hits = fire(
+        "css-policy",
+        "permit_provenance/fire.rs",
+        "permit-provenance",
+    );
+    assert!(hits.is_empty(), "the PDP itself may mint permits");
+}
+
+#[test]
+fn audit_before_release_fires_and_clean_passes() {
+    let hits = fire(
+        "css-controller",
+        "audit_release/fire.rs",
+        "audit-before-release",
+    );
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(hits[0].message.contains("deliver"));
+
+    let clean = fire(
+        "css-controller",
+        "audit_release/clean.rs",
+        "audit-before-release",
+    );
+    assert!(
+        clean.is_empty(),
+        "audited/forwarding fns flagged: {clean:#?}"
+    );
+}
+
+#[test]
+fn no_panic_hot_path_fires_and_clean_passes() {
+    let hits = fire("css-storage", "no_panic/fire.rs", "no-panic-hot-path");
+    assert_eq!(hits.len(), 3, "unwrap + expect + panic!: {hits:#?}");
+
+    let clean = fire("css-storage", "no_panic/clean.rs", "no-panic-hot-path");
+    assert!(clean.is_empty(), "clean fixture fired: {clean:#?}");
+}
+
+#[test]
+fn no_panic_waiver_moves_finding_to_waived() {
+    let src = fixture("no_panic/waived.rs");
+    let all = lint_file_source(
+        "css-storage",
+        "no_panic/waived.rs",
+        FileRole::Production,
+        &src,
+    );
+    let (waived, active): (Vec<_>, Vec<_>) = all.into_iter().partition(|f| f.is_waived());
+    assert!(
+        active.iter().all(|f| f.rule != "no-panic-hot-path"),
+        "{active:#?}"
+    );
+    assert_eq!(waived.len(), 1);
+    assert!(waived[0]
+        .waive_reason
+        .as_deref()
+        .unwrap_or("")
+        .contains("startup-only"));
+}
+
+#[test]
+fn test_role_files_are_exempt_from_file_rules() {
+    // The fire fixtures themselves, read with their real role (Test),
+    // must produce nothing — this is what keeps the self-check clean.
+    for (krate, name) in [
+        ("css-bus", "detail_confinement/fire.rs"),
+        ("css-controller", "permit_provenance/fire.rs"),
+        ("css-controller", "audit_release/fire.rs"),
+        ("css-storage", "no_panic/fire.rs"),
+        ("css-storage", "lock_across_io/fire.rs"),
+    ] {
+        let src = fixture(name);
+        let hits = lint_file_source(krate, name, FileRole::Test, &src);
+        assert!(hits.is_empty(), "{name} fired with Test role: {hits:#?}");
+    }
+}
+
+#[test]
+fn lock_across_io_fires_and_clean_passes() {
+    let hits = fire("css-storage", "lock_across_io/fire.rs", "lock-across-io");
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert_eq!(hits[0].severity, Severity::Warn);
+    assert!(
+        hits[0].message.contains("index"),
+        "names the guard: {hits:#?}"
+    );
+
+    let clean = fire("css-storage", "lock_across_io/clean.rs", "lock-across-io");
+    assert!(clean.is_empty(), "allowed shapes flagged: {clean:#?}");
+}
+
+#[test]
+fn layering_fires_on_upward_dep_and_clean_passes() {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/layering");
+
+    let report = lint_workspace(&base.join("fire")).expect("lint fire workspace");
+    let hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "layering")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:#?}", report.findings);
+    assert!(hits[0].message.contains("css-controller"));
+    assert!(hits[0].file.ends_with("Cargo.toml"));
+
+    let report = lint_workspace(&base.join("clean")).expect("lint clean workspace");
+    assert!(
+        report.findings.iter().all(|f| f.rule != "layering"),
+        "{:#?}",
+        report.findings
+    );
+}
+
+#[test]
+fn malformed_waiver_is_itself_a_finding() {
+    let src = "fn f() {\n    // css-lint: allow(no-panic-hot-path)\n    x.unwrap();\n}\n";
+    let all = lint_file_source("css-storage", "src/x.rs", FileRole::Production, src);
+    assert!(
+        all.iter().any(|f| f.rule == "waiver-syntax"),
+        "reason-less waiver must be rejected: {all:#?}"
+    );
+    // And the waiver does NOT suppress the panic finding.
+    assert!(all
+        .iter()
+        .any(|f| f.rule == "no-panic-hot-path" && !f.is_waived()));
+}

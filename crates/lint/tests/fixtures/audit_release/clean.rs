@@ -1,0 +1,18 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): the
+//! same release with the audit obligation met in the same body, plus a
+//! forwarding impl named after the release call (the narrow interface
+//! itself, exempt). Must not fire.
+
+impl Controller {
+    pub fn deliver(&self, envelope: &Envelope) -> CssResult<Notification> {
+        let notice = self.crypto.decrypt_notification(envelope)?;
+        self.audit.append(AuditRecord::release(&notice))?;
+        Ok(notice)
+    }
+}
+
+impl Gateway for Remote {
+    fn get_response(&self, inquiry: &Inquiry) -> CssResult<Response> {
+        self.inner.get_response(inquiry)
+    }
+}

@@ -1,0 +1,10 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): a
+//! function that rebuilds an identity-bearing notification without
+//! appending an audit record. Must fire `audit-before-release`.
+
+impl Controller {
+    pub fn deliver(&self, envelope: &Envelope) -> CssResult<Notification> {
+        let notice = self.crypto.decrypt_notification(envelope)?;
+        Ok(notice)
+    }
+}

@@ -1,0 +1,15 @@
+//! FIXTURE (linted as crate `css-bus`, role Production): the same shape
+//! of code carrying only the anonymized notification, plus a
+//! `#[cfg(test)]` region that may name the confined type. Must not fire.
+
+pub fn forward(notice: EventNotification) {
+    route(notice);
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may build a DetailMessage to drive a producer-side mock.
+    fn build() -> DetailMessage {
+        DetailMessage::default()
+    }
+}

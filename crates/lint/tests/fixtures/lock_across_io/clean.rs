@@ -1,0 +1,23 @@
+//! FIXTURE (role Production): three allowed shapes — write through the
+//! guard itself, guard dropped before the write, and a lock taken as a
+//! temporary (released at the `;`). Must not fire.
+
+pub fn through_guard(&self, event: &Event) -> CssResult<()> {
+    let mut repo = self.repo.lock();
+    repo.append(event.encode())?;
+    Ok(())
+}
+
+pub fn drop_first(&self, event: &Event) -> CssResult<()> {
+    let mut index = self.index.lock();
+    index.insert(event.id);
+    drop(index);
+    self.log.append(event.encode())?;
+    Ok(())
+}
+
+pub fn temporary(&self) -> CssResult<()> {
+    let snapshot = self.repo.lock().load_all()?;
+    self.log.append(snapshot.encode())?;
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! FIXTURE (role Production): a parking_lot guard on the index held
+//! across a storage write on an unrelated path. Must fire
+//! `lock-across-io` (warn).
+
+pub fn record(&self, event: &Event) -> CssResult<()> {
+    let mut index = self.index.lock();
+    index.insert(event.id);
+    self.log.append(event.encode())?;
+    Ok(())
+}

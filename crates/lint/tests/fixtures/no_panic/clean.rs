@@ -1,0 +1,21 @@
+//! FIXTURE (linted as crate `css-storage`, role Production): the same
+//! logic on `CssResult` error paths — `?`, `unwrap_or`, and a
+//! `#[cfg(test)]` module where unwrap stays fine. Must not fire.
+
+pub fn load(&self, key: &str) -> CssResult<Record> {
+    let bytes = self.kv.get(key)?;
+    let record = Record::decode(&bytes).unwrap_or_default();
+    if record.version > MAX_VERSION {
+        return Err(CssError::Corrupt("future record version".into()));
+    }
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip() {
+        let r = store.load("k").unwrap();
+        assert_eq!(r.version, 1);
+    }
+}

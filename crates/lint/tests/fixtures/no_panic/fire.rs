@@ -1,0 +1,11 @@
+//! FIXTURE (linted as crate `css-storage`, role Production): the three
+//! panic shapes on the hot path. Must fire `no-panic-hot-path` 3 times.
+
+pub fn load(&self, key: &str) -> Record {
+    let bytes = self.kv.get(key).unwrap();
+    let record = Record::decode(&bytes).expect("decode");
+    if record.version > MAX_VERSION {
+        panic!("future record version");
+    }
+    record
+}

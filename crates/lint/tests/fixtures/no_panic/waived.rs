@@ -1,0 +1,8 @@
+//! FIXTURE (linted as crate `css-storage`, role Production): a panic
+//! site carrying a justified inline waiver. The finding must land in
+//! the *waived* set, not the active one.
+
+pub fn init_once(&self) {
+    // css-lint: allow(no-panic-hot-path): startup-only path; a poisoned init is unrecoverable by design
+    self.cell.set(State::Ready).expect("init_once called twice");
+}

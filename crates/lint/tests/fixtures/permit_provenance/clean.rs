@@ -1,0 +1,18 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): only
+//! *pattern-matches* the Permit variant — match arm, rest pattern,
+//! `if let`, and a match guard. Must not fire.
+
+pub fn consume(decision: Decision) -> bool {
+    match decision {
+        Decision::Permit { policy_id } if policy_id.0 > 0 => true,
+        Decision::Permit { .. } => true,
+        _ => false,
+    }
+}
+
+pub fn peek(decision: &Decision) -> Option<PolicyId> {
+    if let Decision::Permit { policy_id } = decision {
+        return Some(*policy_id);
+    }
+    None
+}

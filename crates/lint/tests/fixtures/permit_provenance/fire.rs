@@ -1,0 +1,9 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): mints a
+//! `Decision::Permit` outside css-policy. Must fire `permit-provenance`.
+
+pub fn shortcut() -> Decision {
+    Decision::Permit {
+        policy_id: PolicyId(7),
+        purpose: Purpose::HealthcareTreatment,
+    }
+}

@@ -1,0 +1,95 @@
+//! Structural checks on the `--format json` output (schema version 1).
+//! No JSON parser exists offline, so these assert on the exact
+//! serialized shape — which is itself the compatibility contract for
+//! downstream consumers of `LINT_REPORT.json`.
+
+use css_lint::{render_json, Finding, Report, Severity};
+
+fn sample_report() -> Report {
+    Report {
+        root: "/tmp/ws".into(),
+        findings: vec![Finding {
+            rule: "no-panic-hot-path",
+            severity: Severity::Error,
+            crate_name: "css-storage".into(),
+            file: "crates/storage/src/kv.rs".into(),
+            line: 42,
+            message: "`.unwrap()` with \"quotes\"\nand a newline".into(),
+            waive_reason: None,
+        }],
+        waived: vec![Finding {
+            rule: "audit-before-release",
+            severity: Severity::Error,
+            crate_name: "css-gateway".into(),
+            file: "crates/gateway/src/gateway.rs".into(),
+            line: 7,
+            message: "release without audit".into(),
+            waive_reason: Some("E12 demo path".into()),
+        }],
+        files_scanned: 2,
+    }
+}
+
+#[test]
+fn json_has_versioned_envelope_and_summary() {
+    let json = render_json(&sample_report());
+    assert!(json.starts_with("{\"version\":1,\"root\":\"/tmp/ws\""));
+    assert!(json.contains("\"rules\":["));
+    assert!(
+        json.contains("\"summary\":{\"errors\":1,\"warnings\":0,\"waived\":1,\"files_scanned\":2}")
+    );
+    assert!(json.ends_with("}\n"));
+}
+
+#[test]
+fn json_lists_all_six_rules_with_severities() {
+    let json = render_json(&Report::default());
+    for rule in [
+        "detail-confinement",
+        "permit-provenance",
+        "audit-before-release",
+        "no-panic-hot-path",
+        "lock-across-io",
+        "layering",
+    ] {
+        assert!(
+            json.contains(&format!("\"id\":\"{rule}\"")),
+            "missing {rule}"
+        );
+    }
+    assert!(json.contains("\"id\":\"lock-across-io\",\"severity\":\"warn\""));
+    assert!(json.contains("\"id\":\"layering\",\"severity\":\"error\""));
+}
+
+#[test]
+fn json_escapes_messages_and_carries_waive_reasons() {
+    let json = render_json(&sample_report());
+    // The quotes and newline in the message must be escaped, never raw.
+    assert!(json.contains("\\\"quotes\\\"\\nand a newline"));
+    assert!(!json.contains("and a newline\","));
+    // Waived entries carry their reason; active ones have none.
+    assert!(json.contains("\"reason\":\"E12 demo path\""));
+    let findings_section =
+        &json[json.find("\"findings\":").unwrap()..json.find("\"waived\":").unwrap()];
+    assert!(!findings_section.contains("\"reason\""));
+}
+
+#[test]
+fn finding_fields_appear_in_contract_order() {
+    let json = render_json(&sample_report());
+    let f = &json[json.find("\"findings\":").unwrap()..];
+    let order = [
+        "\"rule\":",
+        "\"severity\":",
+        "\"crate\":",
+        "\"file\":",
+        "\"line\":",
+        "\"message\":",
+    ];
+    let mut last = 0usize;
+    for key in order {
+        let at = f.find(key).unwrap_or_else(|| panic!("missing {key}"));
+        assert!(at > last, "{key} out of order");
+        last = at;
+    }
+}

@@ -92,18 +92,17 @@ impl PolicyDecisionPoint {
         let Some(event_type) = self.by_id.remove(&id) else {
             return false;
         };
-        let bucket = self
-            .by_type
-            .get_mut(&event_type)
-            .expect("by_id points at a live bucket");
-        let pos = bucket
-            .iter()
-            .position(|p| p.id == id)
-            .expect("by_id entry present in its bucket");
-        bucket.remove(pos);
-        // Drop emptied buckets so churn doesn't grow the map forever.
-        if bucket.is_empty() {
-            self.by_type.remove(&event_type);
+        // by_id and by_type are maintained in lockstep; if the bucket or
+        // its entry is somehow already gone, the policy is removed either
+        // way — degrade gracefully rather than panic mid-request.
+        if let Some(bucket) = self.by_type.get_mut(&event_type) {
+            if let Some(pos) = bucket.iter().position(|p| p.id == id) {
+                bucket.remove(pos);
+            }
+            // Drop emptied buckets so churn doesn't grow the map forever.
+            if bucket.is_empty() {
+                self.by_type.remove(&event_type);
+            }
         }
         self.invalidate_cache();
         true
@@ -230,26 +229,22 @@ impl PolicyDecisionPoint {
         let mut best_failure = DenyReason::NoMatchingPolicy;
         let mut best_rank = 0u8;
         for policy in candidates {
-            match matches(policy, request, actors, now) {
+            let (rank, reason) = match matches(policy, request, actors, now) {
                 MatchOutcome::Match => {
                     allowed.extend(policy.fields.iter().cloned());
                     matched.push(policy.id);
+                    continue;
                 }
-                failure => {
-                    let (rank, reason) = match failure {
-                        MatchOutcome::WrongEventType | MatchOutcome::Revoked => {
-                            (1, DenyReason::NoMatchingPolicy)
-                        }
-                        MatchOutcome::WrongActor => (2, DenyReason::NoMatchingPolicy),
-                        MatchOutcome::PurposeNotAllowed => (3, DenyReason::PurposeNotAllowed),
-                        MatchOutcome::OutsideValidity => (4, DenyReason::PolicyExpired),
-                        MatchOutcome::Match => unreachable!(),
-                    };
-                    if rank > best_rank {
-                        best_rank = rank;
-                        best_failure = reason;
-                    }
+                MatchOutcome::WrongEventType | MatchOutcome::Revoked => {
+                    (1, DenyReason::NoMatchingPolicy)
                 }
+                MatchOutcome::WrongActor => (2, DenyReason::NoMatchingPolicy),
+                MatchOutcome::PurposeNotAllowed => (3, DenyReason::PurposeNotAllowed),
+                MatchOutcome::OutsideValidity => (4, DenyReason::PolicyExpired),
+            };
+            if rank > best_rank {
+                best_rank = rank;
+                best_failure = reason;
             }
         }
         if matched.is_empty() {

@@ -155,7 +155,7 @@ pub fn from_xacml(e: &Element) -> CssResult<PrivacyPolicy> {
 
     let purposes: Vec<Purpose> = match_values("Actions", "ActionMatch")
         .iter()
-        .map(|s| s.parse().expect("purpose parsing is infallible"))
+        .map(|s| Purpose::from_code(s))
         .collect();
     if purposes.is_empty() {
         return Err(bad("policy allows no purposes".into()));
@@ -263,9 +263,7 @@ pub fn from_xacml_request(e: &Element) -> CssResult<crate::request::DetailReques
     let event_id = find_attr("Resource", "urn:css:resource:event-id")?
         .parse()
         .map_err(|err| bad(format!("bad event id: {err}")))?;
-    let purpose: Purpose = find_attr("Action", "urn:css:action:purpose")?
-        .parse()
-        .expect("purpose parsing is infallible");
+    let purpose = Purpose::from_code(&find_attr("Action", "urn:css:action:purpose")?);
     let request_id = find_attr("Environment", "urn:css:environment:request-id")?
         .parse()
         .map_err(|err| bad(format!("bad request id: {err}")))?;

@@ -207,13 +207,13 @@ fn decode(payload: &[u8]) -> CssResult<(u8, Vec<u8>, Vec<u8>)> {
         return Err(err());
     }
     let op = payload[0];
-    let klen = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+    let klen = crate::le_u32(&payload[1..5]).ok_or_else(err)? as usize;
     if payload.len() < 5 + klen + 4 {
         return Err(err());
     }
     let key = payload[5..5 + klen].to_vec();
     let vstart = 5 + klen + 4;
-    let vlen = u32::from_le_bytes(payload[5 + klen..vstart].try_into().unwrap()) as usize;
+    let vlen = crate::le_u32(&payload[5 + klen..vstart]).ok_or_else(err)? as usize;
     if payload.len() != vstart + vlen {
         return Err(err());
     }

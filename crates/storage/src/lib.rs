@@ -27,3 +27,11 @@ pub use backend::{FileBackend, LogBackend, MemBackend};
 pub use instrument::InstrumentedBackend;
 pub use kv::KvStore;
 pub use log::{RecordLog, RecordPtr, ScanOutcome};
+
+/// Little-endian `u32` from a 4-byte slice; `None` when the slice has
+/// the wrong length. Frame decoding uses this so malformed lengths
+/// surface as recoverable errors, never as a panic mid-replay.
+pub(crate) fn le_u32(bytes: &[u8]) -> Option<u32> {
+    let arr: [u8; 4] = bytes.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}

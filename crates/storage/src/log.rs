@@ -103,11 +103,14 @@ impl<B: LogBackend> RecordLog<B> {
         let header = backend
             .read_at(pos, HEADER_LEN)
             .map_err(|_| HeaderIssue::Torn)?;
+        if header.len() < HEADER_LEN {
+            return Err(HeaderIssue::Torn);
+        }
         if header[0] != MAGIC {
             return Err(HeaderIssue::BadMagic);
         }
-        let len = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(header[5..9].try_into().unwrap());
+        let len = crate::le_u32(&header[1..5]).ok_or(HeaderIssue::Torn)? as usize;
+        let crc = crate::le_u32(&header[5..9]).ok_or(HeaderIssue::Torn)?;
         Ok((len, crc))
     }
 

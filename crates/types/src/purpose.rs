@@ -54,6 +54,16 @@ impl Purpose {
         }
     }
 
+    /// Parse a purpose code. Parsing never fails (unknown codes become
+    /// [`Purpose::Custom`]); this inherent form saves callers from
+    /// unwrapping the infallible `FromStr` result on hot paths.
+    pub fn from_code(s: &str) -> Purpose {
+        match s.parse() {
+            Ok(p) => p,
+            Err(never) => match never {},
+        }
+    }
+
     /// All standard (non-custom) purposes.
     pub fn standard() -> &'static [Purpose] {
         const ALL: &[Purpose] = &[

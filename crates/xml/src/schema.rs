@@ -80,7 +80,7 @@ impl ValueType {
 /// Accept `YYYY-MM-DDTHH:MM:SS(.mmm)?Z`.
 fn parse_datetime(s: &str) -> bool {
     let bytes = s.as_bytes();
-    if bytes.len() < 20 || *bytes.last().unwrap() != b'Z' {
+    if bytes.len() < 20 || bytes.last() != Some(&b'Z') {
         return false;
     }
     let s = &s[..s.len() - 1];

@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== css-lint: privacy-invariant pass"
+scripts/lint.sh
+
 echo "== tier-1: build + test"
 cargo build --release
 cargo test -q

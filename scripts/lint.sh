@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Run the css-lint privacy-invariant pass over the workspace.
+#
+# Writes the machine-readable report to LINT_REPORT.json (schema v1,
+# see crates/lint/src/json.rs) and exits nonzero on any error-severity
+# finding — the same gate crates/lint/tests/self_check.rs enforces.
+# Usage: scripts/lint.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if cargo run -q -p css-lint -- --format json > LINT_REPORT.json; then
+    echo "css-lint: clean ($(grep -o '"files_scanned":[0-9]*' LINT_REPORT.json | cut -d: -f2) files, report in LINT_REPORT.json)"
+else
+    status=$?
+    echo "css-lint: FAILED (exit $status); findings:" >&2
+    # Re-run in human-readable form so the failure is actionable.
+    cargo run -q -p css-lint || true
+    exit "$status"
+fi
