@@ -1,5 +1,6 @@
 //! Audit inquiries: "who did the request and why / for which purpose?"
 
+use css_trace::TraceId;
 use css_types::{ActorId, GlobalEventId, PersonId, Purpose, Timestamp};
 
 use crate::record::{AuditAction, AuditRecord};
@@ -15,6 +16,7 @@ pub struct AuditQuery {
     purpose: Option<Purpose>,
     from: Option<Timestamp>,
     to: Option<Timestamp>,
+    trace: Option<TraceId>,
     only_denied: bool,
 }
 
@@ -62,6 +64,14 @@ impl AuditQuery {
         self
     }
 
+    /// Restrict to records of one causal trace — the audit side of the
+    /// trace ↔ audit join: given a trace id from a span tree, return
+    /// every accountable action that request performed.
+    pub fn trace(mut self, id: TraceId) -> Self {
+        self.trace = Some(id);
+        self
+    }
+
     /// Restrict to denials.
     pub fn denied_only(mut self) -> Self {
         self.only_denied = true;
@@ -80,6 +90,7 @@ impl AuditQuery {
                 .is_none_or(|p| r.purpose.as_ref() == Some(p))
             && self.from.is_none_or(|t| r.at >= t)
             && self.to.is_none_or(|t| r.at <= t)
+            && self.trace.is_none_or(|t| r.trace == Some(t))
             && (!self.only_denied || !r.outcome.is_permitted())
     }
 }
@@ -139,6 +150,18 @@ mod tests {
         let no = rec().denied("no matching policy");
         assert!(!AuditQuery::new().denied_only().matches(&ok));
         assert!(AuditQuery::new().denied_only().matches(&no));
+    }
+
+    #[test]
+    fn trace_dimension_filters() {
+        let traced = rec().trace(Some(TraceId::mint(9, 1)));
+        let untraced = rec();
+        let q = AuditQuery::new().trace(TraceId::mint(9, 1));
+        assert!(q.matches(&traced));
+        assert!(!q.matches(&untraced));
+        assert!(!AuditQuery::new()
+            .trace(TraceId::mint(9, 2))
+            .matches(&traced));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Audit records: one structured entry per platform action.
 
+use css_trace::TraceId;
 use css_types::{
     ActorId, CssError, CssResult, EventTypeId, GlobalEventId, PersonId, Purpose, RequestId,
     Timestamp,
@@ -100,6 +101,9 @@ pub struct AuditRecord {
     pub purpose: Option<Purpose>,
     /// The correlated request, if any.
     pub request: Option<RequestId>,
+    /// The causal trace this action belongs to, if tracing was enabled
+    /// — the join key between the audit log and the span collector.
+    pub trace: Option<TraceId>,
     /// Outcome.
     pub outcome: AuditOutcome,
     /// Free-form detail (e.g. matched policy ids).
@@ -120,6 +124,7 @@ impl AuditRecord {
             person: None,
             purpose: None,
             request: None,
+            trace: None,
             outcome: AuditOutcome::Permitted,
             detail: String::new(),
         }
@@ -152,6 +157,14 @@ impl AuditRecord {
     /// Builder: the correlated request id.
     pub fn request(mut self, id: RequestId) -> Self {
         self.request = Some(id);
+        self
+    }
+
+    /// Builder: the causal trace (absent when the trace id is `None`,
+    /// i.e. when tracing is disabled — builders stay one-liners at the
+    /// call sites either way).
+    pub fn trace(mut self, id: Option<TraceId>) -> Self {
+        self.trace = id;
         self
     }
 
@@ -188,6 +201,9 @@ impl AuditRecord {
         }
         if let Some(r) = self.request {
             e = e.attr("request", r.to_string());
+        }
+        if let Some(t) = self.trace {
+            e = e.attr("trace", t.to_string());
         }
         match &self.outcome {
             AuditOutcome::Permitted => e = e.attr("outcome", "permitted"),
@@ -242,6 +258,10 @@ impl AuditRecord {
             .map(|s| s.parse::<RequestId>())
             .transpose()
             .map_err(|x| bad(format!("bad request: {x}")))?;
+        let trace = opt("trace")
+            .map(|s| s.parse::<TraceId>())
+            .transpose()
+            .map_err(|x| bad(format!("bad trace: {x}")))?;
         let outcome = match req("outcome")? {
             "permitted" => AuditOutcome::Permitted,
             "denied" => AuditOutcome::Denied(opt("reason").unwrap_or("").to_string()),
@@ -258,6 +278,7 @@ impl AuditRecord {
             person,
             purpose,
             request,
+            trace,
             outcome,
             detail,
         })
@@ -275,6 +296,7 @@ mod tests {
             .person(PersonId(2))
             .purpose(Purpose::HealthcareTreatment)
             .request(RequestId(55))
+            .trace(Some(TraceId::mint(123, 1)))
             .with_detail("matched pol-00000001");
         r.seq = 17;
         r

@@ -15,6 +15,7 @@ use css_gateway::LocalCooperationGateway;
 use css_policy::PrivacyPolicy;
 use css_sim::{Scenario, ScenarioConfig};
 use css_storage::MemBackend;
+use css_trace::Tracer;
 use css_types::{
     Actor, ActorId, EventTypeId, PersonId, PersonIdentity, PolicyId, Purpose, SimClock,
     SourceEventId, Timestamp,
@@ -89,10 +90,16 @@ pub struct MicroWorld {
     pub consumers: Vec<ActorId>,
 }
 
-/// Build a [`MicroWorld`].
+/// Build a [`MicroWorld`] (tracing off).
 pub fn micro_world(consumers: usize) -> MicroWorld {
+    micro_world_traced(consumers, Tracer::disabled())
+}
+
+/// Build a [`MicroWorld`] whose controller mints spans into `tracer` —
+/// the fixture for traced-vs-untraced overhead comparisons (E16).
+pub fn micro_world_traced(consumers: usize, tracer: Tracer) -> MicroWorld {
     let clock = SimClock::starting_at(Timestamp(1_000_000));
-    let config = ControllerConfig::with_clock(Arc::new(clock.clone()));
+    let config = ControllerConfig::with_clock(Arc::new(clock.clone())).with_tracer(tracer);
     let mut controller = DataController::new(config, MemBackend::new()).unwrap();
     controller
         .register_actor(Actor::organization(HOSPITAL, "Hospital"))

@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use css_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
+use css_trace::{SpanGuard, SpanStatus, TraceContext, TraceId};
 use css_types::{CssError, CssResult, SubscriptionId};
 
 use crate::stats::{BrokerStats, SubscriptionStats};
@@ -79,6 +80,11 @@ struct Pending<M> {
     /// When queued this timestamps the enqueue; once in flight it is
     /// re-stamped at delivery, so ack latency measures from delivery.
     since: Instant,
+    /// The trace of the publish that enqueued this message, if traced.
+    trace: Option<TraceId>,
+    /// Open `bus.deliver` span covering enqueue-to-delivery; finished
+    /// at first poll (or on drop if the message never gets delivered).
+    deliver_span: Option<SpanGuard>,
 }
 
 struct SubState<M> {
@@ -210,12 +216,28 @@ impl<M: Clone + Send> Broker<M> {
     /// whole publish *before* any enqueue (all-or-nothing), so producers
     /// see consistent back-pressure.
     pub fn publish(&self, topic: &str, message: M) -> CssResult<usize> {
+        self.publish_traced(topic, message, None)
+    }
+
+    /// [`Broker::publish`], continuing the caller's trace: the fan-out
+    /// runs under a `bus.route` span, and each enqueued copy carries an
+    /// open `bus.deliver` span that closes when the subscriber polls it
+    /// — so a trace tree shows routing and per-subscriber queue time as
+    /// separate children of the publish.
+    pub fn publish_traced(
+        &self,
+        topic: &str,
+        message: M,
+        ctx: Option<&TraceContext>,
+    ) -> CssResult<usize> {
         let started = Instant::now();
+        let mut route = TraceContext::child_opt(ctx, "bus.route");
         let mut st = self.inner.state.lock();
         let sub_ids = match st.topics.get(topic) {
             Some(ids) => ids.clone(),
             None => {
                 st.stats.rejected += 1;
+                route.set_status(SpanStatus::Error);
                 return Err(CssError::Bus(format!("no such topic {topic:?}")));
             }
         };
@@ -228,10 +250,12 @@ impl<M: Clone + Send> Broker<M> {
         });
         if let Some((id, capacity)) = overflowing {
             st.stats.rejected += 1;
+            route.set_status(SpanStatus::Error);
             return Err(CssError::Bus(format!(
                 "subscription {id} queue full ({capacity} messages)"
             )));
         }
+        let route_ctx = route.context();
         let mut fanout = 0usize;
         let mut dropped = 0i64;
         for id in &sub_ids {
@@ -250,6 +274,8 @@ impl<M: Clone + Send> Broker<M> {
                 message: message.clone(),
                 attempts: 0,
                 since: started,
+                trace: route_ctx.trace_id(),
+                deliver_span: route_ctx.trace_id().map(|_| route_ctx.child("bus.deliver")),
             });
             sub.stats.enqueued += 1;
             fanout += 1;
@@ -257,6 +283,7 @@ impl<M: Clone + Send> Broker<M> {
         st.stats.published += 1;
         st.stats.fanned_out += fanout as u64;
         drop(st);
+        route.finish();
         if let Some(t) = &self.inner.telemetry {
             t.published.inc();
             t.fanned_out.add(fanout as u64);
@@ -312,9 +339,13 @@ impl<M: Clone + Send> Inner<M> {
                 pending.attempts += 1;
                 let delivery_id = st.next_delivery;
                 st.next_delivery += 1;
+                if let Some(span) = pending.deliver_span.take() {
+                    span.finish();
+                }
                 let delivery = Delivery {
                     delivery_id,
                     attempt: pending.attempts,
+                    trace: pending.trace,
                     message: pending.message.clone(),
                 };
                 if pending.attempts > 1 {
@@ -687,6 +718,47 @@ mod tests {
         assert_eq!(registry.snapshot().gauge("bus.queue_depth"), 3);
         s2.unsubscribe().unwrap();
         assert_eq!(registry.snapshot().gauge("bus.queue_depth"), 0);
+    }
+
+    #[test]
+    fn traced_publish_produces_route_and_deliver_spans() {
+        use css_trace::Tracer;
+        use css_types::Timestamp;
+
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        let tracer = Tracer::new(64);
+        let root = tracer.root("publish", Timestamp(7));
+        let ctx = root.context();
+        b.publish_traced("blood-test", "m".into(), Some(&ctx))
+            .unwrap();
+        root.finish();
+
+        let d = s.poll().unwrap().unwrap();
+        assert_eq!(d.trace, ctx.trace_id());
+        s.ack(d.delivery_id).unwrap();
+
+        let spans = tracer.finished_spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"bus.route"), "{names:?}");
+        assert!(names.contains(&"bus.deliver"), "{names:?}");
+        let route = spans.iter().find(|s| s.name == "bus.route").unwrap();
+        let deliver = spans.iter().find(|s| s.name == "bus.deliver").unwrap();
+        assert_eq!(deliver.parent, Some(route.id));
+        assert!(spans.iter().all(|s| Some(s.trace) == ctx.trace_id()));
+    }
+
+    #[test]
+    fn untraced_publish_leaves_delivery_trace_empty() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        b.publish("blood-test", "m".into()).unwrap();
+        let d = s.poll().unwrap().unwrap();
+        assert_eq!(d.trace, None);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use css_trace::TraceId;
 use css_types::{CssResult, SubscriptionId};
 
 use crate::broker::Inner;
@@ -16,6 +17,9 @@ pub struct Delivery<M> {
     pub delivery_id: u64,
     /// 1-based delivery attempt for this message.
     pub attempt: u32,
+    /// The causal trace of the publish that enqueued this message, if
+    /// it was traced — lets the consumer continue the publisher's tree.
+    pub trace: Option<TraceId>,
     /// The message payload.
     pub message: M,
 }

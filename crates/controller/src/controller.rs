@@ -10,6 +10,7 @@ use css_policy::{DetailRequest, PolicyDecisionPoint, PrivacyPolicy};
 use css_registry::EventCatalog;
 use css_storage::LogBackend;
 use css_telemetry::{MetricsRegistry, StageTimer};
+use css_trace::{SpanAttr, SpanStatus, TraceContext, Tracer};
 use css_types::{
     Actor, ActorId, ActorRegistry, Clock, CssError, CssResult, DenyReason, EventTypeId,
     GlobalEventId, IdGenerator, PersonId, PersonIdentity, PolicyId, Purpose, SourceEventId,
@@ -33,6 +34,10 @@ pub struct ControllerConfig {
     /// Registry the controller and its bus record metrics into. Share
     /// one registry across subsystems to get a platform-wide snapshot.
     pub telemetry: MetricsRegistry,
+    /// Tracer the controller mints causal spans into (publish → route →
+    /// deliver, inquiry, detail request → PEP stages). Disabled by
+    /// default, making every span a no-op.
+    pub tracer: Tracer,
 }
 
 impl ControllerConfig {
@@ -43,6 +48,7 @@ impl ControllerConfig {
             subscription: SubscriptionConfig::default(),
             clock,
             telemetry: MetricsRegistry::new(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -50,6 +56,13 @@ impl ControllerConfig {
     /// private one.
     pub fn with_telemetry(mut self, registry: MetricsRegistry) -> Self {
         self.telemetry = registry;
+        self
+    }
+
+    /// Use an existing tracer (e.g. the platform's) so controller spans
+    /// land in a shared collector.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
         self
     }
 }
@@ -82,6 +95,7 @@ pub struct DataController<B: LogBackend> {
     clock: Arc<dyn Clock>,
     subscription_config: SubscriptionConfig,
     telemetry: MetricsRegistry,
+    tracer: Tracer,
     eid_gen: IdGenerator,
     policy_gen: IdGenerator,
     request_gen: IdGenerator,
@@ -128,6 +142,7 @@ impl<B: LogBackend> DataController<B> {
             clock: config.clock,
             subscription_config: config.subscription,
             telemetry: config.telemetry,
+            tracer: config.tracer,
             eid_gen: IdGenerator::starting_at(next_eid),
             policy_gen: IdGenerator::default(),
             request_gen: IdGenerator::default(),
@@ -137,6 +152,11 @@ impl<B: LogBackend> DataController<B> {
     /// The registry this controller (and its bus) records into.
     pub fn telemetry(&self) -> &MetricsRegistry {
         &self.telemetry
+    }
+
+    /// The tracer this controller mints spans into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Current controller time.
@@ -347,6 +367,33 @@ impl<B: LogBackend> DataController<B> {
         occurred_at: Timestamp,
         src_event_id: SourceEventId,
     ) -> CssResult<PublishReceipt> {
+        self.publish_traced(
+            producer,
+            person,
+            description,
+            event_type,
+            occurred_at,
+            src_event_id,
+            None,
+        )
+    }
+
+    /// [`DataController::publish`], continuing `parent` when given or
+    /// minting a fresh `publish` root span otherwise. The span covers
+    /// the consent gate through the audit group commit; `bus.route`,
+    /// `bus.deliver` and `index.insert` become children, and the trace
+    /// id is stamped into the Publish and Delivery audit records.
+    #[allow(clippy::too_many_arguments)]
+    pub fn publish_traced(
+        &mut self,
+        producer: ActorId,
+        person: PersonIdentity,
+        description: String,
+        event_type: EventTypeId,
+        occurred_at: Timestamp,
+        src_event_id: SourceEventId,
+        parent: Option<&TraceContext>,
+    ) -> CssResult<PublishReceipt> {
         self.contracts.require_producer(producer)?;
         let schema = self.catalog.schema(&event_type)?;
         if schema.producer != producer {
@@ -357,14 +404,23 @@ impl<B: LogBackend> DataController<B> {
         }
         let now = self.now();
         let mut timer = StageTimer::start(&self.telemetry, "publish");
+        let mut span = match parent {
+            Some(ctx) => ctx.child("publish"),
+            None => self.tracer.root("publish", now),
+        };
+        span.attr(SpanAttr::actor(producer));
+        span.attr(SpanAttr::event_type(&event_type));
+        let trace_id = span.trace_id();
         // Consent gate at the source.
         if !self.consent.allows(person.id, producer, &event_type) {
             timer.stage("consent_gate");
+            span.set_status(SpanStatus::Denied);
             self.telemetry.counter("controller.publish_denied").inc();
             self.audit.append(
                 AuditRecord::new(now, producer, AuditAction::Publish)
                     .event_type(event_type.clone())
                     .person(person.id)
+                    .trace(trace_id)
                     .denied(DenyReason::ConsentWithheld.to_string()),
             )?;
             return Err(CssError::ConsentWithheld(format!(
@@ -374,6 +430,7 @@ impl<B: LogBackend> DataController<B> {
         }
         timer.stage("consent_gate");
         let global_id: GlobalEventId = self.eid_gen.next_id();
+        span.attr(SpanAttr::event(global_id));
         let notification = NotificationMessage {
             global_id,
             event_type: event_type.clone(),
@@ -383,8 +440,9 @@ impl<B: LogBackend> DataController<B> {
             producer,
         };
         // Route first (all-or-nothing on overflow), then index.
+        let ctx = span.context();
         self.bus
-            .publish(&event_type.to_string(), notification.clone())?;
+            .publish_traced(&event_type.to_string(), notification.clone(), Some(&ctx))?;
         timer.stage("route");
         let notified: HashSet<ActorId> = self
             .subscribers
@@ -392,8 +450,10 @@ impl<B: LogBackend> DataController<B> {
             .filter(|(_, ty)| *ty == event_type)
             .map(|(actor, _)| *actor)
             .collect();
+        let index_span = ctx.child("index.insert");
         self.index
             .insert(&notification, src_event_id, notified.clone())?;
+        index_span.finish();
         timer.stage("index");
         // One group commit for the Publish record and the per-consumer
         // Delivery fan-out: a single storage write instead of 1 + N.
@@ -402,19 +462,22 @@ impl<B: LogBackend> DataController<B> {
             AuditRecord::new(now, producer, AuditAction::Publish)
                 .event(global_id)
                 .event_type(event_type.clone())
-                .person(person.id),
+                .person(person.id)
+                .trace(trace_id),
         );
         for consumer in &notified {
             records.push(
                 AuditRecord::new(now, *consumer, AuditAction::Delivery)
                     .event(global_id)
                     .event_type(event_type.clone())
-                    .person(person.id),
+                    .person(person.id)
+                    .trace(trace_id),
             );
         }
         self.audit.append_batch(records)?;
         timer.stage("audit");
         timer.finish();
+        span.finish();
         self.telemetry.counter("controller.published").inc();
         let mut notified: Vec<ActorId> = notified.into_iter().collect();
         notified.sort();
@@ -436,8 +499,19 @@ impl<B: LogBackend> DataController<B> {
         consumer: ActorId,
         person: PersonId,
     ) -> CssResult<Vec<NotificationMessage>> {
+        self.inquire_by_person_traced(consumer, person, None)
+    }
+
+    /// [`DataController::inquire_by_person`], continuing the caller's
+    /// trace (or minting an `inquiry` root span when `parent` is none).
+    pub fn inquire_by_person_traced(
+        &mut self,
+        consumer: ActorId,
+        person: PersonId,
+        parent: Option<&TraceContext>,
+    ) -> CssResult<Vec<NotificationMessage>> {
         let ids = self.index.events_of_person(person);
-        self.filter_inquiry(consumer, ids)
+        self.filter_inquiry(consumer, ids, parent)
     }
 
     /// Consumer queries the events index for notifications of one class.
@@ -447,7 +521,7 @@ impl<B: LogBackend> DataController<B> {
         event_type: &EventTypeId,
     ) -> CssResult<Vec<NotificationMessage>> {
         let ids = self.index.events_of_type(event_type);
-        self.filter_inquiry(consumer, ids)
+        self.filter_inquiry(consumer, ids, None)
     }
 
     /// Consumer queries the events index for notifications in a time
@@ -459,13 +533,14 @@ impl<B: LogBackend> DataController<B> {
         to: Timestamp,
     ) -> CssResult<Vec<NotificationMessage>> {
         let ids = self.index.events_between(from, to);
-        self.filter_inquiry(consumer, ids)
+        self.filter_inquiry(consumer, ids, None)
     }
 
     fn filter_inquiry(
         &mut self,
         consumer: ActorId,
         candidates: Vec<GlobalEventId>,
+        parent: Option<&TraceContext>,
     ) -> CssResult<Vec<NotificationMessage>> {
         let org = self
             .actors
@@ -473,18 +548,27 @@ impl<B: LogBackend> DataController<B> {
             .ok_or_else(|| CssError::NotFound(format!("actor {consumer} not registered")))?;
         self.contracts.require_consumer(org)?;
         let now = self.now();
+        let mut span = match parent {
+            Some(ctx) => ctx.child("inquiry"),
+            None => self.tracer.root("inquiry", now),
+        };
+        span.attr(SpanAttr::actor(consumer));
         // Resolve each candidate once inside the index (entry lookup,
         // authorization, decrypt and notified-marking share a single
         // entry resolution; markers are persisted as one batch).
         let pdp = &self.pdp;
         let actors = &self.actors;
+        let filter_span = span.context().child("index.filter");
         let mut out = self.index.filter_authorized(&candidates, consumer, |ty| {
             pdp.is_authorized(consumer, ty, actors, now)
         })?;
+        filter_span.finish();
         self.audit.append(
             AuditRecord::new(now, consumer, AuditAction::IndexInquiry)
+                .trace(span.trace_id())
                 .with_detail(format!("{} events returned", out.len())),
         )?;
+        span.finish();
         out.sort_by_key(|n| n.global_id);
         Ok(out)
     }
@@ -499,11 +583,36 @@ impl<B: LogBackend> DataController<B> {
         event_id: GlobalEventId,
         purpose: Purpose,
     ) -> CssResult<css_event::PrivacyAwareEvent> {
+        self.request_details_traced(consumer, event_type, event_id, purpose, None)
+    }
+
+    /// [`DataController::request_details`], continuing the caller's
+    /// trace (or minting a `detail_request` root span when `parent` is
+    /// none). Every Algorithm 1 stage the PEP reaches becomes a child
+    /// span, and the root span status mirrors the outcome: `Denied` for
+    /// policy denials, `Error` for infrastructure faults.
+    pub fn request_details_traced(
+        &mut self,
+        consumer: ActorId,
+        event_type: EventTypeId,
+        event_id: GlobalEventId,
+        purpose: Purpose,
+        parent: Option<&TraceContext>,
+    ) -> CssResult<css_event::PrivacyAwareEvent> {
         let org = self
             .actors
             .organization_of(consumer)
             .ok_or_else(|| CssError::NotFound(format!("actor {consumer} not registered")))?;
         self.contracts.require_consumer(org)?;
+        let now = self.now();
+        let mut span = match parent {
+            Some(ctx) => ctx.child("detail_request"),
+            None => self.tracer.root("detail_request", now),
+        };
+        span.attr(SpanAttr::actor(consumer));
+        span.attr(SpanAttr::event(event_id));
+        span.attr(SpanAttr::event_type(&event_type));
+        span.attr(SpanAttr::purpose(&purpose));
         let request = DetailRequest::new(
             self.request_gen.next_id(),
             consumer,
@@ -511,7 +620,6 @@ impl<B: LogBackend> DataController<B> {
             event_id,
             purpose,
         );
-        let now = self.now();
         let mut pep = PolicyEnforcementPoint {
             index: &self.index,
             pdp: &self.pdp,
@@ -520,9 +628,19 @@ impl<B: LogBackend> DataController<B> {
             audit: &mut self.audit,
             gateways: &self.gateways,
             telemetry: &self.telemetry,
+            trace: span.context(),
             now,
         };
-        pep.get_event_details(&request)
+        let result = pep.get_event_details(&request);
+        match &result {
+            Ok(_) => {}
+            Err(CssError::AccessDenied(_)) | Err(CssError::ConsentWithheld(_)) => {
+                span.set_status(SpanStatus::Denied);
+            }
+            Err(_) => span.set_status(SpanStatus::Error),
+        }
+        span.finish();
+        result
     }
 
     // ---- subject access (citizen-facing, Section 7) -----------------------

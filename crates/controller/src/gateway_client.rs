@@ -12,6 +12,7 @@ use std::sync::Arc;
 use css_event::EventDetails;
 use css_gateway::LocalCooperationGateway;
 use css_storage::LogBackend;
+use css_trace::TraceContext;
 use css_types::{CssResult, SourceEventId};
 use parking_lot::Mutex;
 
@@ -23,6 +24,19 @@ pub trait GatewayClient: Send {
         src_event_id: SourceEventId,
         allowed: &BTreeSet<String>,
     ) -> CssResult<EventDetails>;
+
+    /// [`GatewayClient::get_response`], continuing the caller's trace.
+    /// The default ignores the context — a remote endpoint that cannot
+    /// carry spans still satisfies the trait; the in-process gateway
+    /// overrides it to emit its Algorithm 2 stage spans.
+    fn get_response_traced(
+        &self,
+        src_event_id: SourceEventId,
+        allowed: &BTreeSet<String>,
+        _ctx: Option<&TraceContext>,
+    ) -> CssResult<EventDetails> {
+        self.get_response(src_event_id, allowed)
+    }
 }
 
 /// A shareable in-process gateway endpoint.
@@ -35,6 +49,15 @@ impl<B: LogBackend> GatewayClient for SharedGateway<B> {
         allowed: &BTreeSet<String>,
     ) -> CssResult<EventDetails> {
         self.lock().get_response(src_event_id, allowed)
+    }
+
+    fn get_response_traced(
+        &self,
+        src_event_id: SourceEventId,
+        allowed: &BTreeSet<String>,
+        ctx: Option<&TraceContext>,
+    ) -> CssResult<EventDetails> {
+        self.lock().get_response_traced(src_event_id, allowed, ctx)
     }
 }
 

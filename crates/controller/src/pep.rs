@@ -24,6 +24,7 @@ use css_event::PrivacyAwareEvent;
 use css_policy::{Decision, DetailRequest, PolicyDecisionPoint};
 use css_storage::LogBackend;
 use css_telemetry::{MetricsRegistry, StageTimer};
+use css_trace::{SpanAttr, SpanStatus, TraceContext};
 use css_types::{ActorId, ActorRegistry, CssError, CssResult, DenyReason, Timestamp};
 
 use crate::consent::ConsentRegistry;
@@ -46,6 +47,10 @@ pub struct PolicyEnforcementPoint<'a, B: LogBackend> {
     pub gateways: &'a HashMap<ActorId, Box<dyn GatewayClient>>,
     /// Per-stage latency histograms (`stage.*`) and request counters.
     pub telemetry: &'a MetricsRegistry,
+    /// Causal trace of the enclosing detail request; each Algorithm 1
+    /// stage becomes a child span, and the trace id is stamped into the
+    /// audit record. Disabled context when tracing is off.
+    pub trace: TraceContext,
     /// Evaluation instant.
     pub now: Timestamp,
 }
@@ -55,26 +60,31 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
     ///
     /// Each stage records its latency into a `stage.*` histogram; a
     /// denied or failed request records only the stages it reached
-    /// (plus the `controller.detail_denies` counter), a permitted one
-    /// records all six and `stage.total`.
+    /// (plus the `controller.detail_denies` counter and, via the
+    /// timer's drop guard, `stage.partial` and `stage.total`), a
+    /// permitted one records all six and `stage.total`.
     pub fn get_event_details(&mut self, request: &DetailRequest) -> CssResult<PrivacyAwareEvent> {
         self.telemetry.counter("controller.detail_requests").inc();
         let denies = self.telemetry.counter("controller.detail_denies");
         let mut timer = StageTimer::start(self.telemetry, "stage");
+        let trace_id = self.trace.trace_id();
         let audit_base = || {
             AuditRecord::new(self.now, request.actor, AuditAction::DetailRequest)
                 .event(request.event_id)
                 .event_type(request.event_type.clone())
                 .purpose(request.purpose.clone())
                 .request(request.request_id)
+                .trace(trace_id)
         };
 
         // Step 1 — PIP: eID → (producer, src_eID, type).
+        let mut span = self.trace.child("pep.pip_resolve");
         let (producer, src_event_id, indexed_type) =
             match self.index.resolve_source(request.event_id) {
                 Ok(t) => t,
                 Err(e) => {
                     timer.stage("pip_resolve");
+                    span.set_status(SpanStatus::Error);
                     denies.inc();
                     self.audit
                         .append(audit_base().denied("event not found in index"))?;
@@ -83,6 +93,7 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
             };
         if indexed_type != request.event_type {
             timer.stage("pip_resolve");
+            span.set_status(SpanStatus::Denied);
             denies.inc();
             self.audit
                 .append(audit_base().denied("declared event type mismatch"))?;
@@ -92,9 +103,11 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
             )));
         }
         timer.stage("pip_resolve");
+        span.finish();
 
         // Precondition: the requester (or an enclosing organization)
         // received the notification.
+        let mut span = self.trace.child("pep.notified_check");
         let notified = self.index.was_notified(request.event_id, request.actor)
             || self
                 .actors
@@ -103,20 +116,24 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                 .any(|a| self.index.was_notified(request.event_id, *a));
         timer.stage("notified_check");
         if !notified {
+            span.set_status(SpanStatus::Denied);
             denies.inc();
             self.audit
                 .append(audit_base().denied(DenyReason::NotNotified.to_string()))?;
             return Err(CssError::AccessDenied(DenyReason::NotNotified));
         }
+        span.finish();
 
         // Precondition: data-subject consent (needs the person id, so
         // the controller unseals the identity it sealed at publish time).
+        let mut span = self.trace.child("pep.consent_check");
         let notification = self.index.decrypt_notification(request.event_id)?;
         let consented = self
             .consent
             .allows(notification.person.id, producer, &request.event_type);
         timer.stage("consent_check");
         if !consented {
+            span.set_status(SpanStatus::Denied);
             denies.inc();
             self.audit.append(
                 audit_base()
@@ -125,13 +142,20 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
             )?;
             return Err(CssError::AccessDenied(DenyReason::ConsentWithheld));
         }
+        span.finish();
 
         // Steps 2–3 — PDP: find and evaluate the matching policy. The
         // PDP answers repeat (actor, type, purpose) requests from its
         // decision cache; hits and misses are counted separately so the
         // cache-hit rate is visible in a telemetry snapshot.
+        let mut span = self.trace.child("pep.pdp_evaluate");
         let (decision, cache_hit) = self.pdp.evaluate_traced(request, self.actors, self.now);
         timer.stage("pdp_evaluate");
+        span.attr(SpanAttr::cache_hit(cache_hit));
+        span.attr(SpanAttr::decision(matches!(
+            decision,
+            Decision::Permit { .. }
+        )));
         if cache_hit {
             self.telemetry.counter("pdp.cache_hit").inc();
         } else {
@@ -139,6 +163,8 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
         }
         match decision {
             Decision::Deny(reason) => {
+                span.set_status(SpanStatus::Denied);
+                drop(span);
                 denies.inc();
                 self.audit.append(
                     audit_base()
@@ -151,9 +177,11 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                 allowed_fields,
                 matched_policies,
             } => {
+                span.finish();
                 // Step 4 — getResponse at the producer. Failures here
                 // are infrastructure faults, not policy denials, but
-                // they are audited all the same.
+                // they are audited all the same. The gateway continues
+                // the trace with its own Algorithm 2 stage spans.
                 let gateway = match self.gateways.get(&producer) {
                     Some(g) => g,
                     None => {
@@ -168,7 +196,11 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                         )));
                     }
                 };
-                let details = match gateway.get_response(src_event_id, &allowed_fields) {
+                let details = match gateway.get_response_traced(
+                    src_event_id,
+                    &allowed_fields,
+                    Some(&self.trace),
+                ) {
                     Ok(d) => d,
                     Err(e) => {
                         timer.stage("gateway_retrieve");
@@ -182,6 +214,7 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                     }
                 };
                 timer.stage("gateway_retrieve");
+                let span = self.trace.child("pep.obligation_filter");
                 let response = PrivacyAwareEvent::release(
                     request.event_id,
                     producer,
@@ -189,6 +222,7 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                     allowed_fields,
                 );
                 timer.stage("obligation_filter");
+                span.finish();
                 let matched = matched_policies
                     .iter()
                     .map(|p| p.to_string())

@@ -2,6 +2,7 @@
 
 use css_bus::SubscriberHandle;
 use css_event::{NotificationMessage, PrivacyAwareEvent};
+use css_trace::{TraceContext, TraceId};
 use css_types::{ActorId, CssResult, EventTypeId, GlobalEventId, PersonId, Purpose, Timestamp};
 
 use crate::pending::{AccessRequest, AccessRequestStatus};
@@ -28,6 +29,21 @@ impl Subscription {
             Some(delivery) => {
                 self.inner.ack(delivery.delivery_id)?;
                 Ok(Some(delivery.message))
+            }
+        }
+    }
+
+    /// Like [`Subscription::next`], also returning the trace id of the
+    /// publish that routed the notification (present when the producer
+    /// published under an enabled tracer) — hand it to
+    /// `ProcessMonitor::feed_traced` to join monitoring KPIs back to
+    /// span trees and audit records.
+    pub fn next_traced(&self) -> CssResult<Option<(NotificationMessage, Option<TraceId>)>> {
+        match self.inner.poll()? {
+            None => Ok(None),
+            Some(delivery) => {
+                self.inner.ack(delivery.delivery_id)?;
+                Ok(Some((delivery.message, delivery.trace)))
             }
         }
     }
@@ -115,6 +131,18 @@ impl<P: BackendProvider> ConsumerHandle<P> {
         self.controller.lock().inquire_by_person(self.actor, person)
     }
 
+    /// [`ConsumerHandle::inquire_by_person`], continuing the caller's
+    /// trace instead of minting a fresh `inquiry` root span.
+    pub fn inquire_by_person_traced(
+        &self,
+        person: PersonId,
+        parent: Option<&TraceContext>,
+    ) -> CssResult<Vec<NotificationMessage>> {
+        self.controller
+            .lock()
+            .inquire_by_person_traced(self.actor, person, parent)
+    }
+
     /// Query the events index for notifications of one class.
     pub fn inquire_by_type(&self, event_type: &EventTypeId) -> CssResult<Vec<NotificationMessage>> {
         self.controller
@@ -156,6 +184,20 @@ impl<P: BackendProvider> ConsumerHandle<P> {
         self.controller
             .lock()
             .request_details(self.actor, event_type, event_id, purpose)
+    }
+
+    /// [`ConsumerHandle::request_details_by_id`], continuing the
+    /// caller's trace instead of minting a fresh `detail_request` root.
+    pub fn request_details_traced(
+        &self,
+        event_type: EventTypeId,
+        event_id: GlobalEventId,
+        purpose: Purpose,
+        parent: Option<&TraceContext>,
+    ) -> CssResult<PrivacyAwareEvent> {
+        self.controller
+            .lock()
+            .request_details_traced(self.actor, event_type, event_id, purpose, parent)
     }
 
     /// File an access request for a class this consumer has no policy

@@ -14,6 +14,7 @@ use css_gateway::LocalCooperationGateway;
 use css_policy::PolicyRepository;
 use css_storage::InstrumentedBackend;
 use css_telemetry::{MetricsRegistry, TelemetrySnapshot};
+use css_trace::Tracer;
 use css_types::{Actor, ActorId, Clock, CssError, CssResult, IdGenerator, PersonId, SystemClock};
 
 use crate::citizen::CitizenHandle;
@@ -64,6 +65,7 @@ pub struct CssPlatformBuilder<P: BackendProvider = MemoryProvider> {
     clock: Arc<dyn Clock>,
     enforce_identity: bool,
     telemetry: MetricsRegistry,
+    trace_capacity: Option<usize>,
 }
 
 impl Default for CssPlatformBuilder<MemoryProvider> {
@@ -81,6 +83,7 @@ impl CssPlatformBuilder<MemoryProvider> {
             clock: Arc::new(SystemClock),
             enforce_identity: false,
             telemetry: MetricsRegistry::new(),
+            trace_capacity: None,
         }
     }
 }
@@ -94,6 +97,7 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             clock: self.clock,
             enforce_identity: self.enforce_identity,
             telemetry: self.telemetry,
+            trace_capacity: self.trace_capacity,
         }
     }
 
@@ -117,6 +121,15 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
         self
     }
 
+    /// Collect causal spans (publish → route → deliver, inquiry, detail
+    /// request → enforcement stages) into a bounded in-memory ring
+    /// holding the most recent `capacity` finished spans. Off by
+    /// default; when off, every span operation is a no-op.
+    pub fn tracing(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
     /// Assemble the platform.
     pub fn build(self) -> CssResult<CssPlatform<P>> {
         let CssPlatformBuilder {
@@ -124,8 +137,15 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             clock,
             enforce_identity,
             telemetry,
+            trace_capacity,
         } = self;
-        let config = ControllerConfig::with_clock(clock.clone()).with_telemetry(telemetry.clone());
+        let tracer = match trace_capacity {
+            Some(capacity) => Tracer::with_metrics(capacity, &telemetry),
+            None => Tracer::disabled(),
+        };
+        let config = ControllerConfig::with_clock(clock.clone())
+            .with_telemetry(telemetry.clone())
+            .with_tracer(tracer.clone());
         let controller = DataController::with_backends(
             config,
             InstrumentedBackend::new(provider.backend("audit")?, &telemetry),
@@ -146,6 +166,7 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             identity: IdentityManager::new(b"css-identity-master"),
             identity_enforced: enforce_identity,
             registry: telemetry,
+            tracer,
             provider,
             clock,
         })
@@ -165,6 +186,7 @@ pub struct CssPlatform<P: BackendProvider = MemoryProvider> {
     identity: IdentityManager,
     identity_enforced: bool,
     registry: MetricsRegistry,
+    tracer: Tracer,
     provider: P,
     clock: Arc<dyn Clock>,
 }
@@ -514,6 +536,14 @@ impl<P: BackendProvider> CssPlatform<P> {
     /// for wiring into benchmark harnesses or exporters.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// The platform tracer. Disabled (every span a no-op) unless the
+    /// builder enabled [`CssPlatformBuilder::tracing`]; when enabled,
+    /// [`css_trace::Tracer::finished_spans`] drains the ring for the
+    /// text-tree and Chrome `trace_event` exporters.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Operational snapshot: sizes of the platform's core state, the

@@ -6,6 +6,7 @@ use std::time::Instant;
 use css_event::{DetailMessage, EventDetails, EventSchema};
 use css_storage::LogBackend;
 use css_telemetry::{Counter, Histogram, MetricsRegistry};
+use css_trace::{SpanStatus, TraceContext};
 use css_types::{ActorId, CssError, CssResult, EventTypeId, SourceEventId};
 
 use crate::store::DetailStore;
@@ -137,28 +138,61 @@ impl<B: LogBackend> LocalCooperationGateway<B> {
         src_event_id: SourceEventId,
         allowed: &BTreeSet<String>,
     ) -> CssResult<EventDetails> {
+        self.get_response_traced(src_event_id, allowed, None)
+    }
+
+    /// [`Self::get_response`], continuing the caller's trace with one
+    /// child span per Algorithm 2 stage: `gateway.retrieve` (repository
+    /// lookup), `gateway.parse` (type/schema resolution + record load),
+    /// `gateway.filter` (field filtering + privacy postcondition).
+    pub fn get_response_traced(
+        &self,
+        src_event_id: SourceEventId,
+        allowed: &BTreeSet<String>,
+        ctx: Option<&TraceContext>,
+    ) -> CssResult<EventDetails> {
         let started = Instant::now();
-        let ty_text = self
-            .store
-            .stored_type(src_event_id)?
-            .ok_or_else(|| CssError::NotFound(format!("no details for {src_event_id}")))?;
-        let ty: EventTypeId = ty_text
-            .parse()
-            .map_err(|e| CssError::Serialization(format!("stored type malformed: {e}")))?;
-        let schema = self
-            .schemas
-            .get(&ty)
-            .ok_or_else(|| CssError::NotFound(format!("no schema registered for {ty}")))?;
-        let message = self
-            .store
-            .load(schema, src_event_id)?
-            .ok_or_else(|| CssError::NotFound(format!("no details for {src_event_id}")))?;
+        let mut retrieve = TraceContext::child_opt(ctx, "gateway.retrieve");
+        let ty_text = match self.store.stored_type(src_event_id)? {
+            Some(t) => t,
+            None => {
+                retrieve.set_status(SpanStatus::Error);
+                return Err(CssError::NotFound(format!("no details for {src_event_id}")));
+            }
+        };
+        retrieve.finish();
+        let mut parse = TraceContext::child_opt(ctx, "gateway.parse");
+        let parsed: Result<&EventSchema, CssError> = ty_text
+            .parse::<EventTypeId>()
+            .map_err(|e| CssError::Serialization(format!("stored type malformed: {e}")))
+            .and_then(|ty| {
+                self.schemas
+                    .get(&ty)
+                    .ok_or_else(|| CssError::NotFound(format!("no schema registered for {ty}")))
+            });
+        let schema = match parsed {
+            Ok(s) => s,
+            Err(e) => {
+                parse.set_status(SpanStatus::Error);
+                return Err(e);
+            }
+        };
+        let message = match self.store.load(schema, src_event_id)? {
+            Some(m) => m,
+            None => {
+                parse.set_status(SpanStatus::Error);
+                return Err(CssError::NotFound(format!("no details for {src_event_id}")));
+            }
+        };
+        parse.finish();
         let retrieved = Instant::now();
+        let filter = TraceContext::child_opt(ctx, "gateway.filter");
         let filtered = message.details.filtered_to(allowed);
         assert!(
             filtered.is_privacy_safe(allowed),
             "gateway postcondition: response must be privacy safe"
         );
+        filter.finish();
         if let Some(t) = &self.telemetry {
             t.retrieve_latency
                 .record_duration(retrieved.duration_since(started));
@@ -375,6 +409,48 @@ mod tests {
         assert_eq!(snap.histogram("gateway.persist").unwrap().count, 2);
         assert_eq!(snap.histogram("gateway.retrieve").unwrap().count, 1);
         assert_eq!(snap.histogram("gateway.filter").unwrap().count, 1);
+    }
+
+    #[test]
+    fn traced_response_emits_algorithm2_stage_spans() {
+        use css_trace::Tracer;
+        use css_types::Timestamp;
+
+        let mut gw = gateway();
+        gw.persist(&message(1)).unwrap();
+        let tracer = Tracer::new(64);
+        let root = tracer.root("detail_request", Timestamp(5));
+        let ctx = root.context();
+        gw.get_response_traced(SourceEventId(1), &allowed(&["PatientId"]), Some(&ctx))
+            .unwrap();
+        root.finish();
+
+        let spans = tracer.finished_spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        for expected in ["gateway.retrieve", "gateway.parse", "gateway.filter"] {
+            assert!(names.contains(&expected), "{names:?}");
+        }
+        assert!(spans.iter().all(|s| Some(s.trace) == ctx.trace_id()));
+    }
+
+    #[test]
+    fn traced_miss_marks_retrieve_span_error() {
+        use css_trace::{SpanStatus, Tracer};
+        use css_types::Timestamp;
+
+        let gw = gateway();
+        let tracer = Tracer::new(64);
+        let root = tracer.root("detail_request", Timestamp(5));
+        let ctx = root.context();
+        assert!(gw
+            .get_response_traced(SourceEventId(404), &allowed(&["PatientId"]), Some(&ctx))
+            .is_err());
+        root.finish();
+
+        let spans = tracer.finished_spans();
+        let retrieve = spans.iter().find(|s| s.name == "gateway.retrieve").unwrap();
+        assert_eq!(retrieve.status, SpanStatus::Error);
+        assert!(!spans.iter().any(|s| s.name == "gateway.parse"));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! | `audit-before-release`| releases always append an audit record               |
 //! | `no-panic-hot-path`   | no unwrap/expect/panic in the enforcement path       |
 //! | `lock-across-io`      | no lock guard held across unrelated storage writes   |
+//! | `trace-hygiene`       | span attributes only via the closed `SpanAttr` constructors |
 //! | `layering`            | crate dependencies point strictly down the stack     |
 //!
 //! No external dependencies: a hand-rolled token scanner (comment-,

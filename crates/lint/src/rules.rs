@@ -29,6 +29,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(AuditBeforeRelease),
         Box::new(NoPanicHotPath),
         Box::new(LockAcrossIo),
+        Box::new(TraceHygiene),
         Box::new(Layering),
     ]
 }
@@ -199,7 +200,11 @@ fn is_permit_pattern(file: &SourceFile, _open: usize, close: usize) -> bool {
 pub struct AuditBeforeRelease;
 
 /// Calls that constitute a release of protected data.
-const RELEASE_CALLS: &[&str] = &["decrypt_notification", "get_response"];
+const RELEASE_CALLS: &[&str] = &[
+    "decrypt_notification",
+    "get_response",
+    "get_response_traced",
+];
 /// Crates where releases happen and the audit obligation applies.
 const RELEASE_CRATES: &[&str] = &["css-controller", "css-gateway"];
 
@@ -545,7 +550,88 @@ fn chain_root(file: &SourceFile, dot: usize) -> Option<String> {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 6: layering
+// Rule 6: trace-hygiene
+// ---------------------------------------------------------------------------
+
+/// Spans travel to exporters and dashboards, so their attributes must
+/// stay privacy-safe by construction: outside `css-trace` itself, span
+/// attributes may only be minted through the closed `SpanAttr`
+/// constructor set (opaque ids, enum codes, flags — never free-form
+/// strings that could smuggle a name, fiscal code, or decrypted field
+/// into a trace), and the raw `AttrValue` payload type must not be
+/// named at all.
+pub struct TraceHygiene;
+
+/// The closed constructor set of `SpanAttr`.
+const SPAN_ATTR_CONSTRUCTORS: &[&str] = &[
+    "event",
+    "event_type",
+    "actor",
+    "purpose",
+    "decision",
+    "stage",
+    "cache_hit",
+];
+
+impl Rule for TraceHygiene {
+    fn id(&self) -> &'static str {
+        "trace-hygiene"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "span attributes only via the closed `SpanAttr` constructors; `AttrValue` stays inside css-trace"
+    }
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.crate_name == "css-trace" {
+            return;
+        }
+        let toks = &file.tokens;
+        for (i, tok) in toks.iter().enumerate() {
+            if !file.is_prod(i) {
+                continue;
+            }
+            if tok.is_ident("AttrValue") {
+                out.push(finding(
+                    self.id(),
+                    self.severity(),
+                    file,
+                    i,
+                    format!(
+                        "raw span payload type `AttrValue` named in `{}`: span \
+                         attributes must go through the closed `SpanAttr` \
+                         constructors so identifying values stay \
+                         unrepresentable in traces",
+                        file.crate_name
+                    ),
+                ));
+                continue;
+            }
+            if tok.is_ident("SpanAttr") && file.puncts(i + 1, "::") {
+                if let Some(name) = file.ident(i + 3) {
+                    if !SPAN_ATTR_CONSTRUCTORS.contains(&name) {
+                        out.push(finding(
+                            self.id(),
+                            self.severity(),
+                            file,
+                            i,
+                            format!(
+                                "`SpanAttr::{name}` is outside the closed constructor \
+                                 set ({}): traces may carry only opaque ids, enum \
+                                 codes and flags",
+                                SPAN_ATTR_CONSTRUCTORS.join(", ")
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: layering
 // ---------------------------------------------------------------------------
 
 /// The crate DAG is the privacy architecture: types at the bottom,
@@ -560,6 +646,7 @@ const LAYERS: &[(&str, u8)] = &[
     ("css-xml", 1),
     ("css-crypto", 1),
     ("css-telemetry", 1),
+    ("css-trace", 2),
     ("css-storage", 2),
     ("css-event", 2),
     ("css-policy", 3),

@@ -149,6 +149,7 @@ fn test_role_files_are_exempt_from_file_rules() {
         ("css-controller", "audit_release/fire.rs"),
         ("css-storage", "no_panic/fire.rs"),
         ("css-storage", "lock_across_io/fire.rs"),
+        ("css-controller", "trace_hygiene/fire.rs"),
     ] {
         let src = fixture(name);
         let hits = lint_file_source(krate, name, FileRole::Test, &src);
@@ -168,6 +169,24 @@ fn lock_across_io_fires_and_clean_passes() {
 
     let clean = fire("css-storage", "lock_across_io/clean.rs", "lock-across-io");
     assert!(clean.is_empty(), "allowed shapes flagged: {clean:#?}");
+}
+
+#[test]
+fn trace_hygiene_fires_and_clean_passes() {
+    let hits = fire("css-controller", "trace_hygiene/fire.rs", "trace-hygiene");
+    assert_eq!(hits.len(), 2, "AttrValue + SpanAttr::raw: {hits:#?}");
+    assert!(hits.iter().all(|f| f.severity == Severity::Error));
+    assert!(hits[0].message.contains("AttrValue"));
+    assert!(hits[1].message.contains("SpanAttr::raw"));
+
+    let clean = fire("css-controller", "trace_hygiene/clean.rs", "trace-hygiene");
+    assert!(clean.is_empty(), "closed constructors flagged: {clean:#?}");
+}
+
+#[test]
+fn trace_hygiene_exempts_the_trace_crate_itself() {
+    let hits = fire("css-trace", "trace_hygiene/fire.rs", "trace-hygiene");
+    assert!(hits.is_empty(), "css-trace may name its own internals");
 }
 
 #[test]

@@ -1,0 +1,19 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): the
+//! same shape of code tagging a span strictly through the closed
+//! `SpanAttr` constructor set, plus a `#[cfg(test)]` region that may
+//! poke at internals. Must not fire.
+
+pub fn tag(span: &mut SpanGuard, event: GlobalEventId, consumer: ActorId) {
+    span.attr(SpanAttr::event(event));
+    span.attr(SpanAttr::actor(consumer));
+    span.attr(SpanAttr::decision(true));
+    span.attr(SpanAttr::cache_hit(false));
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may exercise whatever shim it needs.
+    fn probe() {
+        let _ = SpanAttr::raw("k", AttrValue::Flag(true));
+    }
+}

@@ -1,0 +1,9 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): builds
+//! span attributes outside the closed constructor set and names the raw
+//! payload type. Must fire `trace-hygiene` twice (the `AttrValue`
+//! mention + the unknown constructor).
+
+pub fn tag(span: &mut SpanGuard, person: &PersonIdentity) {
+    let raw = AttrValue::Code(person.fiscal_code.clone());
+    span.attr(SpanAttr::raw("person", raw));
+}

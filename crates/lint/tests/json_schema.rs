@@ -42,7 +42,7 @@ fn json_has_versioned_envelope_and_summary() {
 }
 
 #[test]
-fn json_lists_all_six_rules_with_severities() {
+fn json_lists_all_seven_rules_with_severities() {
     let json = render_json(&Report::default());
     for rule in [
         "detail-confinement",
@@ -50,6 +50,7 @@ fn json_lists_all_six_rules_with_severities() {
         "audit-before-release",
         "no-panic-hot-path",
         "lock-across-io",
+        "trace-hygiene",
         "layering",
     ] {
         assert!(

@@ -1,5 +1,6 @@
 //! Process instances: one tracked execution per (definition, person).
 
+use css_trace::TraceId;
 use css_types::{GlobalEventId, PersonId, Timestamp};
 
 /// Why an instance was flagged.
@@ -42,6 +43,9 @@ pub struct StepRecord {
     pub event: GlobalEventId,
     /// When it occurred.
     pub at: Timestamp,
+    /// Trace of the publish that carried the event, when the feeder
+    /// passed one along — ties a KPI line back to its causal span tree.
+    pub trace: Option<TraceId>,
 }
 
 /// A tracked execution of a process for one person.
@@ -103,6 +107,7 @@ mod tests {
                 step: 0,
                 event: GlobalEventId(1),
                 at: Timestamp(100),
+                trace: None,
             },
         );
         assert!(inst.is_running());

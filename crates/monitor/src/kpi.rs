@@ -81,12 +81,14 @@ mod tests {
                 step: 0,
                 event: GlobalEventId(1),
                 at: Timestamp(0),
+                trace: None,
             },
         );
         inst.history.push(StepRecord {
             step: 1,
             event: GlobalEventId(2),
             at: Timestamp(span_ms),
+            trace: None,
         });
         inst.status = status;
         inst

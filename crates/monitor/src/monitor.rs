@@ -4,6 +4,7 @@
 use std::collections::HashMap;
 
 use css_event::NotificationMessage;
+use css_trace::TraceId;
 use css_types::{PersonId, Timestamp};
 
 use crate::definition::ProcessDefinition;
@@ -38,6 +39,14 @@ impl ProcessMonitor {
 
     /// Consume one notification, updating instances.
     pub fn feed(&mut self, notification: &NotificationMessage) {
+        self.feed_traced(notification, None);
+    }
+
+    /// [`ProcessMonitor::feed`], also recording the trace id of the
+    /// publish that delivered the notification (the bus `Delivery`
+    /// carries one when the producer published traced), so a violated
+    /// step can be joined back to its span tree and audit records.
+    pub fn feed_traced(&mut self, notification: &NotificationMessage, trace: Option<TraceId>) {
         let mut matched = false;
         for def in &self.definitions {
             let Some(step_idx) = def.step_for(&notification.event_type) else {
@@ -49,6 +58,7 @@ impl ProcessMonitor {
                 step: step_idx,
                 event: notification.global_id,
                 at: notification.occurred_at,
+                trace,
             };
             match self.instances.get_mut(&key) {
                 None => {
@@ -311,5 +321,47 @@ mod tests {
         let mut m = monitor();
         m.feed(&notif(1, 1, "blood-test", 0));
         assert_eq!(m.unmatched, 1);
+    }
+
+    #[test]
+    fn deadline_exactly_at_now_is_not_flagged() {
+        // The contract is strict lateness (`now > due`): an instance
+        // whose deadline expires exactly at the observation instant is
+        // still on time, and the KPI counts reflect that.
+        let mut m = monitor();
+        m.feed(&notif(1, 1, "hospital-discharge", 0));
+        let due = Timestamp(7 * DAY); // assessment due within 7 days
+        assert_eq!(m.check_deadlines(due), 0);
+        assert_eq!(m.kpis().deadline_violations, 0);
+        assert_eq!(m.check_deadlines(Timestamp(due.0 + 1)), 1);
+        assert_eq!(m.kpis().deadline_violations, 1);
+    }
+
+    #[test]
+    fn repeated_feed_of_same_notification_keeps_kpis_stable() {
+        // A redelivered notification (bus retry) appends to history but
+        // must not double-start, regress, or complete the instance.
+        let mut m = monitor();
+        let first = notif(1, 1, "hospital-discharge", 0);
+        m.feed(&first);
+        m.feed(&first);
+        let inst = m.instance("elderly-care", PersonId(1)).unwrap();
+        assert_eq!(inst.status, InstanceStatus::Running);
+        assert_eq!(inst.furthest_step, 0);
+        let k = m.kpis();
+        assert_eq!(k.running, 1);
+        assert_eq!(k.completed, 0);
+        assert_eq!(k.deadline_violations + k.regressions, 0);
+    }
+
+    #[test]
+    fn feed_traced_records_trace_on_step_history() {
+        let mut m = monitor();
+        let trace = "00000000000003e9".parse::<css_trace::TraceId>().unwrap();
+        m.feed_traced(&notif(1, 1, "hospital-discharge", 0), Some(trace));
+        m.feed(&notif(2, 1, "autonomy-assessment", DAY));
+        let inst = m.instance("elderly-care", PersonId(1)).unwrap();
+        assert_eq!(inst.history[0].trace, Some(trace));
+        assert_eq!(inst.history[1].trace, None);
     }
 }

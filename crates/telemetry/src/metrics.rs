@@ -183,6 +183,12 @@ impl Histogram {
             bucket_upper_bound(BUCKETS - 1)
         };
         let max = inner.max.load(Ordering::Relaxed);
+        let occupied = buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(idx, n)| (bucket_upper_bound(idx), *n))
+            .collect();
         HistogramSnapshot {
             count,
             sum_ns: inner.sum.load(Ordering::Relaxed),
@@ -190,6 +196,7 @@ impl Histogram {
             p50_ns: quantile(0.50).min(max),
             p90_ns: quantile(0.90).min(max),
             p99_ns: quantile(0.99).min(max),
+            buckets: occupied,
         }
     }
 }
@@ -209,6 +216,9 @@ pub struct HistogramSnapshot {
     pub p90_ns: u64,
     /// 99th-percentile upper-bound estimate, nanoseconds.
     pub p99_ns: u64,
+    /// Occupied log₂ buckets as `(inclusive upper bound, count)`, in
+    /// ascending bound order; empty buckets are omitted.
+    pub buckets: Vec<(u64, u64)>,
 }
 
 impl HistogramSnapshot {
@@ -302,6 +312,18 @@ mod tests {
         let snap = h.snapshot();
         // Bucket upper bound would say 7; the exact max caps it to 5.
         assert_eq!(snap.p99_ns, 5);
+    }
+
+    #[test]
+    fn snapshot_exposes_occupied_buckets() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(5); // bucket le7
+        h.record(5);
+        h.record(1_000); // bucket le1023
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets, vec![(0, 1), (7, 2), (1023, 1)]);
+        assert_eq!(snap.buckets.iter().map(|(_, n)| n).sum::<u64>(), snap.count);
     }
 
     #[test]

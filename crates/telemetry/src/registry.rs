@@ -113,11 +113,14 @@ impl TelemetrySnapshot {
     /// ```text
     /// counter bus.published 42
     /// gauge bus.queue_depth 3
-    /// histogram stage.consent count=42 mean_ns=810 p50_ns=1023 p90_ns=2047 p99_ns=4095 max_ns=3891
+    /// histogram stage.consent count=42 mean_ns=810 p50_ns=1023 p90_ns=2047 p99_ns=4095 max_ns=3891 buckets=le1023:30,le2047:8,le4095:4
     /// ```
     ///
-    /// One instrument per line, keys in stable order — greppable and
-    /// diffable, which is the point.
+    /// One instrument per line, keys in stable order (the maps are
+    /// `BTreeMap`s, so two snapshots of the same state render
+    /// byte-identically) — greppable and diffable, which is the point.
+    /// Each occupied log₂ bucket prints as `le{bound}:{count}`; the
+    /// overflow bucket (bound `u64::MAX`) prints as `leinf`.
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
@@ -128,7 +131,7 @@ impl TelemetrySnapshot {
         }
         for (name, h) in &self.histograms {
             out.push_str(&format!(
-                "histogram {name} count={} mean_ns={} p50_ns={} p90_ns={} p99_ns={} max_ns={}\n",
+                "histogram {name} count={} mean_ns={} p50_ns={} p90_ns={} p99_ns={} max_ns={}",
                 h.count,
                 h.mean_ns(),
                 h.p50_ns,
@@ -136,6 +139,21 @@ impl TelemetrySnapshot {
                 h.p99_ns,
                 h.max_ns,
             ));
+            if !h.buckets.is_empty() {
+                let rendered: Vec<String> = h
+                    .buckets
+                    .iter()
+                    .map(|(bound, n)| {
+                        if *bound == u64::MAX {
+                            format!("leinf:{n}")
+                        } else {
+                            format!("le{bound}:{n}")
+                        }
+                    })
+                    .collect();
+                out.push_str(&format!(" buckets={}", rendered.join(",")));
+            }
+            out.push('\n');
         }
         out
     }
@@ -204,5 +222,33 @@ mod tests {
         assert_eq!(lines[2], "gauge depth 4");
         assert!(lines[3].starts_with("histogram lat count=1 "));
         assert_eq!(reg.snapshot().to_string(), text);
+    }
+
+    #[test]
+    fn text_exposition_golden() {
+        let reg = MetricsRegistry::new();
+        reg.counter("bus.published").add(42);
+        reg.gauge("bus.queue_depth").set(3);
+        let h = reg.histogram("stage.consent");
+        h.record(500); // bucket le511
+        h.record(500);
+        h.record(900); // bucket le1023
+        assert_eq!(
+            reg.snapshot().to_text(),
+            "counter bus.published 42\n\
+             gauge bus.queue_depth 3\n\
+             histogram stage.consent count=3 mean_ns=633 p50_ns=511 p90_ns=900 \
+             p99_ns=900 max_ns=900 buckets=le511:2,le1023:1\n"
+        );
+        // Deterministic: the same state renders byte-identically.
+        assert_eq!(reg.snapshot().to_text(), reg.snapshot().to_text());
+    }
+
+    #[test]
+    fn text_exposition_renders_overflow_bucket_as_inf() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("lat").record(u64::MAX);
+        let text = reg.snapshot().to_text();
+        assert!(text.contains("buckets=leinf:1"), "{text}");
     }
 }

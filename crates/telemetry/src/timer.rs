@@ -8,8 +8,10 @@ use std::time::{Duration, Instant};
 /// Each [`stage`](StageTimer::stage) call records the time since the
 /// previous boundary into `"{prefix}.{stage}"` — one clock read per
 /// boundary, so an N-stage pipeline costs N+1 `Instant::now()` calls
-/// total. A pass that bails early (a deny, an error) simply records
-/// the stages it reached, which is exactly the truth.
+/// total. A pass that bails early (a deny, an error, a panic) records
+/// the stages it reached, and on `Drop` the remainder lands in
+/// `"{prefix}.partial"` plus the whole pass in `"{prefix}.total"` — so
+/// denied requests are never invisible in the latency record.
 ///
 /// ```
 /// use css_telemetry::{MetricsRegistry, StageTimer};
@@ -32,6 +34,7 @@ pub struct StageTimer<'a> {
     prefix: &'a str,
     started: Instant,
     last: Instant,
+    finished: bool,
 }
 
 impl<'a> StageTimer<'a> {
@@ -43,6 +46,7 @@ impl<'a> StageTimer<'a> {
             prefix,
             started: now,
             last: now,
+            finished: false,
         }
     }
 
@@ -62,11 +66,29 @@ impl<'a> StageTimer<'a> {
     }
 
     /// Record the whole pass into `"{prefix}.total"` and consume the
-    /// timer. Optional — drop the timer to skip the total histogram.
-    pub fn finish(self) {
+    /// timer. A timer dropped without `finish` (early return, `?`,
+    /// panic unwind) records the open stage into `"{prefix}.partial"`
+    /// and still contributes to `"{prefix}.total"`.
+    pub fn finish(mut self) {
+        self.finished = true;
         self.registry
             .histogram(&format!("{}.total", self.prefix))
             .record_duration(self.started.elapsed());
+    }
+}
+
+impl Drop for StageTimer<'_> {
+    fn drop(&mut self) {
+        if self.finished {
+            return;
+        }
+        let now = Instant::now();
+        self.registry
+            .histogram(&format!("{}.partial", self.prefix))
+            .record_duration(now.duration_since(self.last));
+        self.registry
+            .histogram(&format!("{}.total", self.prefix))
+            .record_duration(now.duration_since(self.started));
     }
 }
 
@@ -97,15 +119,43 @@ mod tests {
     }
 
     #[test]
-    fn early_exit_records_only_reached_stages() {
+    fn early_exit_still_records_partial_and_total() {
         let registry = MetricsRegistry::new();
         {
             let mut timer = StageTimer::start(&registry, "p");
             timer.stage("reached");
+            // early return: timer dropped without finish()
         }
         let snap = registry.snapshot();
         assert_eq!(snap.histogram("p.reached").unwrap().count, 1);
-        assert!(snap.histogram("p.total").is_none());
+        assert_eq!(snap.histogram("p.partial").unwrap().count, 1);
+        assert_eq!(snap.histogram("p.total").unwrap().count, 1);
+    }
+
+    #[test]
+    fn panic_unwind_records_partial_and_total() {
+        let registry = MetricsRegistry::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut timer = StageTimer::start(&registry, "p");
+            timer.stage("reached");
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        let snap = registry.snapshot();
+        assert_eq!(snap.histogram("p.reached").unwrap().count, 1);
+        assert_eq!(snap.histogram("p.partial").unwrap().count, 1);
+        assert_eq!(snap.histogram("p.total").unwrap().count, 1);
+    }
+
+    #[test]
+    fn finish_does_not_record_partial() {
+        let registry = MetricsRegistry::new();
+        let mut timer = StageTimer::start(&registry, "p");
+        timer.stage("only");
+        timer.finish();
+        let snap = registry.snapshot();
+        assert!(snap.histogram("p.partial").is_none());
+        assert_eq!(snap.histogram("p.total").unwrap().count, 1);
     }
 
     #[test]

@@ -13,6 +13,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== css-lint: privacy-invariant pass"
 scripts/lint.sh
 
+echo "== tracing: unit + end-to-end suite"
+cargo test -q -p css-trace
+cargo test -q --test trace_integration
+
 echo "== tier-1: build + test"
 cargo build --release
 cargo test -q

@@ -19,6 +19,8 @@ pub use css_policy as policy;
 pub use css_registry as registry;
 pub use css_sim as sim;
 pub use css_storage as storage;
+pub use css_telemetry as telemetry;
+pub use css_trace as trace;
 pub use css_types as types;
 pub use css_xml as xml;
 

@@ -109,10 +109,24 @@ fn telemetry_matches_audit_after_end_to_end_flow() {
         let h = telemetry.histogram(&format!("stage.{stage}")).unwrap();
         assert_eq!(h.count, PERMITS + DENIES, "stage.{stage} count");
     }
-    for stage in ["gateway_retrieve", "obligation_filter", "total"] {
+    for stage in ["gateway_retrieve", "obligation_filter"] {
         let h = telemetry.histogram(&format!("stage.{stage}")).unwrap();
         assert_eq!(h.count, PERMITS, "stage.{stage} count");
     }
+    // Denied requests abandon the stage timer mid-flight; its drop
+    // guard still records the elapsed total (plus a `partial` sample
+    // for the stage in progress), so `stage.total` covers every
+    // request, permitted or not.
+    assert_eq!(
+        telemetry.histogram("stage.total").unwrap().count,
+        PERMITS + DENIES,
+        "stage.total count"
+    );
+    assert_eq!(
+        telemetry.histogram("stage.partial").unwrap().count,
+        DENIES,
+        "stage.partial count"
+    );
 
     // Bus lifecycle: one fanout per publish, all delivered and acked.
     assert_eq!(telemetry.counter("bus.published"), PUBLISHES);
