@@ -48,6 +48,7 @@
 pub mod citizen;
 pub mod consumer;
 pub mod elicitation;
+pub mod ops;
 pub mod pending;
 pub mod platform;
 pub mod producer;
@@ -56,6 +57,7 @@ pub mod provider;
 pub use citizen::CitizenHandle;
 pub use consumer::{ConsumerHandle, Subscription};
 pub use elicitation::{PolicyWizard, WizardError};
+pub use ops::OpsPlane;
 pub use pending::{AccessRequest, AccessRequestStatus};
 pub use platform::{CssPlatform, CssPlatformBuilder, PlatformStats, Role};
 pub use producer::ProducerHandle;

@@ -19,6 +19,7 @@ use css_types::{Actor, ActorId, Clock, CssError, CssResult, IdGenerator, PersonI
 
 use crate::citizen::CitizenHandle;
 use crate::consumer::ConsumerHandle;
+use crate::ops::{OpsConfig, OpsPlane};
 use crate::pending::AccessRequest;
 use crate::producer::ProducerHandle;
 use crate::provider::{BackendProvider, DirProvider, MemoryProvider};
@@ -66,6 +67,11 @@ pub struct CssPlatformBuilder<P: BackendProvider = MemoryProvider> {
     enforce_identity: bool,
     telemetry: MetricsRegistry,
     trace_capacity: Option<usize>,
+    ops_addr: Option<String>,
+    ops_interval: std::time::Duration,
+    ops_checks: Vec<Box<dyn css_health::HealthCheck>>,
+    ops_slos: Vec<css_health::Slo>,
+    ops_monitor: Option<Arc<Mutex<css_monitor::ProcessMonitor>>>,
 }
 
 impl Default for CssPlatformBuilder<MemoryProvider> {
@@ -84,6 +90,11 @@ impl CssPlatformBuilder<MemoryProvider> {
             enforce_identity: false,
             telemetry: MetricsRegistry::new(),
             trace_capacity: None,
+            ops_addr: None,
+            ops_interval: std::time::Duration::from_millis(250),
+            ops_checks: Vec::new(),
+            ops_slos: Vec::new(),
+            ops_monitor: None,
         }
     }
 }
@@ -98,6 +109,11 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             enforce_identity: self.enforce_identity,
             telemetry: self.telemetry,
             trace_capacity: self.trace_capacity,
+            ops_addr: self.ops_addr,
+            ops_interval: self.ops_interval,
+            ops_checks: self.ops_checks,
+            ops_slos: self.ops_slos,
+            ops_monitor: self.ops_monitor,
         }
     }
 
@@ -130,6 +146,44 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
         self
     }
 
+    /// Serve the live ops plane on `addr` (`GET /metrics`, `/health`,
+    /// `/slo`, `/traces`, `/monitor`). Use `"127.0.0.1:0"` for an
+    /// ephemeral port and read it back from
+    /// [`CssPlatform::ops_handle`]. Off by default; the server and its
+    /// background sampler shut down when the platform drops.
+    pub fn ops_server(mut self, addr: impl Into<String>) -> Self {
+        self.ops_addr = Some(addr.into());
+        self
+    }
+
+    /// How often the ops sampler snapshots telemetry into the SLO
+    /// engine (default 250 ms).
+    pub fn ops_sample_interval(mut self, interval: std::time::Duration) -> Self {
+        self.ops_interval = interval;
+        self
+    }
+
+    /// Register an additional component health check alongside the
+    /// defaults (storage probe, bus backlog/lag, PDP cache, gateway
+    /// backlog, trace drop rate).
+    pub fn health_check(mut self, check: Box<dyn css_health::HealthCheck>) -> Self {
+        self.ops_checks.push(check);
+        self
+    }
+
+    /// Register an additional SLO alongside the defaults
+    /// (`detail_request_p99`, `publish_errors`).
+    pub fn ops_slo(mut self, slo: css_health::Slo) -> Self {
+        self.ops_slos.push(slo);
+        self
+    }
+
+    /// Serve a Process Reference Monitor's KPIs on `GET /monitor`.
+    pub fn ops_monitor(mut self, monitor: Arc<Mutex<css_monitor::ProcessMonitor>>) -> Self {
+        self.ops_monitor = Some(monitor);
+        self
+    }
+
     /// Assemble the platform.
     pub fn build(self) -> CssResult<CssPlatform<P>> {
         let CssPlatformBuilder {
@@ -138,6 +192,11 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             enforce_identity,
             telemetry,
             trace_capacity,
+            ops_addr,
+            ops_interval,
+            ops_checks,
+            ops_slos,
+            ops_monitor,
         } = self;
         let tracer = match trace_capacity {
             Some(capacity) => Tracer::with_metrics(capacity, &telemetry),
@@ -155,11 +214,31 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             provider.backend("policies")?,
             &telemetry,
         ))?;
+        let controller = Arc::new(Mutex::new(controller));
+        let pending: SharedPending = Arc::new(Mutex::new(Vec::new()));
+        let ops = match ops_addr {
+            None => None,
+            Some(addr) => Some(crate::ops::start_ops(
+                OpsConfig {
+                    addr,
+                    interval: ops_interval,
+                    checks: ops_checks,
+                    slos: ops_slos,
+                    monitor: ops_monitor,
+                },
+                &provider,
+                &telemetry,
+                &clock,
+                &tracer,
+                &controller,
+                &pending,
+            )?),
+        };
         Ok(CssPlatform {
-            controller: Arc::new(Mutex::new(controller)),
+            controller,
             gateways: HashMap::new(),
             policy_repo: Arc::new(Mutex::new(policy_repo)),
-            pending: Arc::new(Mutex::new(Vec::new())),
+            pending,
             roles: HashMap::new(),
             src_gens: HashMap::new(),
             actor_gen: IdGenerator::default(),
@@ -169,6 +248,7 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             tracer,
             provider,
             clock,
+            ops,
         })
     }
 }
@@ -189,6 +269,34 @@ pub struct CssPlatform<P: BackendProvider = MemoryProvider> {
     tracer: Tracer,
     provider: P,
     clock: Arc<dyn Clock>,
+    ops: Option<OpsPlane>,
+}
+
+/// Refresh the `platform.*` state-size gauges from the live platform
+/// state — shared between [`CssPlatform::telemetry`] and the ops
+/// plane's scrape path, so both report identical, current numbers.
+pub(crate) fn refresh_platform_gauges<B: css_storage::LogBackend>(
+    controller: &Arc<Mutex<DataController<B>>>,
+    pending: &SharedPending,
+    r: &MetricsRegistry,
+) {
+    {
+        let controller = controller.lock();
+        r.gauge("platform.indexed_events")
+            .set(controller.index_len() as i64);
+        r.gauge("platform.audit_records")
+            .set(controller.audit_len() as i64);
+        r.gauge("platform.policies")
+            .set(controller.policy_count() as i64);
+        r.gauge("platform.actors")
+            .set(controller.actors().len() as i64);
+    }
+    let pending = pending
+        .lock()
+        .iter()
+        .filter(|r| r.status == crate::pending::AccessRequestStatus::Pending)
+        .count();
+    r.gauge("platform.pending_requests").set(pending as i64);
 }
 
 impl CssPlatform<MemoryProvider> {
@@ -508,27 +616,7 @@ impl<P: BackendProvider> CssPlatform<P> {
     /// This subsumes [`CssPlatform::stats`], which remains as a
     /// compatibility shim over the same underlying counters.
     pub fn telemetry(&self) -> TelemetrySnapshot {
-        {
-            let controller = self.controller.lock();
-            let r = &self.registry;
-            r.gauge("platform.indexed_events")
-                .set(controller.index_len() as i64);
-            r.gauge("platform.audit_records")
-                .set(controller.audit_len() as i64);
-            r.gauge("platform.policies")
-                .set(controller.policy_count() as i64);
-            r.gauge("platform.actors")
-                .set(controller.actors().len() as i64);
-        }
-        let pending = self
-            .pending
-            .lock()
-            .iter()
-            .filter(|r| r.status == crate::pending::AccessRequestStatus::Pending)
-            .count();
-        self.registry
-            .gauge("platform.pending_requests")
-            .set(pending as i64);
+        refresh_platform_gauges(&self.controller, &self.pending, &self.registry);
         self.registry.snapshot()
     }
 
@@ -544,6 +632,21 @@ impl<P: BackendProvider> CssPlatform<P> {
     /// text-tree and Chrome `trace_event` exporters.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
+    }
+
+    /// The running ops plane, when the builder enabled
+    /// [`CssPlatformBuilder::ops_server`].
+    pub fn ops(&self) -> Option<&OpsPlane> {
+        self.ops.as_ref()
+    }
+
+    /// The ops exposition server handle — its
+    /// [`local_addr`](css_health::OpsHandle::local_addr) is where
+    /// `/metrics`, `/health`, `/slo`, `/traces`, and `/monitor` are
+    /// served. `None` unless the builder enabled
+    /// [`CssPlatformBuilder::ops_server`].
+    pub fn ops_handle(&self) -> Option<&css_health::OpsHandle> {
+        self.ops.as_ref().map(OpsPlane::handle)
     }
 
     /// Operational snapshot: sizes of the platform's core state, the

@@ -1,0 +1,188 @@
+//! A tiny JSON writer — just enough for the ops endpoints, offline.
+//!
+//! No parser, no value tree: endpoints build their documents directly,
+//! and the only invariant this module owns is *escaping* (a reason
+//! string with quotes or newlines must never corrupt the document).
+
+use std::fmt::Write as _;
+
+/// An append-only JSON string builder with correct escaping.
+#[derive(Debug, Default)]
+pub struct JsonBuf {
+    out: String,
+    /// Whether the next element at the current nesting level needs a
+    /// leading comma.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn elem(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.out.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    /// Open an object (`{`).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.elem();
+        self.out.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Close an object (`}`).
+    pub fn end_object(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Open an array (`[`).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.elem();
+        self.out.push('[');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Close an array (`]`).
+    pub fn end_array(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Emit an object key (caller follows with exactly one value).
+    pub fn key(&mut self, key: &str) -> &mut Self {
+        self.elem();
+        self.escaped(key);
+        self.out.push(':');
+        // The value that follows is part of this key, not a new element.
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = false;
+        }
+        self
+    }
+
+    /// Emit a string value.
+    pub fn string(&mut self, value: &str) -> &mut Self {
+        self.elem();
+        self.escaped(value);
+        self
+    }
+
+    /// Emit an unsigned integer value.
+    pub fn u64(&mut self, value: u64) -> &mut Self {
+        self.elem();
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Emit a signed integer value.
+    pub fn i64(&mut self, value: i64) -> &mut Self {
+        self.elem();
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Emit a finite float with fixed precision (JSON has no NaN/inf —
+    /// those render as `null`).
+    pub fn f64(&mut self, value: f64) -> &mut Self {
+        self.elem();
+        if value.is_finite() {
+            let _ = write!(self.out, "{value:.4}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Emit a boolean value.
+    pub fn bool(&mut self, value: bool) -> &mut Self {
+        self.elem();
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    fn escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_documents_with_commas() {
+        let mut j = JsonBuf::new();
+        j.begin_object();
+        j.key("status").string("ok");
+        j.key("count").u64(3);
+        j.key("items").begin_array();
+        j.u64(1).u64(2);
+        j.begin_object();
+        j.key("nested").bool(true);
+        j.end_object();
+        j.end_array();
+        j.end_object();
+        assert_eq!(
+            j.finish(),
+            r#"{"status":"ok","count":3,"items":[1,2,{"nested":true}]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_reason_strings() {
+        let mut j = JsonBuf::new();
+        j.begin_object();
+        j.key("reason").string("probe \"failed\"\nline2");
+        j.end_object();
+        assert_eq!(j.finish(), r#"{"reason":"probe \"failed\"\nline2"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let mut j = JsonBuf::new();
+        j.begin_array();
+        j.f64(1.5).f64(f64::NAN).f64(f64::INFINITY);
+        j.end_array();
+        assert_eq!(j.finish(), "[1.5000,null,null]");
+    }
+
+    #[test]
+    fn negative_numbers_render() {
+        let mut j = JsonBuf::new();
+        j.begin_array();
+        j.i64(-7);
+        j.end_array();
+        assert_eq!(j.finish(), "[-7]");
+    }
+}

@@ -1,0 +1,51 @@
+//! # css-health — the live ops plane
+//!
+//! The paper's data controller is the component "everyone must trust"
+//! (§4): operators and auditors need to see, *live*, that routing, the
+//! encrypted index, policy enforcement, and the gateways are actually
+//! healthy. This crate turns the in-process telemetry (`css-telemetry`)
+//! into an externally observable surface, with zero dependencies beyond
+//! the standard library:
+//!
+//! 1. **Component health model** ([`HealthCheck`], [`HealthRegistry`],
+//!    [`HealthReport`]): pluggable probes — a storage write/read
+//!    round-trip, bus queue-depth and delivery-lag thresholds, the PDP
+//!    cache hit-rate floor, the gateway's pending detail backlog, the
+//!    trace ring's drop rate — each yielding
+//!    `Healthy`/`Degraded{reason}`/`Unhealthy{reason}`, rolled up into
+//!    one report.
+//! 2. **SLO engine** ([`Slo`], [`SloEngine`], [`Sampler`]): declarative
+//!    objectives (`detail_request p99 < 200µs`, `publish error ratio <
+//!    0.1%`) evaluated over sliding windows of periodic
+//!    `TelemetrySnapshot` deltas, producing multi-window error-budget
+//!    **burn rates** (fast 5-sample / slow 60-sample) with
+//!    `Ok`/`Warning`/`Critical` alerts.
+//! 3. **Exposition server** ([`OpsServer`], [`OpsHandle`]): a
+//!    hand-rolled HTTP/1.0 listener on `std::net::TcpListener` serving
+//!    `GET /metrics` (Prometheus text format), `/health` (JSON,
+//!    200/503), `/slo` (burn-rate table), `/traces` (Chrome trace
+//!    JSON), and `/monitor` (process-monitoring KPIs).
+//!
+//! Everything exposed is an **aggregate number or a privacy-safe span
+//! attribute** — never an event payload or a decrypted identifier. The
+//! css-lint `detail-confinement` rule covers this crate, so the types
+//! that could leak details are unnameable here by construction.
+
+mod checks;
+mod json;
+mod prometheus;
+mod sampler;
+mod server;
+mod slo;
+mod status;
+
+pub use checks::{
+    DropRateCheck, FnCheck, GaugeThresholdCheck, HealthCheck, HealthRegistry, LatencyCheck,
+    RatioFloorCheck,
+};
+pub use json::JsonBuf;
+pub use prometheus::render_prometheus;
+pub use sampler::Sampler;
+pub use server::{OpsHandle, OpsServer, OpsState};
+pub use slo::{AlertLevel, Slo, SloEngine, SloStatus};
+pub use status::{ComponentHealth, HealthReport, HealthStatus};

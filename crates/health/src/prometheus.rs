@@ -1,0 +1,129 @@
+//! Prometheus text exposition (format version 0.0.4) over a
+//! [`TelemetrySnapshot`].
+//!
+//! Mapping from the internal instrument names:
+//!
+//! - every name is prefixed `css_` and non-alphanumeric characters
+//!   become `_` (`bus.queue_depth` → `css_bus_queue_depth`);
+//! - counters get the conventional `_total` suffix;
+//! - histograms keep their nanosecond unit explicit as `_ns` and expand
+//!   to `_bucket{le="…"}` lines (cumulative, from the log₂ buckets),
+//!   plus `_sum` and `_count`;
+//! - instruments render in snapshot order (`BTreeMap`, so the output is
+//!   deterministic and two scrapes of the same state are byte-equal).
+
+use std::fmt::Write as _;
+
+use css_telemetry::TelemetrySnapshot;
+
+/// `css_` + name with every non-`[a-zA-Z0-9_]` character mangled to `_`.
+fn metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("css_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render the snapshot in Prometheus text format, ready for
+/// `GET /metrics`.
+pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# TYPE {metric}_total counter");
+        let _ = writeln!(out, "{metric}_total {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let metric = metric_name(name);
+        let _ = writeln!(out, "# TYPE {metric} gauge");
+        let _ = writeln!(out, "{metric} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let metric = format!("{}_ns", metric_name(name));
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        let mut cumulative = 0u64;
+        for (bound, n) in &h.buckets {
+            cumulative += n;
+            // The overflow bucket (bound u64::MAX) folds into +Inf.
+            if *bound != u64::MAX {
+                let _ = writeln!(out, "{metric}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{metric}_sum {}", h.sum_ns);
+        let _ = writeln!(out, "{metric}_count {}", h.count);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use css_telemetry::MetricsRegistry;
+
+    #[test]
+    fn name_mangling_is_prometheus_safe() {
+        assert_eq!(metric_name("bus.queue_depth"), "css_bus_queue_depth");
+        assert_eq!(metric_name("stage.pdp-evaluate"), "css_stage_pdp_evaluate");
+    }
+
+    /// The exposition format is a compatibility contract with external
+    /// scrapers: pin it byte-for-byte.
+    #[test]
+    fn exposition_golden() {
+        let reg = MetricsRegistry::new();
+        reg.counter("bus.published").add(42);
+        reg.gauge("bus.queue_depth").set(3);
+        let h = reg.histogram("stage.consent");
+        h.record(500); // bucket le511
+        h.record(500);
+        h.record(900); // bucket le1023
+        assert_eq!(
+            render_prometheus(&reg.snapshot()),
+            "# TYPE css_bus_published_total counter\n\
+             css_bus_published_total 42\n\
+             # TYPE css_bus_queue_depth gauge\n\
+             css_bus_queue_depth 3\n\
+             # TYPE css_stage_consent_ns histogram\n\
+             css_stage_consent_ns_bucket{le=\"511\"} 2\n\
+             css_stage_consent_ns_bucket{le=\"1023\"} 3\n\
+             css_stage_consent_ns_bucket{le=\"+Inf\"} 3\n\
+             css_stage_consent_ns_sum 1900\n\
+             css_stage_consent_ns_count 3\n"
+        );
+    }
+
+    #[test]
+    fn buckets_are_cumulative_and_inf_equals_count() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        h.record(5);
+        h.record(5);
+        h.record(1_000);
+        h.record(u64::MAX); // overflow bucket folds into +Inf
+        let text = render_prometheus(&reg.snapshot());
+        assert!(text.contains("css_lat_ns_bucket{le=\"7\"} 2"), "{text}");
+        assert!(text.contains("css_lat_ns_bucket{le=\"1023\"} 3"), "{text}");
+        assert!(text.contains("css_lat_ns_bucket{le=\"+Inf\"} 4"), "{text}");
+        assert!(!text.contains(&format!("le=\"{}\"", u64::MAX)), "{text}");
+        assert!(text.contains("css_lat_ns_count 4"), "{text}");
+    }
+
+    #[test]
+    fn two_scrapes_of_same_state_are_byte_equal() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z.last").inc();
+        reg.counter("a.first").inc();
+        reg.histogram("lat").record(10);
+        assert_eq!(
+            render_prometheus(&reg.snapshot()),
+            render_prometheus(&reg.snapshot())
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! The background sampler: periodic snapshot deltas into the SLO engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use css_telemetry::MetricsRegistry;
+use css_types::Clock;
+
+use crate::slo::SloEngine;
+
+struct SamplerShared {
+    stop: Mutex<bool>,
+    wake: Condvar,
+    ticks: AtomicU64,
+}
+
+/// A background thread that snapshots a [`MetricsRegistry`] every
+/// `interval` and feeds the delta into a shared [`SloEngine`], stamping
+/// each sample with the *platform* clock (so a simulated deployment
+/// reports simulated sample times). Stops and joins on drop.
+pub struct Sampler {
+    shared: Arc<SamplerShared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Start sampling. The first snapshot only establishes the delta
+    /// baseline; burn rates appear from the second tick on.
+    pub fn spawn(
+        registry: MetricsRegistry,
+        clock: Arc<dyn Clock>,
+        engine: Arc<Mutex<SloEngine>>,
+        interval: Duration,
+    ) -> Sampler {
+        let shared = Arc::new(SamplerShared {
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+            ticks: AtomicU64::new(0),
+        });
+        let thread_shared = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name("css-ops-sampler".into())
+            .spawn(move || loop {
+                {
+                    let snapshot = registry.snapshot();
+                    let mut engine = engine.lock().unwrap_or_else(PoisonError::into_inner);
+                    engine.tick(&snapshot, clock.now());
+                }
+                thread_shared.ticks.fetch_add(1, Ordering::Relaxed);
+                let stop = thread_shared
+                    .stop
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let (stop, _) = thread_shared
+                    .wake
+                    .wait_timeout(stop, interval)
+                    .unwrap_or_else(PoisonError::into_inner);
+                if *stop {
+                    return;
+                }
+            })
+            .expect("spawn sampler thread");
+        Sampler {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Samples taken so far (for overhead accounting and tests).
+    pub fn ticks(&self) -> u64 {
+        self.shared.ticks.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        *self
+            .shared
+            .stop
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        self.shared.wake.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::Slo;
+    use css_types::{SimClock, Timestamp};
+
+    #[test]
+    fn sampler_ticks_the_engine_and_stops_on_drop() {
+        let registry = MetricsRegistry::new();
+        let clock = SimClock::starting_at(Timestamp(5_000));
+        let mut engine = SloEngine::new();
+        engine.register(Slo::latency_p99("lat", "stage.total", 200_000));
+        let engine = Arc::new(Mutex::new(engine));
+
+        let sampler = Sampler::spawn(
+            registry.clone(),
+            Arc::new(clock),
+            engine.clone(),
+            Duration::from_millis(1),
+        );
+        // Generate a regression and wait for at least two ticks (one
+        // baseline + one delta).
+        for _ in 0..100 {
+            registry.histogram("stage.total").record(10_000_000);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let table = engine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .table();
+            if table[0].alert == crate::AlertLevel::Critical {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sampler never saw the regression: {table:?}"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let ticks_before = sampler.ticks();
+        assert!(ticks_before >= 2);
+        drop(sampler); // must stop and join without hanging
+        let after = engine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .ticks();
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(
+            after,
+            engine
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .ticks(),
+            "no ticks after drop"
+        );
+    }
+
+    #[test]
+    fn samples_carry_the_platform_clock() {
+        let registry = MetricsRegistry::new();
+        let clock = SimClock::starting_at(Timestamp(777_000));
+        let mut engine = SloEngine::new();
+        engine.register(Slo::latency_p99("lat", "stage.total", 200_000));
+        let engine = Arc::new(Mutex::new(engine));
+        let sampler = Sampler::spawn(
+            registry,
+            Arc::new(clock),
+            engine.clone(),
+            Duration::from_millis(1),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sampler.ticks() == 0 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(sampler);
+        let json = engine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .to_json();
+        assert!(json.contains("\"last_sample_at_ms\":777000"), "{json}");
+    }
+}

@@ -1,0 +1,421 @@
+//! The ops exposition server: a zero-dependency HTTP/1.0 endpoint on
+//! `std::net::TcpListener`.
+//!
+//! Deliberately minimal: one accept thread feeding a small fixed pool
+//! of handler threads over a bounded channel, a bounded request read
+//! (8 KiB, 2 s timeout), `Connection: close` on every response. The
+//! server holds no platform locks while reading from the network — it
+//! only calls the [`OpsState`] closures after a request has fully
+//! parsed, so a slow or malicious scraper cannot stall the platform.
+//!
+//! Everything served is an *aggregate* (counters, gauges, histogram
+//! buckets, span timings, KPI totals). Payload bytes, decrypted
+//! identifiers, and policy inputs never reach this module: the closures
+//! are built from [`css_telemetry::TelemetrySnapshot`] and the other
+//! privacy-safe read models, none of which can name a detail payload
+//! (enforced workspace-wide by `css-lint`'s detail-confinement rule,
+//! which covers this crate).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use css_telemetry::TelemetrySnapshot;
+
+use crate::prometheus::render_prometheus;
+use crate::status::HealthReport;
+
+/// Handler threads in the pool.
+const POOL_SIZE: usize = 2;
+/// Queued-but-unhandled connections before accept blocks.
+const QUEUE_DEPTH: usize = 16;
+/// Largest request head we will buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Per-connection read deadline.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+type SnapshotFn = Arc<dyn Fn() -> TelemetrySnapshot + Send + Sync>;
+type ReportFn = Arc<dyn Fn() -> HealthReport + Send + Sync>;
+type JsonFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// The read models behind each endpoint, injected as closures so this
+/// crate stays independent of the crates that own them (the platform
+/// wires `/traces` from `css-trace` and `/monitor` from `css-monitor`
+/// without this crate depending on either).
+#[derive(Clone)]
+pub struct OpsState {
+    metrics: SnapshotFn,
+    health: ReportFn,
+    slo: JsonFn,
+    traces: JsonFn,
+    monitor: JsonFn,
+}
+
+impl OpsState {
+    /// State serving `/metrics`, `/health`, and `/slo`; `/traces` and
+    /// `/monitor` default to empty documents until injected.
+    pub fn new(
+        metrics: impl Fn() -> TelemetrySnapshot + Send + Sync + 'static,
+        health: impl Fn() -> HealthReport + Send + Sync + 'static,
+        slo: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Self {
+        OpsState {
+            metrics: Arc::new(metrics),
+            health: Arc::new(health),
+            slo: Arc::new(slo),
+            traces: Arc::new(|| "[]".to_string()),
+            monitor: Arc::new(|| "{}".to_string()),
+        }
+    }
+
+    /// Serve `f`'s output (Chrome trace JSON) on `GET /traces`.
+    pub fn with_traces(mut self, f: impl Fn() -> String + Send + Sync + 'static) -> Self {
+        self.traces = Arc::new(f);
+        self
+    }
+
+    /// Serve `f`'s output (PRM KPI JSON) on `GET /monitor`.
+    pub fn with_monitor(mut self, f: impl Fn() -> String + Send + Sync + 'static) -> Self {
+        self.monitor = Arc::new(f);
+        self
+    }
+}
+
+/// The exposition server. [`OpsServer::bind`] starts it and returns the
+/// [`OpsHandle`] that owns its threads.
+pub struct OpsServer;
+
+impl OpsServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start
+    /// serving `state`.
+    pub fn bind(addr: impl ToSocketAddrs, state: OpsState) -> std::io::Result<OpsHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(QUEUE_DEPTH);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..POOL_SIZE)
+            .map(|i| {
+                let rx = rx.clone();
+                let state = state.clone();
+                std::thread::Builder::new()
+                    .name(format!("css-ops-worker-{i}"))
+                    .spawn(move || worker_loop(&rx, &state))
+                    .expect("spawn ops worker")
+            })
+            .collect();
+
+        let accept_stop = stop.clone();
+        let accept = std::thread::Builder::new()
+            .name("css-ops-accept".into())
+            .spawn(move || accept_loop(&listener, &tx, &accept_stop))
+            .expect("spawn ops acceptor");
+
+        Ok(OpsHandle {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+/// Owns the server threads; dropping it shuts the server down
+/// gracefully (stops accepting, drains the pool, joins every thread).
+pub struct OpsHandle {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl OpsHandle {
+    /// The bound address — with port 0 this is where the ephemeral
+    /// port landed.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl Drop for OpsHandle {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+        // The accept thread owned the channel sender; with it joined
+        // the channel is closed and the workers drain and exit.
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                // If the queue is full the connection is dropped — the
+                // scraper retries on its next interval; the platform
+                // never queues unboundedly for an observer.
+                let _ = tx.try_send(stream);
+            }
+            Err(_) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<TcpStream>>>, state: &OpsState) {
+    loop {
+        let stream = {
+            let rx = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            rx.recv()
+        };
+        match stream {
+            Ok(stream) => handle_connection(stream, state),
+            Err(_) => return, // channel closed: shutting down
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &OpsState) {
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let request = match read_request_head(&mut stream) {
+        Some(head) => head,
+        None => {
+            respond(&mut stream, 400, "text/plain", "bad request");
+            return;
+        }
+    };
+    let mut parts = request.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Ignore a query string: `/metrics?ts=1` scrapes are common.
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        respond(&mut stream, 405, "text/plain", "method not allowed");
+        return;
+    }
+    match path {
+        "/metrics" => {
+            let body = render_prometheus(&(state.metrics)());
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/health" => {
+            let report = (state.health)();
+            let code = if report.is_serving() { 200 } else { 503 };
+            respond(&mut stream, code, "application/json", &report.to_json());
+        }
+        "/slo" => respond(&mut stream, 200, "application/json", &(state.slo)()),
+        "/traces" => respond(&mut stream, 200, "application/json", &(state.traces)()),
+        "/monitor" => respond(&mut stream, 200, "application/json", &(state.monitor)()),
+        _ => respond(
+            &mut stream,
+            404,
+            "application/json",
+            r#"{"error":"not found","endpoints":["/metrics","/health","/slo","/traces","/monitor"]}"#,
+        ),
+    }
+}
+
+/// Read until the end of the request head (`\r\n\r\n`), within the
+/// size bound and read timeout. Returns the first request line.
+fn read_request_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+        if buf.len() >= MAX_REQUEST_BYTES {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break, // peer closed after (or mid-) request
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None, // timeout or reset
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let first_line = head.lines().next()?.trim().to_string();
+    if first_line.is_empty() {
+        None
+    } else {
+        Some(first_line)
+    }
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &str) {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Error",
+    };
+    let head = format!(
+        "HTTP/1.0 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checks::{FnCheck, HealthRegistry};
+    use crate::status::HealthStatus;
+    use css_telemetry::MetricsRegistry;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: x\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let code: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (code, body)
+    }
+
+    fn test_state(registry: &MetricsRegistry, healthy: bool) -> OpsState {
+        let metrics_reg = registry.clone();
+        let health_reg = registry.clone();
+        OpsState::new(
+            move || metrics_reg.snapshot(),
+            move || {
+                let mut checks = HealthRegistry::new();
+                checks.register(Box::new(FnCheck::new("storage", move || {
+                    if healthy {
+                        HealthStatus::Healthy
+                    } else {
+                        HealthStatus::unhealthy("probe read mismatch")
+                    }
+                })));
+                checks.report(&health_reg.snapshot())
+            },
+            || r#"{"slos":[]}"#.to_string(),
+        )
+        .with_traces(|| r#"[{"name":"publish"}]"#.to_string())
+        .with_monitor(|| r#"{"total":7}"#.to_string())
+    }
+
+    #[test]
+    fn serves_all_endpoints() {
+        let registry = MetricsRegistry::new();
+        registry.counter("controller.published").add(9);
+        let handle =
+            OpsServer::bind("127.0.0.1:0", test_state(&registry, true)).expect("bind ephemeral");
+        let addr = handle.local_addr();
+
+        let (code, body) = get(addr, "/metrics");
+        assert_eq!(code, 200);
+        assert!(body.contains("css_controller_published_total 9"), "{body}");
+
+        let (code, body) = get(addr, "/health");
+        assert_eq!(code, 200);
+        assert!(body.contains(r#""status":"healthy""#), "{body}");
+
+        let (code, body) = get(addr, "/slo");
+        assert_eq!(code, 200);
+        assert_eq!(body, r#"{"slos":[]}"#);
+
+        let (code, body) = get(addr, "/traces");
+        assert_eq!(code, 200);
+        assert_eq!(body, r#"[{"name":"publish"}]"#);
+
+        let (code, body) = get(addr, "/monitor");
+        assert_eq!(code, 200);
+        assert_eq!(body, r#"{"total":7}"#);
+
+        let (code, body) = get(addr, "/nope");
+        assert_eq!(code, 404);
+        assert!(body.contains("/metrics"), "{body}");
+    }
+
+    #[test]
+    fn unhealthy_rollup_returns_503_with_reason() {
+        let registry = MetricsRegistry::new();
+        let handle =
+            OpsServer::bind("127.0.0.1:0", test_state(&registry, false)).expect("bind ephemeral");
+        let (code, body) = get(handle.local_addr(), "/health");
+        assert_eq!(code, 503);
+        assert!(body.contains(r#""reason":"probe read mismatch""#), "{body}");
+    }
+
+    #[test]
+    fn non_get_is_rejected() {
+        let registry = MetricsRegistry::new();
+        let handle =
+            OpsServer::bind("127.0.0.1:0", test_state(&registry, true)).expect("bind ephemeral");
+        let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.0 405"), "{response}");
+    }
+
+    #[test]
+    fn oversized_request_head_is_rejected() {
+        let registry = MetricsRegistry::new();
+        let handle =
+            OpsServer::bind("127.0.0.1:0", test_state(&registry, true)).expect("bind ephemeral");
+        let mut stream = TcpStream::connect(handle.local_addr()).expect("connect");
+        // A header that never terminates, larger than the bound. The
+        // server answers 400 and closes mid-upload, so the client may
+        // instead observe a reset — either way, no oversized request
+        // is served.
+        write!(stream, "GET /metrics HTTP/1.0\r\nX-Pad: ").expect("write");
+        let pad = vec![b'a'; MAX_REQUEST_BYTES + 1024];
+        let _ = stream.write_all(&pad);
+        let mut response = String::new();
+        match stream.read_to_string(&mut response) {
+            Ok(_) => assert!(response.starts_with("HTTP/1.0 400"), "{response}"),
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+        }
+    }
+
+    #[test]
+    fn drop_shuts_down_and_joins() {
+        let registry = MetricsRegistry::new();
+        let handle =
+            OpsServer::bind("127.0.0.1:0", test_state(&registry, true)).expect("bind ephemeral");
+        let addr = handle.local_addr();
+        let (code, _) = get(addr, "/health");
+        assert_eq!(code, 200);
+        drop(handle); // must not hang
+                      // A fresh server can bind and serve again immediately.
+        let handle = OpsServer::bind("127.0.0.1:0", test_state(&registry, true)).expect("rebind");
+        let (code, _) = get(handle.local_addr(), "/health");
+        assert_eq!(code, 200);
+    }
+}

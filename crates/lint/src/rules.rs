@@ -59,13 +59,16 @@ fn finding(
 /// Detail payloads never leave the producer's gateway until an
 /// authorized request arrives (the paper's core architectural claim),
 /// so the types that carry them must be unnameable in the event-sharing
-/// middle layers: controller, bus, registry.
+/// middle layers — controller, bus, registry — and in the ops plane
+/// (health), whose endpoints expose state to external scrapers.
 pub struct DetailConfinement;
 
 /// Types that hold unfiltered detail payloads at rest.
 const CONFINED_TYPES: &[&str] = &["DetailMessage", "DetailStore"];
-/// Crates that must never name them outside tests.
-const CONFINED_CRATES: &[&str] = &["css-controller", "css-bus", "css-registry"];
+/// Crates that must never name them outside tests. The ops plane
+/// (`css-health`) is confined too: an exposition endpoint that could
+/// name a detail payload could leak it to any scraper.
+const CONFINED_CRATES: &[&str] = &["css-controller", "css-bus", "css-registry", "css-health"];
 
 impl Rule for DetailConfinement {
     fn id(&self) -> &'static str {
@@ -75,7 +78,7 @@ impl Rule for DetailConfinement {
         Severity::Error
     }
     fn description(&self) -> &'static str {
-        "detail-payload types must not appear in controller/bus/registry non-test code"
+        "detail-payload types must not appear in controller/bus/registry/health non-test code"
     }
     fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
         if !CONFINED_CRATES.contains(&file.crate_name.as_str()) {
@@ -655,6 +658,7 @@ const LAYERS: &[(&str, u8)] = &[
     ("css-audit", 3),
     ("css-gateway", 3),
     ("css-monitor", 3),
+    ("css-health", 3),
     ("css-controller", 4),
     ("css-core", 5),
     ("css-sim", 6),

@@ -44,6 +44,19 @@ fn detail_confinement_fires_and_clean_passes() {
     assert!(clean.is_empty(), "clean fixture fired: {clean:#?}");
 }
 
+/// The ops plane is confined: were css-health able to name a detail
+/// payload, any of its HTTP endpoints could leak it to a scraper.
+#[test]
+fn detail_confinement_covers_the_ops_plane() {
+    let hits = fire(
+        "css-health",
+        "detail_confinement/fire.rs",
+        "detail-confinement",
+    );
+    assert_eq!(hits.len(), 2, "DetailMessage + DetailStore: {hits:#?}");
+    assert!(hits.iter().all(|f| f.severity == Severity::Error));
+}
+
 #[test]
 fn detail_confinement_ignores_unconfined_crates() {
     // The same source in the gateway crate (where details legitimately

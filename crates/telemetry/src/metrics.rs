@@ -157,6 +157,13 @@ impl Histogram {
         self.inner.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all observations so far, nanoseconds — with
+    /// [`count`](Histogram::count), the live pair behind a Prometheus
+    /// histogram's `_sum`/`_count` series.
+    pub fn sum_ns(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
     /// Freeze the current distribution into plain data.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let inner = &self.inner;
@@ -331,5 +338,17 @@ mod tests {
         let h = Histogram::new();
         h.record_duration(Duration::from_micros(3));
         assert_eq!(h.snapshot().sum_ns, 3_000);
+    }
+
+    #[test]
+    fn live_sum_and_count_match_snapshot() {
+        let h = Histogram::new();
+        h.record(100);
+        h.record(250);
+        assert_eq!(h.sum_ns(), 350);
+        assert_eq!(h.count(), 2);
+        let snap = h.snapshot();
+        assert_eq!(snap.sum_ns, h.sum_ns());
+        assert_eq!(snap.count, h.count());
     }
 }

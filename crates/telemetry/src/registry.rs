@@ -3,7 +3,7 @@
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A shared, named collection of instruments.
 ///
@@ -30,20 +30,38 @@ impl MetricsRegistry {
     }
 
     /// Get or create the counter registered under `name`.
+    ///
+    /// The name-map locks recover from poisoning
+    /// (`PoisonError::into_inner`): the maps hold only name → handle
+    /// entries, and an insert that panicked mid-way leaves the map
+    /// valid — so observability keeps working even after a panic
+    /// elsewhere took a registry lock down with it.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = self.inner.counters.lock().expect("telemetry lock");
+        let mut map = self
+            .inner
+            .counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Get or create the gauge registered under `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = self.inner.gauges.lock().expect("telemetry lock");
+        let mut map = self
+            .inner
+            .gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         map.entry(name.to_string()).or_default().clone()
     }
 
     /// Get or create the histogram registered under `name`.
     pub fn histogram(&self, name: &str) -> Histogram {
-        let mut map = self.inner.histograms.lock().expect("telemetry lock");
+        let mut map = self
+            .inner
+            .histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         map.entry(name.to_string()).or_default().clone()
     }
 
@@ -53,7 +71,7 @@ impl MetricsRegistry {
             .inner
             .counters
             .lock()
-            .expect("telemetry lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(name, c)| (name.clone(), c.get()))
             .collect();
@@ -61,7 +79,7 @@ impl MetricsRegistry {
             .inner
             .gauges
             .lock()
-            .expect("telemetry lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(name, g)| (name.clone(), g.get()))
             .collect();
@@ -69,7 +87,7 @@ impl MetricsRegistry {
             .inner
             .histograms
             .lock()
-            .expect("telemetry lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .iter()
             .map(|(name, h)| (name.clone(), h.snapshot()))
             .collect();
@@ -242,6 +260,39 @@ mod tests {
         );
         // Deterministic: the same state renders byte-identically.
         assert_eq!(reg.snapshot().to_text(), reg.snapshot().to_text());
+    }
+
+    /// A panic while holding a registry lock must not take the ops
+    /// plane down with it: the maps stay valid (get-or-create inserts
+    /// are atomic from the map's perspective), so the registry recovers
+    /// the poisoned lock and keeps serving instruments and snapshots.
+    #[test]
+    fn poisoned_lock_still_registers_and_snapshots() {
+        let reg = MetricsRegistry::new();
+        reg.counter("before.poison").add(5);
+        // Poison all three name-map locks by panicking while each is
+        // held (a handle resolution is in flight when the panic hits).
+        let clone = reg.clone();
+        std::thread::spawn(move || {
+            let _counters = clone.inner.counters.lock().unwrap();
+            let _gauges = clone.inner.gauges.lock().unwrap();
+            let _histograms = clone.inner.histograms.lock().unwrap();
+            panic!("poison the telemetry locks");
+        })
+        .join()
+        .unwrap_err();
+        assert!(reg.inner.counters.lock().is_err(), "lock must be poisoned");
+
+        // Every operation still works.
+        reg.counter("before.poison").inc();
+        reg.counter("after.poison").add(2);
+        reg.gauge("depth").set(3);
+        reg.histogram("lat").record(100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("before.poison"), 6);
+        assert_eq!(snap.counter("after.poison"), 2);
+        assert_eq!(snap.gauge("depth"), 3);
+        assert_eq!(snap.histogram("lat").unwrap().count, 1);
     }
 
     #[test]

@@ -211,6 +211,88 @@ mod tests {
         assert_eq!(snap.counter("trace.spans_dropped"), 3);
     }
 
+    /// Writers lapping a tiny ring while a reader snapshots
+    /// concurrently: every exported span must be internally coherent
+    /// (never a tear mixing two spans' fields), and once the writers
+    /// quiesce the accounting must close — every attempt is either
+    /// retained or counted as dropped.
+    #[test]
+    fn concurrent_overrun_never_tears_spans_and_accounts_every_attempt() {
+        const CAPACITY: usize = 8;
+        const WRITERS: u64 = 4;
+        const PER_WRITER: u64 = 2_000;
+
+        // Correlated fields: a span for value n has id=n, start=2n,
+        // end=2n+1 — any cross-span tear breaks the correlation.
+        fn coherent(s: &Span) -> bool {
+            s.start_ns == s.id.value() * 2 && s.end_ns == s.start_ns + 1
+        }
+
+        let c = std::sync::Arc::new(SpanCollector::new(CAPACITY));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+
+        let reader = {
+            let c = c.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut seen = 0u64;
+                loop {
+                    let done = stop.load(Ordering::Relaxed) != 0;
+                    for s in c.snapshot() {
+                        assert!(
+                            coherent(&s),
+                            "torn span: id={} start={} end={}",
+                            s.id.value(),
+                            s.start_ns,
+                            s.end_ns
+                        );
+                        seen += 1;
+                    }
+                    if done {
+                        break;
+                    }
+                }
+                seen
+            })
+        };
+
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|t| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_WRITER {
+                        let n = t * PER_WRITER + i;
+                        c.record(Span {
+                            trace: TraceId(1),
+                            id: SpanId(n),
+                            parent: None,
+                            name: "w",
+                            start_ns: n * 2,
+                            end_ns: n * 2 + 1,
+                            status: SpanStatus::Ok,
+                            attrs: Vec::new(),
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in writers {
+            h.join().unwrap();
+        }
+        stop.store(1, Ordering::Relaxed);
+        let seen = reader.join().unwrap();
+        assert!(seen > 0, "reader must have observed live snapshots");
+
+        // Quiesced accounting: every attempt was either retained in the
+        // ring or counted as an overwrite drop.
+        let attempted = WRITERS * PER_WRITER;
+        assert_eq!(c.recorded(), attempted);
+        let retained = c.snapshot();
+        assert!(retained.len() <= CAPACITY);
+        assert!(retained.iter().all(coherent));
+        assert_eq!(c.dropped(), attempted - retained.len() as u64);
+    }
+
     #[test]
     fn concurrent_recording_loses_nothing_below_capacity() {
         let c = std::sync::Arc::new(SpanCollector::new(4096));

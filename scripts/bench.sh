@@ -5,7 +5,8 @@
 #
 # Usage: scripts/bench.sh [bench ...]
 #   (default benches: e4_detail_request e9_encrypted_index
-#    e11_policy_scaling e15_mixed_workload e16_trace_overhead)
+#    e11_policy_scaling e15_mixed_workload e16_trace_overhead
+#    e17_ops_overhead)
 #
 # Environment:
 #   CSS_BENCH_MS  measurement window per benchmark in ms (default 50;
@@ -15,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 BENCHES=("$@")
 if [ ${#BENCHES[@]} -eq 0 ]; then
-  BENCHES=(e4_detail_request e9_encrypted_index e11_policy_scaling e15_mixed_workload e16_trace_overhead)
+  BENCHES=(e4_detail_request e9_encrypted_index e11_policy_scaling e15_mixed_workload e16_trace_overhead e17_ops_overhead)
 fi
 : "${CSS_BENCH_MS:=50}"
 export CSS_BENCH_MS
@@ -59,17 +60,18 @@ for bench in "${BENCHES[@]}"; do
       for (i = 1; i <= nt; i++)
         printf "%s\n    {\"stage\": \"%s\", \"count\": %d, \"p50_ns\": %d, \"p99_ns\": %d}", (i > 1 ? "," : ""), tname[i], tc[i], t50[i], t99[i]
       printf "\n  ]"
-      # Tracing overhead: the on/off ns-per-op delta, when the bench
-      # registered both a collector_off and a collector_on series.
+      # Overhead benches: the on/off ns-per-op delta, when the bench
+      # registered an off and an on series (E16 collector_off/on,
+      # E17 sampler_off/on).
       off = -1; on = -1
       for (i = 1; i <= nr; i++) {
-        if (rname[i] ~ /\/collector_off$/) off = rns[i]
-        if (rname[i] ~ /\/collector_on$/) on = rns[i]
+        if (rname[i] ~ /\/(collector|sampler)_off$/) off = rns[i]
+        if (rname[i] ~ /\/(collector|sampler)_on$/) on = rns[i]
       }
       if (off >= 0 && on >= 0) {
         dropped = 0
         for (i = 1; i <= nt; i++) if (tname[i] == "trace.spans_dropped") dropped = tc[i]
-        printf ",\n  \"overhead\": {\"collector_off_ns\": %.3f, \"collector_on_ns\": %.3f, \"delta_ns_per_op\": %.3f, \"delta_pct\": %.2f, \"spans_dropped\": %d}", off, on, on - off, (off > 0 ? 100.0 * (on - off) / off : 0), dropped
+        printf ",\n  \"overhead\": {\"off_ns\": %.3f, \"on_ns\": %.3f, \"delta_ns_per_op\": %.3f, \"delta_pct\": %.2f, \"spans_dropped\": %d}", off, on, on - off, (off > 0 ? 100.0 * (on - off) / off : 0), dropped
       }
       printf "\n}\n"
     }

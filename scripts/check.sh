@@ -21,6 +21,9 @@ echo "== tier-1: build + test"
 cargo build --release
 cargo test -q
 
+echo "== ops plane: live scrape smoke"
+scripts/obs.sh
+
 echo "== benches: build + smoke run"
 cargo build --benches
 CSS_BENCH_MS=5 scripts/bench.sh

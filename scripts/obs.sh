@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Ops-plane smoke test: boot a live platform with the ops server on an
+# ephemeral port, scrape /health /metrics /slo, and validate the
+# responses (JSON well-formedness, Prometheus text syntax). Exits
+# nonzero on any failure; always reaps the demo process.
+# Usage: scripts/obs.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+log=$(mktemp)
+demo_pid=""
+cleanup() {
+    [ -n "$demo_pid" ] && kill "$demo_pid" 2>/dev/null || true
+    [ -n "$demo_pid" ] && wait "$demo_pid" 2>/dev/null || true
+    rm -f "$log"
+}
+trap cleanup EXIT
+
+cargo build -q --example ops_demo
+
+CSS_OPS_DEMO_SECS=60 ./target/debug/examples/ops_demo > "$log" &
+demo_pid=$!
+
+# The demo prints "ops plane listening at http://ADDR" once bound.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's|^ops plane listening at http://||p' "$log" | head -n1)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$demo_pid" 2>/dev/null; then
+        echo "obs: demo exited before binding; log:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "obs: timed out waiting for ops server address" >&2
+    exit 1
+fi
+echo "obs: ops plane at $addr"
+
+# Let the sampler tick and some traffic flow before scraping.
+sleep 1
+
+fetch() { # fetch PATH -> body on stdout, fails on non-200
+    local path=$1
+    if [ -z "${CSS_OBS_NO_CURL:-}" ] && command -v curl > /dev/null 2>&1; then
+        curl -sf "http://$addr$path"
+    else
+        # Zero-dep fallback: HTTP/1.0 over bash's /dev/tcp. The server
+        # closes after each response, so one `cat` drains it all.
+        local host=${addr%:*} port=${addr##*:} resp status
+        exec 3<> "/dev/tcp/$host/$port"
+        printf 'GET %s HTTP/1.0\r\n\r\n' "$path" >&3
+        resp=$(cat <&3)
+        exec 3<&- 3>&-
+        status=$(printf '%s\n' "$resp" | head -n1 | tr -d '\r')
+        case "$status" in *" 200 "*) ;; *)
+            echo "obs: GET $path -> $status" >&2
+            return 22 ;;
+        esac
+        printf '%s\n' "$resp" | sed '1,/^\r\{0,1\}$/d'
+    fi
+}
+
+check_json() { # check_json NAME BODY REQUIRED_KEY
+    local name=$1 body=$2 key=$3
+    if command -v python3 > /dev/null 2>&1; then
+        printf '%s' "$body" | python3 -c 'import json,sys; json.load(sys.stdin)' \
+            || { echo "obs: $name is not valid JSON" >&2; return 1; }
+    fi
+    case "$body" in
+        "{"*"\"$key\""*) ;;
+        *) echo "obs: $name missing key \"$key\": ${body:0:200}" >&2; return 1 ;;
+    esac
+    echo "obs: $name ok (${#body} bytes)"
+}
+
+health=$(fetch /health)
+check_json /health "$health" status
+case "$health" in
+    *'"status":"healthy"'* | *'"status":"degraded"'*) ;;
+    *) echo "obs: live platform not serving: $health" >&2; exit 1 ;;
+esac
+
+slo=$(fetch /slo)
+check_json /slo "$slo" slos
+
+metrics=$(fetch /metrics)
+# Prometheus text 0.0.4: every non-comment line is `name{labels} value`
+# with our css_ prefix, and every metric has HELP/TYPE headers.
+bad=$(printf '%s\n' "$metrics" | grep -v '^#' | grep -v '^$' \
+    | grep -cEv '^css_[a-zA-Z0-9_]+(\{[^}]*\})? [0-9.+-]+$' || true)
+if [ "$bad" -ne 0 ]; then
+    echo "obs: /metrics has $bad malformed exposition lines" >&2
+    printf '%s\n' "$metrics" | grep -v '^#' \
+        | grep -Ev '^css_[a-zA-Z0-9_]+(\{[^}]*\})? [0-9.+-]+$' | head >&2
+    exit 1
+fi
+types=$(printf '%s\n' "$metrics" | grep -c '^# TYPE css_' || true)
+if [ "$types" -eq 0 ]; then
+    echo "obs: /metrics has no TYPE headers" >&2
+    exit 1
+fi
+if ! printf '%s\n' "$metrics" | grep -q '^css_controller_published_total '; then
+    echo "obs: /metrics missing live publish counter" >&2
+    exit 1
+fi
+echo "obs: /metrics ok ($(printf '%s\n' "$metrics" | wc -l) lines, $types metrics)"
+
+echo "obs: ops plane smoke passed"
