@@ -45,7 +45,7 @@ fn bench(c: &mut Criterion) {
             let mut src = 0u64;
             b.iter(|| {
                 src = src % n + 1;
-                gw.get_response(SourceEventId(src), &allowed).unwrap()
+                gw.get_response(SourceEventId(src), &allowed, None).unwrap()
             })
         });
     }

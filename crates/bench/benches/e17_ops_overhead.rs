@@ -74,6 +74,7 @@ fn mixed_op(
                     ty,
                     Timestamp(1_000_000),
                     SourceEventId(src),
+                    None,
                 )
                 .unwrap();
         }

@@ -80,7 +80,7 @@ fn bench(c: &mut Criterion) {
             src = src % 1_000 + 1;
             world
                 .gateway
-                .get_response(SourceEventId(src), &allowed)
+                .get_response(SourceEventId(src), &allowed, None)
                 .unwrap()
         })
     });

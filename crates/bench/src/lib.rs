@@ -156,6 +156,7 @@ impl MicroWorld {
                 EventTypeId::v1("blood-test"),
                 Timestamp(1_000_000),
                 SourceEventId(src),
+                None,
             )
             .unwrap()
             .global_id

@@ -1,6 +1,8 @@
-//! The broker: topics, fan-out, queues, acknowledgement protocol.
+//! The in-memory [`BusDriver`]: topics, delivery groups, queues, the
+//! acknowledgement protocol, publish dedup, visibility timeouts,
+//! bounded redelivery with backoff, and replay from a retained log.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -10,8 +12,15 @@ use css_telemetry::{Counter, Gauge, Histogram, MetricsRegistry};
 use css_trace::{SpanGuard, SpanStatus, TraceContext, TraceId};
 use css_types::{CssError, CssResult, SubscriptionId};
 
+use crate::driver::{BusDriver, PublishOptions, PublishOutcome};
 use crate::stats::{BrokerStats, SubscriptionStats};
 use crate::subscription::{DeadLetter, Delivery, SubscriberHandle};
+
+/// Publish dedup keys remembered per topic before the oldest is forgotten.
+const DEDUP_WINDOW: usize = 4096;
+
+/// Cap on the redelivery backoff exponent (base × 2^10 at most).
+const MAX_BACKOFF_EXP: u32 = 10;
 
 /// Cached telemetry handles for the broker hot paths (resolved once at
 /// construction; recording is lock-free).
@@ -24,10 +33,16 @@ struct BusInstruments {
     ack_latency: Histogram,
     /// `bus.published` — successful publish calls.
     published: Counter,
-    /// `bus.fanned_out` — per-subscription enqueues.
+    /// `bus.fanned_out` — per-group enqueues.
     fanned_out: Counter,
-    /// `bus.queue_depth` — messages currently queued (all topics).
+    /// `bus.redelivered` — deliveries that were retries (attempt > 1).
+    redelivered: Counter,
+    /// `bus.dedup_dropped` — publishes dropped by the dedup window.
+    dedup_dropped: Counter,
+    /// `bus.queue_depth` — messages currently queued (all groups).
     queue_depth: Gauge,
+    /// `bus.inflight` — deliveries awaiting ack/nack (all groups).
+    inflight: Gauge,
 }
 
 impl BusInstruments {
@@ -38,12 +53,15 @@ impl BusInstruments {
             ack_latency: registry.histogram("bus.ack"),
             published: registry.counter("bus.published"),
             fanned_out: registry.counter("bus.fanned_out"),
+            redelivered: registry.counter("bus.redelivered"),
+            dedup_dropped: registry.counter("bus.dedup_dropped"),
             queue_depth: registry.gauge("bus.queue_depth"),
+            inflight: registry.gauge("bus.inflight"),
         }
     }
 }
 
-/// What to do when a subscription's queue is full at publish time.
+/// What to do when a group's queue is full at publish time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OverflowPolicy {
     /// Fail the publish with a bus error (back-pressure to producers).
@@ -53,7 +71,7 @@ pub enum OverflowPolicy {
     DropOldest,
 }
 
-/// Per-subscription configuration.
+/// Per-group configuration, fixed by the first member to attach.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubscriptionConfig {
     /// Maximum queued (undelivered) messages.
@@ -62,6 +80,15 @@ pub struct SubscriptionConfig {
     pub max_attempts: u32,
     /// Overflow behaviour.
     pub overflow: OverflowPolicy,
+    /// How long a delivery may stay unacknowledged before it returns to
+    /// the queue for another member. `None` = held until ack/nack.
+    pub visibility_timeout: Option<Duration>,
+    /// Base delay before a nacked message becomes deliverable again,
+    /// doubling per failed attempt (capped). Zero = immediate.
+    pub redelivery_backoff: Duration,
+    /// Messages retained per group for [`SubscriberHandle::replay_from`].
+    /// Zero disables replay.
+    pub retain: usize,
 }
 
 impl Default for SubscriptionConfig {
@@ -70,36 +97,96 @@ impl Default for SubscriptionConfig {
             capacity: 1024,
             max_attempts: 3,
             overflow: OverflowPolicy::Reject,
+            visibility_timeout: None,
+            redelivery_backoff: Duration::ZERO,
+            retain: 0,
         }
     }
 }
 
+/// A message waiting in a group queue.
 struct Pending<M> {
     message: M,
     attempts: u32,
     /// When queued this timestamps the enqueue; once in flight it is
     /// re-stamped at delivery, so ack latency measures from delivery.
     since: Instant,
+    /// Group-local offset assigned at first enqueue; stable across
+    /// redeliveries and replay.
+    offset: u64,
+    /// Earliest instant the message may be delivered (redelivery
+    /// backoff). `None` = deliverable now.
+    not_before: Option<Instant>,
     /// The trace of the publish that enqueued this message, if traced.
     trace: Option<TraceId>,
-    /// Open `bus.deliver` span covering enqueue-to-delivery; finished
-    /// at first poll (or on drop if the message never gets delivered).
+    /// Routing context kept so redelivery hops can open `bus.redeliver`
+    /// spans under the *original* trace.
+    ctx: Option<TraceContext>,
+    /// Open `bus.deliver` (or `bus.redeliver`) span covering
+    /// queue-to-delivery; finished at poll, or on drop if never polled.
     deliver_span: Option<SpanGuard>,
 }
 
-struct SubState<M> {
+/// A delivery handed to a member, not yet acknowledged.
+struct InFlight<M> {
+    pending: Pending<M>,
+    /// The member holding the delivery; only it may ack/nack.
+    holder: SubscriptionId,
+    /// When the visibility timeout expires, if one is configured.
+    expires: Option<Instant>,
+}
+
+/// A message kept for replay after retirement.
+struct Retained<M> {
+    offset: u64,
+    message: M,
+    trace: Option<TraceId>,
+}
+
+type GroupId = u64;
+
+/// One delivery group: a queue plus the members competing over it.
+struct GroupState<M> {
     topic: String,
+    /// Group name; `None` for a private (fan-out) group.
+    name: Option<String>,
     config: SubscriptionConfig,
+    members: Vec<SubscriptionId>,
     queue: VecDeque<Pending<M>>,
-    in_flight: HashMap<u64, Pending<M>>,
+    in_flight: HashMap<u64, InFlight<M>>,
+    /// Retained log for replay (bounded by `config.retain`).
+    log: VecDeque<Retained<M>>,
+    next_offset: u64,
     stats: SubscriptionStats,
 }
 
+struct TopicState {
+    groups: Vec<GroupId>,
+    /// Publish dedup window: keys seen recently, with eviction order.
+    dedup_recent: HashSet<String>,
+    dedup_order: VecDeque<String>,
+}
+
+impl TopicState {
+    fn new() -> Self {
+        TopicState {
+            groups: Vec::new(),
+            dedup_recent: HashSet::new(),
+            dedup_order: VecDeque::new(),
+        }
+    }
+}
+
 struct State<M> {
-    topics: HashMap<String, Vec<SubscriptionId>>,
-    subs: HashMap<SubscriptionId, SubState<M>>,
+    topics: HashMap<String, TopicState>,
+    groups: HashMap<GroupId, GroupState<M>>,
+    /// (topic, group name) → group, for named-group joins.
+    named: HashMap<(String, String), GroupId>,
+    /// Member subscription → its group.
+    members: HashMap<SubscriptionId, GroupId>,
     dlq: Vec<DeadLetter<M>>,
     stats: BrokerStats,
+    next_group: u64,
     next_sub: u64,
     next_delivery: u64,
 }
@@ -110,14 +197,17 @@ pub(crate) struct Inner<M> {
     telemetry: Option<BusInstruments>,
 }
 
-/// A publish/subscribe broker over named topics.
+/// The in-memory publish/subscribe broker over named topics.
 ///
-/// Cheaply cloneable; clones share the same broker state.
-pub struct Broker<M: Clone + Send> {
+/// Cheaply cloneable; clones share the same broker state. This is the
+/// default [`BusDriver`] — the platform talks to it through
+/// [`crate::Bus`], and its inherent methods mirror the trait for tests
+/// and callers that hold the concrete type.
+pub struct Broker<M: Clone + Send + 'static> {
     inner: Arc<Inner<M>>,
 }
 
-impl<M: Clone + Send> Clone for Broker<M> {
+impl<M: Clone + Send + 'static> Clone for Broker<M> {
     fn clone(&self) -> Self {
         Broker {
             inner: Arc::clone(&self.inner),
@@ -125,20 +215,24 @@ impl<M: Clone + Send> Clone for Broker<M> {
     }
 }
 
-impl<M: Clone + Send> Default for Broker<M> {
+impl<M: Clone + Send + 'static> Default for Broker<M> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<M: Clone + Send> Broker<M> {
+fn unknown_sub(id: SubscriptionId) -> CssError {
+    CssError::Bus(format!("unknown subscription {id}"))
+}
+
+impl<M: Clone + Send + 'static> Broker<M> {
     /// A broker with no topics.
     pub fn new() -> Self {
         Self::build(None)
     }
 
-    /// A broker recording latency histograms, throughput counters and a
-    /// queue-depth gauge into `registry` under `bus.*` names.
+    /// A broker recording latency histograms, throughput counters and
+    /// depth gauges into `registry` under `bus.*` names.
     pub fn with_telemetry(registry: &MetricsRegistry) -> Self {
         Self::build(Some(BusInstruments::resolve(registry)))
     }
@@ -148,9 +242,12 @@ impl<M: Clone + Send> Broker<M> {
             inner: Arc::new(Inner {
                 state: Mutex::new(State {
                     topics: HashMap::new(),
-                    subs: HashMap::new(),
+                    groups: HashMap::new(),
+                    named: HashMap::new(),
+                    members: HashMap::new(),
                     dlq: Vec::new(),
                     stats: BrokerStats::default(),
+                    next_group: 1,
                     next_sub: 1,
                     next_delivery: 1,
                 }),
@@ -160,10 +257,14 @@ impl<M: Clone + Send> Broker<M> {
         }
     }
 
+    fn as_driver(&self) -> Arc<dyn BusDriver<M>> {
+        Arc::new(self.clone())
+    }
+
     /// Declare a topic. Idempotent.
     pub fn create_topic(&self, name: impl Into<String>) {
         let mut st = self.inner.state.lock();
-        st.topics.entry(name.into()).or_default();
+        st.topics.entry(name.into()).or_insert_with(TopicState::new);
     }
 
     /// Whether the topic exists.
@@ -179,119 +280,62 @@ impl<M: Clone + Send> Broker<M> {
         out
     }
 
-    /// Subscribe to a topic.
+    /// Subscribe to a topic in a private delivery group (fan-out).
     pub fn subscribe(
         &self,
         topic: &str,
         config: SubscriptionConfig,
     ) -> CssResult<SubscriberHandle<M>> {
-        let mut st = self.inner.state.lock();
-        let state = &mut *st;
-        let Some(ids) = state.topics.get_mut(topic) else {
-            return Err(CssError::Bus(format!("no such topic {topic:?}")));
-        };
-        let id = SubscriptionId(state.next_sub);
-        state.next_sub += 1;
-        state.subs.insert(
-            id,
-            SubState {
-                topic: topic.to_string(),
-                config,
-                queue: VecDeque::new(),
-                in_flight: HashMap::new(),
-                stats: SubscriptionStats::default(),
-            },
-        );
-        ids.push(id);
-        Ok(SubscriberHandle {
-            inner: Arc::clone(&self.inner),
-            id,
-        })
+        let id = self.inner.attach(topic, None, config)?;
+        Ok(SubscriberHandle::new(self.as_driver(), id))
     }
 
-    /// Publish a message to every subscription of `topic`.
+    /// Join the named competing-consumer group on `topic`: members
+    /// share one queue and each message is delivered to exactly one of
+    /// them.
+    pub fn subscribe_group(
+        &self,
+        topic: &str,
+        group: &str,
+        config: SubscriptionConfig,
+    ) -> CssResult<SubscriberHandle<M>> {
+        let id = self.inner.attach(topic, Some(group), config)?;
+        Ok(SubscriberHandle::new(self.as_driver(), id))
+    }
+
+    /// Publish a message to every delivery group of `topic`.
     ///
-    /// Returns the number of subscriptions the message was enqueued for.
-    /// With [`OverflowPolicy::Reject`], a single full queue fails the
-    /// whole publish *before* any enqueue (all-or-nothing), so producers
-    /// see consistent back-pressure.
+    /// Returns the number of groups the message was enqueued for. With
+    /// [`OverflowPolicy::Reject`], a single full queue fails the whole
+    /// publish *before* any enqueue (all-or-nothing), so producers see
+    /// consistent back-pressure.
     pub fn publish(&self, topic: &str, message: M) -> CssResult<usize> {
-        self.publish_traced(topic, message, None)
+        self.inner
+            .publish_opts(topic, message, PublishOptions::new())
+            .map(|o| o.routed())
     }
 
-    /// [`Broker::publish`], continuing the caller's trace: the fan-out
-    /// runs under a `bus.route` span, and each enqueued copy carries an
-    /// open `bus.deliver` span that closes when the subscriber polls it
-    /// — so a trace tree shows routing and per-subscriber queue time as
-    /// separate children of the publish.
+    /// Publish with full options (dedup key, trace).
+    pub fn publish_opts(
+        &self,
+        topic: &str,
+        message: M,
+        opts: PublishOptions<'_>,
+    ) -> CssResult<PublishOutcome> {
+        self.inner.publish_opts(topic, message, opts)
+    }
+
+    /// [`Broker::publish`], continuing the caller's trace.
+    #[deprecated(note = "use publish_opts with PublishOptions::traced")]
     pub fn publish_traced(
         &self,
         topic: &str,
         message: M,
         ctx: Option<&TraceContext>,
     ) -> CssResult<usize> {
-        let started = Instant::now();
-        let mut route = TraceContext::child_opt(ctx, "bus.route");
-        let mut st = self.inner.state.lock();
-        let sub_ids = match st.topics.get(topic) {
-            Some(ids) => ids.clone(),
-            None => {
-                st.stats.rejected += 1;
-                route.set_status(SpanStatus::Error);
-                return Err(CssError::Bus(format!("no such topic {topic:?}")));
-            }
-        };
-        // Pre-flight: with Reject overflow, check all queues first.
-        let overflowing = sub_ids.iter().find_map(|id| {
-            let sub = st.subs.get(id)?;
-            (sub.config.overflow == OverflowPolicy::Reject
-                && sub.queue.len() >= sub.config.capacity)
-                .then_some((*id, sub.config.capacity))
-        });
-        if let Some((id, capacity)) = overflowing {
-            st.stats.rejected += 1;
-            route.set_status(SpanStatus::Error);
-            return Err(CssError::Bus(format!(
-                "subscription {id} queue full ({capacity} messages)"
-            )));
-        }
-        let route_ctx = route.context();
-        let mut fanout = 0usize;
-        let mut dropped = 0i64;
-        for id in &sub_ids {
-            // The topic list and the subscription map are kept in sync;
-            // a missing entry means the subscription raced away — skip.
-            let Some(sub) = st.subs.get_mut(id) else {
-                continue;
-            };
-            if sub.queue.len() >= sub.config.capacity {
-                // Only reachable under DropOldest.
-                sub.queue.pop_front();
-                sub.stats.dropped += 1;
-                dropped += 1;
-            }
-            sub.queue.push_back(Pending {
-                message: message.clone(),
-                attempts: 0,
-                since: started,
-                trace: route_ctx.trace_id(),
-                deliver_span: route_ctx.trace_id().map(|_| route_ctx.child("bus.deliver")),
-            });
-            sub.stats.enqueued += 1;
-            fanout += 1;
-        }
-        st.stats.published += 1;
-        st.stats.fanned_out += fanout as u64;
-        drop(st);
-        route.finish();
-        if let Some(t) = &self.inner.telemetry {
-            t.published.inc();
-            t.fanned_out.add(fanout as u64);
-            t.queue_depth.add(fanout as i64 - dropped);
-            t.publish_latency.record_duration(started.elapsed());
-        }
-        self.inner.arrivals.notify_all();
-        Ok(fanout)
+        self.inner
+            .publish_opts(topic, message, PublishOptions::new().traced_opt(ctx))
+            .map(|o| o.routed())
     }
 
     /// Broker-wide statistics.
@@ -304,65 +348,434 @@ impl<M: Clone + Send> Broker<M> {
         self.inner.state.lock().dlq.clone()
     }
 
-    /// Number of active subscriptions on a topic.
+    /// Active member subscriptions across all groups of a topic.
     pub fn subscriber_count(&self, topic: &str) -> usize {
-        self.inner
-            .state
-            .lock()
-            .topics
-            .get(topic)
-            .map(Vec::len)
-            .unwrap_or(0)
+        let st = self.inner.state.lock();
+        let Some(topic) = st.topics.get(topic) else {
+            return 0;
+        };
+        topic
+            .groups
+            .iter()
+            .filter_map(|gid| st.groups.get(gid))
+            .map(|g| g.members.len())
+            .sum()
+    }
+
+    /// Delivery groups on a topic (private and named).
+    pub fn group_count(&self, topic: &str) -> usize {
+        let st = self.inner.state.lock();
+        st.topics.get(topic).map(|t| t.groups.len()).unwrap_or(0)
+    }
+
+    /// Force a visibility-timeout sweep across all groups.
+    pub fn sweep(&self) -> usize {
+        self.inner.sweep_all()
     }
 }
 
-impl<M: Clone + Send> Inner<M> {
-    fn with_sub<R>(
+/// The driver contract, implemented by delegation to the same
+/// internals the inherent methods use.
+impl<M: Clone + Send + 'static> BusDriver<M> for Broker<M> {
+    fn create_topic(&self, name: &str) {
+        Broker::create_topic(self, name);
+    }
+
+    fn has_topic(&self, name: &str) -> bool {
+        Broker::has_topic(self, name)
+    }
+
+    fn topics(&self) -> Vec<String> {
+        Broker::topics(self)
+    }
+
+    fn attach(
+        &self,
+        topic: &str,
+        group: Option<&str>,
+        config: SubscriptionConfig,
+    ) -> CssResult<SubscriptionId> {
+        self.inner.attach(topic, group, config)
+    }
+
+    fn detach(&self, id: SubscriptionId) -> CssResult<()> {
+        self.inner.detach(id)
+    }
+
+    fn publish_opts(
+        &self,
+        topic: &str,
+        message: M,
+        opts: PublishOptions<'_>,
+    ) -> CssResult<PublishOutcome> {
+        self.inner.publish_opts(topic, message, opts)
+    }
+
+    fn poll(&self, id: SubscriptionId) -> CssResult<Option<Delivery<M>>> {
+        self.inner.poll(id)
+    }
+
+    fn poll_wait(&self, id: SubscriptionId, timeout: Duration) -> CssResult<Option<Delivery<M>>> {
+        self.inner.poll_wait(id, timeout)
+    }
+
+    fn ack(&self, id: SubscriptionId, delivery_id: u64) -> CssResult<()> {
+        self.inner.ack(id, delivery_id)
+    }
+
+    fn nack(&self, id: SubscriptionId, delivery_id: u64) -> CssResult<()> {
+        self.inner.nack(id, delivery_id)
+    }
+
+    fn backlog(&self, id: SubscriptionId) -> CssResult<usize> {
+        self.inner.with_member(id, |_st, g| Ok(g.queue.len()))
+    }
+
+    fn in_flight(&self, id: SubscriptionId) -> CssResult<usize> {
+        self.inner.with_member(id, |_st, g| Ok(g.in_flight.len()))
+    }
+
+    fn sub_stats(&self, id: SubscriptionId) -> CssResult<SubscriptionStats> {
+        self.inner.with_member(id, |_st, g| Ok(g.stats))
+    }
+
+    fn replay_from(&self, id: SubscriptionId, offset: u64) -> CssResult<usize> {
+        self.inner.replay_from(id, offset)
+    }
+
+    fn sweep(&self) -> usize {
+        self.inner.sweep_all()
+    }
+
+    fn stats(&self) -> BrokerStats {
+        Broker::stats(self)
+    }
+
+    fn dead_letters(&self) -> Vec<DeadLetter<M>> {
+        Broker::dead_letters(self)
+    }
+
+    fn subscriber_count(&self, topic: &str) -> usize {
+        Broker::subscriber_count(self, topic)
+    }
+}
+
+impl<M: Clone + Send + 'static> Inner<M> {
+    fn attach(
+        &self,
+        topic: &str,
+        group: Option<&str>,
+        config: SubscriptionConfig,
+    ) -> CssResult<SubscriptionId> {
+        let mut st = self.state.lock();
+        if !st.topics.contains_key(topic) {
+            return Err(CssError::Bus(format!("no such topic {topic:?}")));
+        }
+        let id = SubscriptionId(st.next_sub);
+        st.next_sub += 1;
+        let gid = match group {
+            Some(name) => {
+                let key = (topic.to_string(), name.to_string());
+                match st.named.get(&key) {
+                    Some(gid) => *gid,
+                    None => {
+                        let gid = new_group(&mut st, topic, Some(name.to_string()), config);
+                        st.named.insert(key, gid);
+                        gid
+                    }
+                }
+            }
+            None => new_group(&mut st, topic, None, config),
+        };
+        if let Some(g) = st.groups.get_mut(&gid) {
+            g.members.push(id);
+        }
+        st.members.insert(id, gid);
+        Ok(id)
+    }
+
+    fn detach(&self, id: SubscriptionId) -> CssResult<()> {
+        let mut st = self.state.lock();
+        let gid = st.members.remove(&id).ok_or_else(|| unknown_sub(id))?;
+        let Some(mut group) = st.groups.remove(&gid) else {
+            return Err(unknown_sub(id));
+        };
+        group.members.retain(|m| *m != id);
+        if group.members.is_empty() {
+            // Last member out: drop the whole group.
+            if let Some(t) = &self.telemetry {
+                t.queue_depth.sub(group.queue.len() as i64);
+                t.inflight.sub(group.in_flight.len() as i64);
+            }
+            if let Some(topic) = st.topics.get_mut(&group.topic) {
+                topic.groups.retain(|g| *g != gid);
+            }
+            if let Some(name) = &group.name {
+                st.named.remove(&(group.topic.clone(), name.clone()));
+            }
+        } else {
+            // Return the leaver's in-flight deliveries to the peers.
+            let held: Vec<u64> = group
+                .in_flight
+                .iter()
+                .filter(|(_, f)| f.holder == id)
+                .map(|(d, _)| *d)
+                .collect();
+            for delivery_id in held {
+                if let Some(mut f) = group.in_flight.remove(&delivery_id) {
+                    f.pending.deliver_span = redeliver_span(&f.pending);
+                    f.pending.not_before = None;
+                    group.queue.push_front(f.pending);
+                    if let Some(t) = &self.telemetry {
+                        t.inflight.dec();
+                        t.queue_depth.inc();
+                    }
+                }
+            }
+            st.groups.insert(gid, group);
+        }
+        drop(st);
+        // Wake any member blocked in poll_wait so it re-checks state.
+        self.arrivals.notify_all();
+        Ok(())
+    }
+
+    fn publish_opts(
+        &self,
+        topic: &str,
+        message: M,
+        opts: PublishOptions<'_>,
+    ) -> CssResult<PublishOutcome> {
+        let started = Instant::now();
+        let mut route = TraceContext::child_opt(opts.trace, "bus.route");
+        let mut st = self.state.lock();
+        let Some(topic_state) = st.topics.get(topic) else {
+            st.stats.rejected += 1;
+            route.set_status(SpanStatus::Error);
+            return Err(CssError::Bus(format!("no such topic {topic:?}")));
+        };
+        // Dedup first: a duplicate is dropped regardless of queue state.
+        if let Some(key) = opts.dedup_key {
+            if topic_state.dedup_recent.contains(key) {
+                st.stats.dedup_dropped += 1;
+                drop(st);
+                route.finish();
+                if let Some(t) = &self.telemetry {
+                    t.dedup_dropped.inc();
+                }
+                return Ok(PublishOutcome::DuplicateDropped);
+            }
+        }
+        let group_ids = topic_state.groups.clone();
+        // Pre-flight: with Reject overflow, check all queues first.
+        let overflowing = group_ids.iter().find_map(|gid| {
+            let g = st.groups.get(gid)?;
+            (g.config.overflow == OverflowPolicy::Reject && g.queue.len() >= g.config.capacity)
+                .then_some((*gid, g.config.capacity))
+        });
+        if let Some((gid, capacity)) = overflowing {
+            st.stats.rejected += 1;
+            route.set_status(SpanStatus::Error);
+            // The key was NOT recorded, so a retry after back-pressure
+            // clears is not treated as a duplicate.
+            return Err(CssError::Bus(format!(
+                "delivery group {gid} queue full ({capacity} messages)"
+            )));
+        }
+        if let Some(key) = opts.dedup_key {
+            if let Some(topic_state) = st.topics.get_mut(topic) {
+                topic_state.dedup_recent.insert(key.to_string());
+                topic_state.dedup_order.push_back(key.to_string());
+                while topic_state.dedup_order.len() > DEDUP_WINDOW {
+                    if let Some(old) = topic_state.dedup_order.pop_front() {
+                        topic_state.dedup_recent.remove(&old);
+                    }
+                }
+            }
+        }
+        let route_ctx = route.context();
+        let keep_ctx = route_ctx.trace_id().is_some();
+        let mut fanout = 0usize;
+        let mut dropped = 0i64;
+        for gid in &group_ids {
+            // The topic list and the group map are kept in sync; a
+            // missing entry means the group raced away — skip.
+            let Some(g) = st.groups.get_mut(gid) else {
+                continue;
+            };
+            if g.queue.len() >= g.config.capacity {
+                // Only reachable under DropOldest.
+                g.queue.pop_front();
+                g.stats.dropped += 1;
+                dropped += 1;
+            }
+            let offset = g.next_offset;
+            g.next_offset += 1;
+            if g.config.retain > 0 {
+                g.log.push_back(Retained {
+                    offset,
+                    message: message.clone(),
+                    trace: route_ctx.trace_id(),
+                });
+                while g.log.len() > g.config.retain {
+                    g.log.pop_front();
+                }
+            }
+            g.queue.push_back(Pending {
+                message: message.clone(),
+                attempts: 0,
+                since: started,
+                offset,
+                not_before: None,
+                trace: route_ctx.trace_id(),
+                ctx: keep_ctx.then(|| route_ctx.clone()),
+                deliver_span: keep_ctx.then(|| route_ctx.child("bus.deliver")),
+            });
+            g.stats.enqueued += 1;
+            fanout += 1;
+        }
+        st.stats.published += 1;
+        st.stats.fanned_out += fanout as u64;
+        drop(st);
+        route.finish();
+        if let Some(t) = &self.telemetry {
+            t.published.inc();
+            t.fanned_out.add(fanout as u64);
+            t.queue_depth.add(fanout as i64 - dropped);
+            t.publish_latency.record_duration(started.elapsed());
+        }
+        self.arrivals.notify_all();
+        Ok(PublishOutcome::Routed(fanout))
+    }
+
+    /// Run `f` with the member's group temporarily removed from the
+    /// map, so the closure can touch both group and broker state.
+    fn with_member<R>(
         &self,
         id: SubscriptionId,
-        f: impl FnOnce(&mut State<M>, &mut SubState<M>) -> R,
+        f: impl FnOnce(&mut State<M>, &mut GroupState<M>) -> CssResult<R>,
     ) -> CssResult<R> {
         let mut st = self.state.lock();
-        let mut sub = match st.subs.remove(&id) {
-            Some(s) => s,
-            None => return Err(CssError::Bus(format!("unknown subscription {id}"))),
+        let Some(&gid) = st.members.get(&id) else {
+            return Err(unknown_sub(id));
         };
-        let out = f(&mut st, &mut sub);
-        st.subs.insert(id, sub);
-        Ok(out)
+        let Some(mut group) = st.groups.remove(&gid) else {
+            return Err(unknown_sub(id));
+        };
+        let out = f(&mut st, &mut group);
+        st.groups.insert(gid, group);
+        out
+    }
+
+    /// Requeue or dead-letter every expired in-flight delivery of one
+    /// group. Returns how many moved.
+    fn sweep_group(&self, st: &mut State<M>, group: &mut GroupState<M>, now: Instant) -> usize {
+        let expired: Vec<u64> = group
+            .in_flight
+            .iter()
+            .filter(|(_, f)| f.expires.is_some_and(|e| e <= now))
+            .map(|(d, _)| *d)
+            .collect();
+        let mut moved = 0usize;
+        for delivery_id in expired {
+            let Some(f) = group.in_flight.remove(&delivery_id) else {
+                continue;
+            };
+            group.stats.timed_out += 1;
+            if let Some(t) = &self.telemetry {
+                t.inflight.dec();
+            }
+            self.retire_or_requeue(st, group, f.holder, f.pending, None);
+            moved += 1;
+        }
+        moved
+    }
+
+    /// A message leaving in-flight without an ack: back to the queue
+    /// for another attempt, or to the dead-letter queue when the
+    /// attempt budget is spent.
+    fn retire_or_requeue(
+        &self,
+        st: &mut State<M>,
+        group: &mut GroupState<M>,
+        holder: SubscriptionId,
+        mut pending: Pending<M>,
+        not_before: Option<Instant>,
+    ) {
+        if pending.attempts >= group.config.max_attempts {
+            group.stats.dead_lettered += 1;
+            st.dlq.push(DeadLetter {
+                subscription: holder,
+                topic: group.topic.clone(),
+                group: group.name.clone(),
+                attempts: pending.attempts,
+                trace: pending.trace,
+                message: pending.message,
+            });
+        } else {
+            pending.deliver_span = redeliver_span(&pending);
+            pending.not_before = not_before;
+            group.queue.push_front(pending);
+            if let Some(t) = &self.telemetry {
+                t.queue_depth.inc();
+            }
+        }
     }
 
     pub(crate) fn poll(&self, id: SubscriptionId) -> CssResult<Option<Delivery<M>>> {
-        self.with_sub(id, |st, sub| match sub.queue.pop_front() {
-            None => None,
-            Some(mut pending) => {
-                pending.attempts += 1;
-                let delivery_id = st.next_delivery;
-                st.next_delivery += 1;
-                if let Some(span) = pending.deliver_span.take() {
-                    span.finish();
-                }
-                let delivery = Delivery {
-                    delivery_id,
-                    attempt: pending.attempts,
-                    trace: pending.trace,
-                    message: pending.message.clone(),
-                };
-                if pending.attempts > 1 {
-                    sub.stats.redelivered += 1;
-                }
-                sub.stats.delivered += 1;
-                if let Some(t) = &self.telemetry {
-                    let now = Instant::now();
-                    t.deliver_latency
-                        .record_duration(now.duration_since(pending.since));
-                    t.queue_depth.dec();
-                    // Re-stamp: from here `since` means "delivered at".
-                    pending.since = now;
-                }
-                sub.in_flight.insert(delivery_id, pending);
-                Some(delivery)
+        let now = Instant::now();
+        self.with_member(id, |st, group| {
+            self.sweep_group(st, group, now);
+            // First queued message past its backoff; later entries may
+            // be ready while a freshly-nacked head still backs off.
+            let ready = group
+                .queue
+                .iter()
+                .position(|p| p.not_before.is_none_or(|t| t <= now));
+            let Some(idx) = ready else {
+                return Ok(None);
+            };
+            let Some(mut pending) = group.queue.remove(idx) else {
+                return Ok(None);
+            };
+            pending.attempts += 1;
+            let delivery_id = st.next_delivery;
+            st.next_delivery += 1;
+            if let Some(span) = pending.deliver_span.take() {
+                span.finish();
             }
+            let delivery = Delivery {
+                delivery_id,
+                attempt: pending.attempts,
+                offset: pending.offset,
+                trace: pending.trace,
+                message: pending.message.clone(),
+            };
+            if pending.attempts > 1 {
+                group.stats.redelivered += 1;
+                if let Some(t) = &self.telemetry {
+                    t.redelivered.inc();
+                }
+            }
+            group.stats.delivered += 1;
+            if let Some(t) = &self.telemetry {
+                t.deliver_latency
+                    .record_duration(now.saturating_duration_since(pending.since));
+                t.queue_depth.dec();
+                t.inflight.inc();
+            }
+            // Re-stamp: from here `since` means "delivered at".
+            pending.since = now;
+            let expires = group.config.visibility_timeout.map(|d| now + d);
+            group.in_flight.insert(
+                delivery_id,
+                InFlight {
+                    pending,
+                    holder: id,
+                    expires,
+                },
+            );
+            Ok(Some(delivery))
         })
     }
 
@@ -371,93 +784,207 @@ impl<M: Clone + Send> Inner<M> {
         id: SubscriptionId,
         timeout: Duration,
     ) -> CssResult<Option<Delivery<M>>> {
-        let deadline = std::time::Instant::now() + timeout;
+        let deadline = Instant::now() + timeout;
         loop {
             if let Some(d) = self.poll(id)? {
                 return Ok(Some(d));
             }
             let mut st = self.state.lock();
-            if !st.subs.contains_key(&id) {
-                return Err(CssError::Bus(format!("unknown subscription {id}")));
+            let Some(&gid) = st.members.get(&id) else {
+                return Err(unknown_sub(id));
+            };
+            // Re-check readiness under the lock to avoid a lost wakeup,
+            // and find the earliest backoff/visibility deadline so the
+            // wait wakes when a message becomes redeliverable.
+            let now = Instant::now();
+            let mut ready = false;
+            let mut next_event: Option<Instant> = None;
+            if let Some(group) = st.groups.get(&gid) {
+                for p in &group.queue {
+                    match p.not_before {
+                        None => ready = true,
+                        Some(t) if t <= now => ready = true,
+                        Some(t) => next_event = Some(next_event.map_or(t, |n| n.min(t))),
+                    }
+                }
+                for f in group.in_flight.values() {
+                    if let Some(t) = f.expires {
+                        if t <= now {
+                            ready = true;
+                        } else {
+                            next_event = Some(next_event.map_or(t, |n| n.min(t)));
+                        }
+                    }
+                }
             }
-            // Re-check emptiness under the lock to avoid a lost wakeup.
-            if !st.subs[&id].queue.is_empty() {
+            if ready {
                 continue;
             }
-            let timed_out = self.arrivals.wait_until(&mut st, deadline).timed_out();
-            if timed_out {
-                drop(st);
+            let target = next_event.map_or(deadline, |n| n.min(deadline));
+            let timed_out = self.arrivals.wait_until(&mut st, target).timed_out();
+            drop(st);
+            if timed_out && Instant::now() >= deadline {
                 return self.poll(id);
             }
         }
     }
 
     pub(crate) fn ack(&self, id: SubscriptionId, delivery_id: u64) -> CssResult<()> {
-        self.with_sub(id, |_st, sub| {
-            if let Some(pending) = sub.in_flight.remove(&delivery_id) {
-                sub.stats.acked += 1;
-                if let Some(t) = &self.telemetry {
-                    t.ack_latency.record_duration(pending.since.elapsed());
+        self.with_member(id, |_st, group| {
+            match group.in_flight.get(&delivery_id) {
+                Some(f) if f.holder == id => {}
+                Some(_) => {
+                    return Err(CssError::Bus(format!(
+                        "delivery {delivery_id} is held by another group member"
+                    )))
                 }
-                Ok(())
-            } else {
-                Err(CssError::Bus(format!(
-                    "no in-flight delivery {delivery_id}"
-                )))
-            }
-        })?
-    }
-
-    pub(crate) fn nack(&self, id: SubscriptionId, delivery_id: u64) -> CssResult<()> {
-        self.with_sub(id, |st, sub| {
-            let pending = match sub.in_flight.remove(&delivery_id) {
-                Some(p) => p,
                 None => {
                     return Err(CssError::Bus(format!(
                         "no in-flight delivery {delivery_id}"
                     )))
                 }
+            }
+            let Some(f) = group.in_flight.remove(&delivery_id) else {
+                return Err(CssError::Bus(format!(
+                    "no in-flight delivery {delivery_id}"
+                )));
             };
-            if pending.attempts >= sub.config.max_attempts {
-                sub.stats.dead_lettered += 1;
-                st.dlq.push(DeadLetter {
-                    subscription: id,
-                    topic: sub.topic.clone(),
-                    attempts: pending.attempts,
-                    message: pending.message,
-                });
-            } else {
-                sub.queue.push_front(pending);
-                if let Some(t) = &self.telemetry {
-                    t.queue_depth.inc();
-                }
+            group.stats.acked += 1;
+            if let Some(t) = &self.telemetry {
+                t.ack_latency.record_duration(f.pending.since.elapsed());
+                t.inflight.dec();
             }
             Ok(())
-        })?
-    }
-
-    pub(crate) fn backlog(&self, id: SubscriptionId) -> CssResult<usize> {
-        self.with_sub(id, |_st, sub| sub.queue.len())
-    }
-
-    pub(crate) fn sub_stats(&self, id: SubscriptionId) -> CssResult<SubscriptionStats> {
-        self.with_sub(id, |_st, sub| sub.stats)
-    }
-
-    pub(crate) fn unsubscribe(&self, id: SubscriptionId) -> CssResult<()> {
-        let mut st = self.state.lock();
-        let sub = st
-            .subs
-            .remove(&id)
-            .ok_or_else(|| CssError::Bus(format!("unknown subscription {id}")))?;
-        if let Some(ids) = st.topics.get_mut(&sub.topic) {
-            ids.retain(|s| *s != id);
-        }
-        if let Some(t) = &self.telemetry {
-            t.queue_depth.sub(sub.queue.len() as i64);
-        }
+        })?;
         Ok(())
     }
+
+    pub(crate) fn nack(&self, id: SubscriptionId, delivery_id: u64) -> CssResult<()> {
+        let now = Instant::now();
+        self.with_member(id, |st, group| {
+            match group.in_flight.get(&delivery_id) {
+                Some(f) if f.holder == id => {}
+                Some(_) => {
+                    return Err(CssError::Bus(format!(
+                        "delivery {delivery_id} is held by another group member"
+                    )))
+                }
+                None => {
+                    return Err(CssError::Bus(format!(
+                        "no in-flight delivery {delivery_id}"
+                    )))
+                }
+            }
+            let Some(f) = group.in_flight.remove(&delivery_id) else {
+                return Err(CssError::Bus(format!(
+                    "no in-flight delivery {delivery_id}"
+                )));
+            };
+            if let Some(t) = &self.telemetry {
+                t.inflight.dec();
+            }
+            let not_before = backoff_until(&group.config, f.pending.attempts, now);
+            self.retire_or_requeue(st, group, id, f.pending, not_before);
+            Ok(())
+        })?;
+        self.arrivals.notify_all();
+        Ok(())
+    }
+
+    fn replay_from(&self, id: SubscriptionId, offset: u64) -> CssResult<usize> {
+        let now = Instant::now();
+        let replayed = self.with_member(id, |_st, group| {
+            if group.config.retain == 0 {
+                return Err(CssError::Bus(
+                    "replay requires a subscription with retain > 0".into(),
+                ));
+            }
+            let mut n = 0usize;
+            for r in group.log.iter().filter(|r| r.offset >= offset) {
+                group.queue.push_back(Pending {
+                    message: r.message.clone(),
+                    attempts: 0,
+                    since: now,
+                    offset: r.offset,
+                    not_before: None,
+                    trace: r.trace,
+                    ctx: None,
+                    deliver_span: None,
+                });
+                n += 1;
+            }
+            group.stats.replayed += n as u64;
+            if let Some(t) = &self.telemetry {
+                t.queue_depth.add(n as i64);
+            }
+            Ok(n)
+        })?;
+        self.arrivals.notify_all();
+        Ok(replayed)
+    }
+
+    fn sweep_all(&self) -> usize {
+        let now = Instant::now();
+        let mut st = self.state.lock();
+        let gids: Vec<GroupId> = st.groups.keys().copied().collect();
+        let mut moved = 0usize;
+        for gid in gids {
+            let Some(mut group) = st.groups.remove(&gid) else {
+                continue;
+            };
+            moved += self.sweep_group(&mut st, &mut group, now);
+            st.groups.insert(gid, group);
+        }
+        drop(st);
+        if moved > 0 {
+            self.arrivals.notify_all();
+        }
+        moved
+    }
+}
+
+/// A `bus.redeliver` span under the message's original trace, opened
+/// when a delivery returns to the queue; closes at the next poll so the
+/// trace tree shows each redelivery hop and its queue time.
+fn redeliver_span<M>(pending: &Pending<M>) -> Option<SpanGuard> {
+    pending.ctx.as_ref().map(|c| c.child("bus.redeliver"))
+}
+
+/// Exponential redelivery backoff: base × 2^(attempts-1), capped.
+fn backoff_until(config: &SubscriptionConfig, attempts: u32, now: Instant) -> Option<Instant> {
+    if config.redelivery_backoff.is_zero() {
+        return None;
+    }
+    let exp = attempts.saturating_sub(1).min(MAX_BACKOFF_EXP);
+    Some(now + config.redelivery_backoff.saturating_mul(1u32 << exp))
+}
+
+fn new_group<M>(
+    st: &mut State<M>,
+    topic: &str,
+    name: Option<String>,
+    config: SubscriptionConfig,
+) -> GroupId {
+    let gid = st.next_group;
+    st.next_group += 1;
+    st.groups.insert(
+        gid,
+        GroupState {
+            topic: topic.to_string(),
+            name,
+            config,
+            members: Vec::new(),
+            queue: VecDeque::new(),
+            in_flight: HashMap::new(),
+            log: VecDeque::new(),
+            next_offset: 0,
+            stats: SubscriptionStats::default(),
+        },
+    );
+    if let Some(topic_state) = st.topics.get_mut(topic) {
+        topic_state.groups.push(gid);
+    }
+    gid
 }
 
 #[cfg(test)]
@@ -527,8 +1054,10 @@ mod tests {
         let d = s.poll().unwrap().unwrap();
         // Queue is drained but message not acked.
         assert!(s.poll().unwrap().is_none());
+        assert_eq!(s.in_flight().unwrap(), 1);
         s.ack(d.delivery_id).unwrap();
         assert!(s.ack(d.delivery_id).is_err(), "double ack");
+        assert_eq!(s.in_flight().unwrap(), 0);
     }
 
     #[test]
@@ -708,14 +1237,20 @@ mod tests {
         assert_eq!(snap.counter("bus.published"), 3);
         assert_eq!(snap.counter("bus.fanned_out"), 6);
         assert_eq!(snap.gauge("bus.queue_depth"), 3);
+        assert_eq!(snap.gauge("bus.inflight"), 0);
         assert_eq!(snap.histogram("bus.publish").unwrap().count, 3);
         assert_eq!(snap.histogram("bus.deliver").unwrap().count, 3);
         assert_eq!(snap.histogram("bus.ack").unwrap().count, 3);
 
-        // A nack re-queues (depth up), dropping the sub clears it.
+        // A poll moves depth to in-flight; a nack moves it back.
         let d = s2.poll().unwrap().unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("bus.queue_depth"), 2);
+        assert_eq!(snap.gauge("bus.inflight"), 1);
         s2.nack(d.delivery_id).unwrap();
-        assert_eq!(registry.snapshot().gauge("bus.queue_depth"), 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("bus.queue_depth"), 3);
+        assert_eq!(snap.gauge("bus.inflight"), 0);
         s2.unsubscribe().unwrap();
         assert_eq!(registry.snapshot().gauge("bus.queue_depth"), 0);
     }
@@ -732,7 +1267,7 @@ mod tests {
         let tracer = Tracer::new(64);
         let root = tracer.root("publish", Timestamp(7));
         let ctx = root.context();
-        b.publish_traced("blood-test", "m".into(), Some(&ctx))
+        b.publish_opts("blood-test", "m".into(), PublishOptions::new().traced(&ctx))
             .unwrap();
         root.finish();
 
@@ -748,6 +1283,18 @@ mod tests {
         let deliver = spans.iter().find(|s| s.name == "bus.deliver").unwrap();
         assert_eq!(deliver.parent, Some(route.id));
         assert!(spans.iter().all(|s| Some(s.trace) == ctx.trace_id()));
+    }
+
+    #[test]
+    fn deprecated_publish_traced_still_delegates() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        #[allow(deprecated)]
+        let n = b.publish_traced("blood-test", "m".into(), None).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(s.drain().unwrap(), vec!["m"]);
     }
 
     #[test]
@@ -785,6 +1332,365 @@ mod tests {
         assert_eq!(s.drain().unwrap().len(), 1);
         assert_eq!(b.topics(), vec!["blood-test"]);
     }
+
+    // ------------------------------------------------------------------
+    // Delivery groups
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn group_members_share_one_queue() {
+        let b = broker();
+        let a = b
+            .subscribe_group("blood-test", "workers", SubscriptionConfig::default())
+            .unwrap();
+        let c = b
+            .subscribe_group("blood-test", "workers", SubscriptionConfig::default())
+            .unwrap();
+        assert_eq!(b.group_count("blood-test"), 1);
+        assert_eq!(b.subscriber_count("blood-test"), 2);
+        // One group → fan-out of 1 per publish.
+        assert_eq!(b.publish("blood-test", "m0".into()).unwrap(), 1);
+        assert_eq!(b.publish("blood-test", "m1".into()).unwrap(), 1);
+        let da = a.poll().unwrap().unwrap();
+        let dc = c.poll().unwrap().unwrap();
+        assert_ne!(da.message, dc.message);
+        assert!(a.poll().unwrap().is_none());
+        assert!(c.poll().unwrap().is_none());
+        a.ack(da.delivery_id).unwrap();
+        c.ack(dc.delivery_id).unwrap();
+        assert_eq!(a.stats().unwrap().acked, 2); // shared group stats
+    }
+
+    #[test]
+    fn same_group_name_on_other_topic_is_distinct() {
+        let b = broker();
+        b.create_topic("other");
+        let a = b
+            .subscribe_group("blood-test", "workers", SubscriptionConfig::default())
+            .unwrap();
+        let c = b
+            .subscribe_group("other", "workers", SubscriptionConfig::default())
+            .unwrap();
+        b.publish("blood-test", "m".into()).unwrap();
+        assert_eq!(a.backlog().unwrap(), 1);
+        assert_eq!(c.backlog().unwrap(), 0);
+    }
+
+    #[test]
+    fn nacked_group_delivery_moves_to_another_member() {
+        let b = broker();
+        let a = b
+            .subscribe_group("blood-test", "workers", SubscriptionConfig::default())
+            .unwrap();
+        let c = b
+            .subscribe_group("blood-test", "workers", SubscriptionConfig::default())
+            .unwrap();
+        b.publish("blood-test", "job".into()).unwrap();
+        let da = a.poll().unwrap().unwrap();
+        assert_eq!(da.attempt, 1);
+        a.nack(da.delivery_id).unwrap();
+        let dc = c.poll().unwrap().unwrap();
+        assert_eq!(dc.message, "job");
+        assert_eq!(dc.attempt, 2);
+        c.ack(dc.delivery_id).unwrap();
+    }
+
+    #[test]
+    fn member_cannot_ack_anothers_delivery() {
+        let b = broker();
+        let a = b
+            .subscribe_group("blood-test", "workers", SubscriptionConfig::default())
+            .unwrap();
+        let c = b
+            .subscribe_group("blood-test", "workers", SubscriptionConfig::default())
+            .unwrap();
+        b.publish("blood-test", "job".into()).unwrap();
+        let da = a.poll().unwrap().unwrap();
+        assert!(c.ack(da.delivery_id).is_err());
+        assert!(c.nack(da.delivery_id).is_err());
+        a.ack(da.delivery_id).unwrap();
+    }
+
+    #[test]
+    fn detaching_member_requeues_its_in_flight_for_peers() {
+        let b = broker();
+        let a = b
+            .subscribe_group("blood-test", "workers", SubscriptionConfig::default())
+            .unwrap();
+        let c = b
+            .subscribe_group("blood-test", "workers", SubscriptionConfig::default())
+            .unwrap();
+        b.publish("blood-test", "job".into()).unwrap();
+        let da = a.poll().unwrap().unwrap();
+        assert_eq!(da.message, "job");
+        a.unsubscribe().unwrap();
+        // The delivery a was holding is now available to c.
+        let dc = c.poll().unwrap().unwrap();
+        assert_eq!(dc.message, "job");
+        assert_eq!(dc.attempt, 2);
+        c.ack(dc.delivery_id).unwrap();
+    }
+
+    #[test]
+    fn last_member_detach_drops_group_and_name() {
+        let b = broker();
+        let a = b
+            .subscribe_group("blood-test", "workers", SubscriptionConfig::default())
+            .unwrap();
+        b.publish("blood-test", "m".into()).unwrap();
+        a.unsubscribe().unwrap();
+        assert_eq!(b.group_count("blood-test"), 0);
+        // Re-joining the same name creates a fresh group (empty queue).
+        let c = b
+            .subscribe_group("blood-test", "workers", SubscriptionConfig::default())
+            .unwrap();
+        assert_eq!(c.backlog().unwrap(), 0);
+    }
+
+    // ------------------------------------------------------------------
+    // Dedup
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn duplicate_dedup_key_is_dropped() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        let first = b
+            .publish_opts(
+                "blood-test",
+                "m".into(),
+                PublishOptions::new().dedup_key("k1"),
+            )
+            .unwrap();
+        assert_eq!(first, PublishOutcome::Routed(1));
+        let second = b
+            .publish_opts(
+                "blood-test",
+                "m-again".into(),
+                PublishOptions::new().dedup_key("k1"),
+            )
+            .unwrap();
+        assert!(second.is_duplicate());
+        assert_eq!(s.drain().unwrap(), vec!["m"]);
+        assert_eq!(b.stats().dedup_dropped, 1);
+        assert_eq!(b.stats().published, 1);
+    }
+
+    #[test]
+    fn distinct_dedup_keys_pass() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        for k in ["a", "b", "c"] {
+            let out = b
+                .publish_opts("blood-test", k.into(), PublishOptions::new().dedup_key(k))
+                .unwrap();
+            assert!(!out.is_duplicate());
+        }
+        assert_eq!(s.drain().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn dedup_window_evicts_oldest_keys() {
+        let b: Broker<u32> = Broker::new();
+        b.create_topic("t");
+        for i in 0..(DEDUP_WINDOW + 1) {
+            let key = format!("k{i}");
+            b.publish_opts("t", i as u32, PublishOptions::new().dedup_key(&key))
+                .unwrap();
+        }
+        // k0 fell out of the window → republishing it is not a duplicate.
+        let out = b
+            .publish_opts("t", 0, PublishOptions::new().dedup_key("k0"))
+            .unwrap();
+        assert!(!out.is_duplicate());
+    }
+
+    #[test]
+    fn rejected_publish_does_not_consume_dedup_key() {
+        let b = broker();
+        let _s = b
+            .subscribe(
+                "blood-test",
+                SubscriptionConfig {
+                    capacity: 1,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        b.publish("blood-test", "fill".into()).unwrap();
+        let err = b.publish_opts(
+            "blood-test",
+            "m".into(),
+            PublishOptions::new().dedup_key("k"),
+        );
+        assert!(err.is_err());
+        // Retry after draining must not be treated as a duplicate.
+        _s.drain().unwrap();
+        let out = b
+            .publish_opts(
+                "blood-test",
+                "m".into(),
+                PublishOptions::new().dedup_key("k"),
+            )
+            .unwrap();
+        assert!(!out.is_duplicate());
+    }
+
+    // ------------------------------------------------------------------
+    // Visibility timeout and backoff
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn expired_visibility_timeout_requeues() {
+        let b = broker();
+        let cfg = SubscriptionConfig {
+            visibility_timeout: Some(Duration::from_millis(20)),
+            ..Default::default()
+        };
+        let s = b.subscribe("blood-test", cfg).unwrap();
+        b.publish("blood-test", "m".into()).unwrap();
+        let d = s.poll().unwrap().unwrap();
+        assert_eq!(d.attempt, 1);
+        std::thread::sleep(Duration::from_millis(30));
+        // The next poll sweeps the expired delivery back first.
+        let d2 = s.poll().unwrap().unwrap();
+        assert_eq!(d2.message, "m");
+        assert_eq!(d2.attempt, 2);
+        assert_eq!(s.stats().unwrap().timed_out, 1);
+        // The original delivery id is gone.
+        assert!(s.ack(d.delivery_id).is_err());
+        s.ack(d2.delivery_id).unwrap();
+    }
+
+    #[test]
+    fn visibility_timeout_exhaustion_dead_letters() {
+        let b = broker();
+        let cfg = SubscriptionConfig {
+            max_attempts: 1,
+            visibility_timeout: Some(Duration::from_millis(10)),
+            ..Default::default()
+        };
+        let s = b.subscribe("blood-test", cfg).unwrap();
+        b.publish("blood-test", "slow".into()).unwrap();
+        let _d = s.poll().unwrap().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(b.sweep(), 1);
+        let dlq = b.dead_letters();
+        assert_eq!(dlq.len(), 1);
+        assert_eq!(dlq[0].message, "slow");
+    }
+
+    #[test]
+    fn nack_backoff_delays_redelivery() {
+        let b = broker();
+        let cfg = SubscriptionConfig {
+            redelivery_backoff: Duration::from_millis(40),
+            ..Default::default()
+        };
+        let s = b.subscribe("blood-test", cfg).unwrap();
+        b.publish("blood-test", "m".into()).unwrap();
+        let d = s.poll().unwrap().unwrap();
+        s.nack(d.delivery_id).unwrap();
+        // Immediately after the nack the message is still backing off.
+        assert!(s.poll().unwrap().is_none());
+        // poll_wait wakes itself when the backoff expires.
+        let d2 = s.poll_wait(Duration::from_secs(5)).unwrap().unwrap();
+        assert_eq!(d2.attempt, 2);
+        s.ack(d2.delivery_id).unwrap();
+    }
+
+    #[test]
+    fn backoff_head_does_not_block_ready_messages() {
+        let b = broker();
+        let cfg = SubscriptionConfig {
+            redelivery_backoff: Duration::from_secs(60),
+            ..Default::default()
+        };
+        let s = b.subscribe("blood-test", cfg).unwrap();
+        b.publish("blood-test", "poison".into()).unwrap();
+        b.publish("blood-test", "fine".into()).unwrap();
+        let d = s.poll().unwrap().unwrap();
+        assert_eq!(d.message, "poison");
+        s.nack(d.delivery_id).unwrap();
+        // "poison" backs off at the front, but "fine" is deliverable.
+        let d2 = s.poll().unwrap().unwrap();
+        assert_eq!(d2.message, "fine");
+        s.ack(d2.delivery_id).unwrap();
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let cfg = SubscriptionConfig {
+            redelivery_backoff: Duration::from_millis(10),
+            ..Default::default()
+        };
+        let now = Instant::now();
+        let b1 = backoff_until(&cfg, 1, now).unwrap();
+        let b3 = backoff_until(&cfg, 3, now).unwrap();
+        assert_eq!(b1 - now, Duration::from_millis(10));
+        assert_eq!(b3 - now, Duration::from_millis(40));
+        // Capped exponent.
+        let b99 = backoff_until(&cfg, 99, now).unwrap();
+        assert_eq!(
+            b99 - now,
+            Duration::from_millis(10) * (1 << MAX_BACKOFF_EXP)
+        );
+        assert!(backoff_until(&SubscriptionConfig::default(), 5, now).is_none());
+    }
+
+    // ------------------------------------------------------------------
+    // Replay
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn replay_requires_retention() {
+        let b = broker();
+        let s = b
+            .subscribe("blood-test", SubscriptionConfig::default())
+            .unwrap();
+        assert!(s.replay_from(0).is_err());
+    }
+
+    #[test]
+    fn replay_from_offset_re_enqueues_suffix() {
+        let b = broker();
+        let cfg = SubscriptionConfig {
+            retain: 16,
+            ..Default::default()
+        };
+        let s = b.subscribe("blood-test", cfg).unwrap();
+        for i in 0..4 {
+            b.publish("blood-test", format!("m{i}")).unwrap();
+        }
+        let first = s.drain().unwrap();
+        assert_eq!(first, vec!["m0", "m1", "m2", "m3"]);
+        let n = s.replay_from(2).unwrap();
+        assert_eq!(n, 2);
+        let replayed = s.drain().unwrap();
+        assert_eq!(replayed, vec!["m2", "m3"]);
+        assert_eq!(s.stats().unwrap().replayed, 2);
+    }
+
+    #[test]
+    fn replay_log_is_bounded() {
+        let b = broker();
+        let cfg = SubscriptionConfig {
+            retain: 2,
+            ..Default::default()
+        };
+        let s = b.subscribe("blood-test", cfg).unwrap();
+        for i in 0..5 {
+            b.publish("blood-test", format!("m{i}")).unwrap();
+        }
+        s.drain().unwrap();
+        // Only the newest 2 are retained.
+        assert_eq!(s.replay_from(0).unwrap(), 2);
+        assert_eq!(s.drain().unwrap(), vec!["m3", "m4"]);
+    }
 }
 
 #[cfg(test)]
@@ -801,9 +1707,8 @@ mod race_tests {
         std::thread::sleep(Duration::from_millis(30));
         s.unsubscribe().unwrap();
         // The waiter must terminate promptly with an error, not block
-        // for the full timeout. Publishing wakes the condvar so the
-        // waiter re-checks and notices the subscription is gone.
-        b.publish("t", "wake".into()).unwrap();
+        // for the full timeout: detach wakes the condvar so the waiter
+        // re-checks and notices the subscription is gone.
         let result = t.join().unwrap();
         assert!(result.is_err());
     }
@@ -820,5 +1725,39 @@ mod race_tests {
         assert!(s2.ack(d1.delivery_id).is_err());
         assert!(s2.nack(d1.delivery_id).is_err());
         s1.ack(d1.delivery_id).unwrap();
+    }
+
+    #[test]
+    fn competing_pollers_never_share_a_delivery() {
+        let b: Broker<u64> = Broker::new();
+        b.create_topic("t");
+        let cfg = SubscriptionConfig {
+            capacity: 10_000,
+            ..Default::default()
+        };
+        let subs: Vec<_> = (0..4)
+            .map(|_| b.subscribe_group("t", "workers", cfg).unwrap())
+            .collect();
+        for i in 0..1_000u64 {
+            b.publish("t", i).unwrap();
+        }
+        let mut threads = Vec::new();
+        for s in subs {
+            threads.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(d) = s.poll().unwrap() {
+                    s.ack(d.delivery_id).unwrap();
+                    got.push(d.message);
+                }
+                got
+            }));
+        }
+        let mut all: Vec<u64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..1_000).collect();
+        assert_eq!(all, expected, "every message delivered exactly once");
     }
 }

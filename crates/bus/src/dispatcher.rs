@@ -10,6 +10,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use css_types::CssResult;
+
+use crate::broker::SubscriptionConfig;
+use crate::driver::Bus;
 use crate::subscription::SubscriberHandle;
 
 /// Control handle for a running dispatcher thread.
@@ -79,10 +83,38 @@ where
     }
 }
 
+/// Spawn `workers` competing dispatchers over one delivery group.
+///
+/// Each worker joins `group` on `topic` and runs its own dispatcher
+/// thread; the bus load-balances messages across them, and a worker's
+/// `Err(())` sends the message to *another* worker (bounded by the
+/// group's `max_attempts`). The handler receives `(worker_index,
+/// message)`.
+pub fn spawn_worker_pool<M, F>(
+    bus: &Bus<M>,
+    topic: &str,
+    group: &str,
+    config: SubscriptionConfig,
+    workers: usize,
+    handler: F,
+) -> CssResult<Vec<DispatcherHandle>>
+where
+    M: Clone + Send + 'static,
+    F: Fn(usize, M) -> Result<(), ()> + Send + Sync + Clone + 'static,
+{
+    let mut handles = Vec::with_capacity(workers);
+    for worker in 0..workers {
+        let sub = bus.subscribe_group(topic, group, config)?;
+        let handler = handler.clone();
+        handles.push(spawn_dispatcher(sub, move |m| handler(worker, m)));
+    }
+    Ok(handles)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::broker::{Broker, SubscriptionConfig};
+    use crate::broker::Broker;
     use std::sync::Mutex;
 
     #[test]
@@ -145,6 +177,32 @@ mod tests {
             let _dispatcher = spawn_dispatcher(sub, |_m| Ok(()));
         } // dropped here; must not hang
         broker.publish("t", 1).unwrap();
+    }
+
+    #[test]
+    fn worker_pool_splits_the_load() {
+        let bus: Bus<u64> = Bus::in_memory();
+        bus.create_topic("jobs");
+        let count = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let sink = count.clone();
+        let pool = spawn_worker_pool(&bus, "jobs", "workers", SubscriptionConfig::default(), 3, {
+            move |_worker, _m| {
+                sink.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        })
+        .unwrap();
+        for i in 0..90u64 {
+            bus.publish("jobs", i, None).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while count.load(Ordering::SeqCst) < 90 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let total: u64 = pool.into_iter().map(|d| d.stop()).sum();
+        // Competing consumers: 90 messages processed once each, not 270.
+        assert_eq!(total, 90);
+        assert_eq!(bus.stats().fanned_out, 90);
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! The pluggable broker contract: [`BusDriver`] and the [`Bus`] facade.
+//!
+//! The platform's delivery substrate is defined as a trait so the
+//! in-memory broker, a recording wrapper, or (later) a networked
+//! multi-site driver can slot in behind the same surface. Two rules
+//! shape the contract:
+//!
+//! - **sync / std-only**: every method is a plain blocking call, so a
+//!   driver can be backed by a mutex, a socket, or a file without
+//!   dragging an async runtime into the platform;
+//! - **payload-blind**: the trait is generic over the message type `M`
+//!   and a driver can only clone and move payloads — it has no way to
+//!   name `DetailMessage` or any other concrete event type, so detail
+//!   confinement holds by construction (enforced by css-lint's
+//!   `detail-confinement` rule over this crate).
+//!
+//! Delivery follows the competing-consumer model: a subscription
+//! attaches to a *delivery group* (solo by default, shared when a group
+//! name is given), each message is delivered to exactly one member of
+//! each group, and an unacknowledged delivery returns to the queue —
+//! via nack, visibility timeout, or member detach — until its attempt
+//! budget is spent and it dead-letters.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use css_trace::TraceContext;
+use css_types::{CssResult, SubscriptionId};
+
+use crate::broker::{Broker, SubscriptionConfig};
+use crate::stats::{BrokerStats, SubscriptionStats};
+use crate::subscription::{DeadLetter, Delivery, SubscriberHandle};
+
+/// Per-publish options: an idempotency key and an optional trace.
+///
+/// Borrowed and `Copy`, so hot paths build one on the stack per call.
+#[derive(Default, Clone, Copy)]
+pub struct PublishOptions<'a> {
+    /// Producer-chosen idempotency key. A publish whose key was already
+    /// seen within the topic's dedup window is dropped, not routed.
+    pub dedup_key: Option<&'a str>,
+    /// Trace to continue: routing and delivery record spans under it.
+    pub trace: Option<&'a TraceContext>,
+}
+
+impl<'a> PublishOptions<'a> {
+    /// Options with no dedup key and no trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach an idempotency key.
+    pub fn dedup_key(mut self, key: &'a str) -> Self {
+        self.dedup_key = Some(key);
+        self
+    }
+
+    /// Continue `ctx`'s trace through routing and delivery.
+    pub fn traced(mut self, ctx: &'a TraceContext) -> Self {
+        self.trace = Some(ctx);
+        self
+    }
+
+    /// [`PublishOptions::traced`] for optionally-traced call sites.
+    pub fn traced_opt(mut self, ctx: Option<&'a TraceContext>) -> Self {
+        self.trace = ctx;
+        self
+    }
+}
+
+/// What happened to a publish.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishOutcome {
+    /// Enqueued for this many delivery groups (0 = no subscribers).
+    Routed(usize),
+    /// Dropped: the dedup key was already seen in the topic's window.
+    DuplicateDropped,
+}
+
+impl PublishOutcome {
+    /// Delivery groups the message was enqueued for (0 for a duplicate).
+    pub fn routed(&self) -> usize {
+        match self {
+            PublishOutcome::Routed(n) => *n,
+            PublishOutcome::DuplicateDropped => 0,
+        }
+    }
+
+    /// Whether the publish was dropped as a duplicate.
+    pub fn is_duplicate(&self) -> bool {
+        matches!(self, PublishOutcome::DuplicateDropped)
+    }
+}
+
+/// The broker contract every delivery substrate implements.
+///
+/// Object-safe and generic over the payload `M`: implementors move
+/// opaque values around and can never inspect or name event types. All
+/// methods are synchronous; blocking behaviour is explicit
+/// ([`BusDriver::poll_wait`]) and everything else returns immediately.
+///
+/// Subscriptions attach to **delivery groups**. `attach(topic, None,
+/// ..)` creates a private group (classic fan-out: every such
+/// subscription sees every message); `attach(topic, Some("workers"),
+/// ..)` joins the named group on that topic, whose members *compete*:
+/// each message goes to exactly one member, load-balanced by pull.
+///
+/// Delivery state machine, per message and group:
+///
+/// ```text
+///   queued --poll--> in-flight --ack-----------------> done
+///     ^                  |
+///     |                  +--nack (attempts left)-----> queued (after backoff)
+///     |                  +--visibility timeout-------> queued
+///     |                  +--member detach------------> queued
+///     |                  +--nack/timeout, no attempts
+///     |                         left ----------------> dead-letter queue
+///     +--replay_from (retained log) — fresh attempt counter
+/// ```
+pub trait BusDriver<M: Clone + Send + 'static>: Send + Sync {
+    /// Declare a topic. Idempotent.
+    fn create_topic(&self, name: &str);
+
+    /// Whether the topic exists.
+    fn has_topic(&self, name: &str) -> bool;
+
+    /// All declared topics, sorted.
+    fn topics(&self) -> Vec<String>;
+
+    /// Attach a subscription to `topic`, joining the named delivery
+    /// `group` (or a private group when `None`). The first member's
+    /// `config` fixes the group's queueing behaviour; later members
+    /// share it.
+    fn attach(
+        &self,
+        topic: &str,
+        group: Option<&str>,
+        config: SubscriptionConfig,
+    ) -> CssResult<SubscriptionId>;
+
+    /// Remove a subscription. Its in-flight deliveries return to the
+    /// queue for the remaining group members; when the last member
+    /// leaves, the group and its queue are discarded.
+    fn detach(&self, id: SubscriptionId) -> CssResult<()>;
+
+    /// Publish a message to every delivery group of `topic`.
+    ///
+    /// With [`crate::OverflowPolicy::Reject`], a single full group
+    /// queue fails the whole publish *before* any enqueue
+    /// (all-or-nothing back-pressure); a rejected publish does not
+    /// consume its dedup key.
+    fn publish_opts(
+        &self,
+        topic: &str,
+        message: M,
+        opts: PublishOptions<'_>,
+    ) -> CssResult<PublishOutcome>;
+
+    /// Take the next available message for this member. Non-blocking.
+    /// Also sweeps the group's visibility timeouts.
+    fn poll(&self, id: SubscriptionId) -> CssResult<Option<Delivery<M>>>;
+
+    /// [`BusDriver::poll`], waiting up to `timeout` for a message —
+    /// including one becoming redeliverable via backoff expiry or a
+    /// visibility timeout.
+    fn poll_wait(&self, id: SubscriptionId, timeout: Duration) -> CssResult<Option<Delivery<M>>>;
+
+    /// Acknowledge a delivery held by this member, retiring it.
+    fn ack(&self, id: SubscriptionId, delivery_id: u64) -> CssResult<()>;
+
+    /// Negatively acknowledge a delivery held by this member: requeue
+    /// for another attempt (after the group's redelivery backoff), or
+    /// dead-letter once attempts are exhausted.
+    fn nack(&self, id: SubscriptionId, delivery_id: u64) -> CssResult<()>;
+
+    /// Messages queued for the member's group (excluding in-flight).
+    fn backlog(&self, id: SubscriptionId) -> CssResult<usize>;
+
+    /// Deliveries of the member's group currently awaiting ack/nack.
+    fn in_flight(&self, id: SubscriptionId) -> CssResult<usize>;
+
+    /// Statistics of the member's delivery group.
+    fn sub_stats(&self, id: SubscriptionId) -> CssResult<SubscriptionStats>;
+
+    /// Re-enqueue retained messages with offset ≥ `offset` for the
+    /// member's group, oldest first, with fresh attempt counters.
+    /// Returns how many were replayed. Errors unless the group was
+    /// configured with `retain > 0`.
+    fn replay_from(&self, id: SubscriptionId, offset: u64) -> CssResult<usize>;
+
+    /// Requeue (or dead-letter) every delivery whose visibility timeout
+    /// has expired, across all groups. Returns how many moved. Polling
+    /// sweeps lazily; this forces a pass for tests and ops tooling.
+    fn sweep(&self) -> usize;
+
+    /// Broker-wide statistics.
+    fn stats(&self) -> BrokerStats;
+
+    /// Snapshot of the dead-letter queue.
+    fn dead_letters(&self) -> Vec<DeadLetter<M>>;
+
+    /// Active member subscriptions across all groups of a topic.
+    fn subscriber_count(&self, topic: &str) -> usize;
+}
+
+/// Handle to a broker behind some [`BusDriver`].
+///
+/// This is what the platform wires through: cheap to clone, driver
+/// chosen at construction ([`Bus::in_memory`] by default, anything else
+/// via [`Bus::from_driver`]). It adds the ergonomic layer the trait
+/// deliberately lacks: typed [`SubscriberHandle`]s and convenience
+/// publish methods.
+pub struct Bus<M: Clone + Send + 'static> {
+    driver: Arc<dyn BusDriver<M>>,
+}
+
+impl<M: Clone + Send + 'static> Clone for Bus<M> {
+    fn clone(&self) -> Self {
+        Bus {
+            driver: Arc::clone(&self.driver),
+        }
+    }
+}
+
+impl<M: Clone + Send + 'static> Default for Bus<M> {
+    fn default() -> Self {
+        Self::in_memory()
+    }
+}
+
+impl<M: Clone + Send + 'static> Bus<M> {
+    /// A bus over the built-in in-memory driver ([`Broker`]).
+    pub fn in_memory() -> Self {
+        Bus {
+            driver: Arc::new(Broker::new()),
+        }
+    }
+
+    /// An in-memory bus recording `bus.*` telemetry into `registry`.
+    pub fn in_memory_with_telemetry(registry: &css_telemetry::MetricsRegistry) -> Self {
+        Bus {
+            driver: Arc::new(Broker::with_telemetry(registry)),
+        }
+    }
+
+    /// A bus over a caller-supplied driver.
+    pub fn from_driver(driver: Arc<dyn BusDriver<M>>) -> Self {
+        Bus { driver }
+    }
+
+    /// The underlying driver.
+    pub fn driver(&self) -> &Arc<dyn BusDriver<M>> {
+        &self.driver
+    }
+
+    /// Declare a topic. Idempotent.
+    pub fn create_topic(&self, name: &str) {
+        self.driver.create_topic(name);
+    }
+
+    /// Whether the topic exists.
+    pub fn has_topic(&self, name: &str) -> bool {
+        self.driver.has_topic(name)
+    }
+
+    /// All declared topics, sorted.
+    pub fn topics(&self) -> Vec<String> {
+        self.driver.topics()
+    }
+
+    /// Subscribe to a topic in a private delivery group (fan-out).
+    pub fn subscribe(
+        &self,
+        topic: &str,
+        config: SubscriptionConfig,
+    ) -> CssResult<SubscriberHandle<M>> {
+        let id = self.driver.attach(topic, None, config)?;
+        Ok(SubscriberHandle::new(Arc::clone(&self.driver), id))
+    }
+
+    /// Join the named competing-consumer group on `topic`.
+    pub fn subscribe_group(
+        &self,
+        topic: &str,
+        group: &str,
+        config: SubscriptionConfig,
+    ) -> CssResult<SubscriberHandle<M>> {
+        let id = self.driver.attach(topic, Some(group), config)?;
+        Ok(SubscriberHandle::new(Arc::clone(&self.driver), id))
+    }
+
+    /// Publish with full options (dedup key, trace).
+    pub fn publish_opts(
+        &self,
+        topic: &str,
+        message: M,
+        opts: PublishOptions<'_>,
+    ) -> CssResult<PublishOutcome> {
+        self.driver.publish_opts(topic, message, opts)
+    }
+
+    /// Publish a message, returning the number of delivery groups it
+    /// was enqueued for. Optionally continues `ctx`'s trace.
+    pub fn publish(&self, topic: &str, message: M, ctx: Option<&TraceContext>) -> CssResult<usize> {
+        self.driver
+            .publish_opts(topic, message, PublishOptions::new().traced_opt(ctx))
+            .map(|o| o.routed())
+    }
+
+    /// Broker-wide statistics.
+    pub fn stats(&self) -> BrokerStats {
+        self.driver.stats()
+    }
+
+    /// Snapshot of the dead-letter queue.
+    pub fn dead_letters(&self) -> Vec<DeadLetter<M>> {
+        self.driver.dead_letters()
+    }
+
+    /// Active member subscriptions across all groups of a topic.
+    pub fn subscriber_count(&self, topic: &str) -> usize {
+        self.driver.subscriber_count(topic)
+    }
+
+    /// Force a visibility-timeout sweep across all groups.
+    pub fn sweep(&self) -> usize {
+        self.driver.sweep()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_options_builder_composes() {
+        let opts = PublishOptions::new().dedup_key("k");
+        assert_eq!(opts.dedup_key, Some("k"));
+        assert!(opts.trace.is_none());
+        assert!(PublishOptions::new().traced_opt(None).trace.is_none());
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        assert_eq!(PublishOutcome::Routed(3).routed(), 3);
+        assert!(!PublishOutcome::Routed(3).is_duplicate());
+        assert_eq!(PublishOutcome::DuplicateDropped.routed(), 0);
+        assert!(PublishOutcome::DuplicateDropped.is_duplicate());
+    }
+
+    #[test]
+    fn bus_facade_routes_through_the_driver() {
+        let bus: Bus<u32> = Bus::in_memory();
+        bus.create_topic("t");
+        assert!(bus.has_topic("t"));
+        let sub = bus.subscribe("t", SubscriptionConfig::default()).unwrap();
+        assert_eq!(bus.publish("t", 7, None).unwrap(), 1);
+        assert_eq!(bus.subscriber_count("t"), 1);
+        let d = sub.poll().unwrap().unwrap();
+        assert_eq!(d.message, 7);
+        sub.ack(d.delivery_id).unwrap();
+        assert_eq!(bus.stats().published, 1);
+    }
+
+    #[test]
+    fn group_subscribers_compete() {
+        let bus: Bus<u32> = Bus::in_memory();
+        bus.create_topic("t");
+        let a = bus
+            .subscribe_group("t", "workers", SubscriptionConfig::default())
+            .unwrap();
+        let b = bus
+            .subscribe_group("t", "workers", SubscriptionConfig::default())
+            .unwrap();
+        // One group → each message routed once, delivered to one member.
+        assert_eq!(bus.publish("t", 1, None).unwrap(), 1);
+        assert_eq!(bus.publish("t", 2, None).unwrap(), 1);
+        let da = a.poll().unwrap().unwrap();
+        let db = b.poll().unwrap().unwrap();
+        assert_ne!(da.message, db.message);
+        assert!(a.poll().unwrap().is_none());
+        a.ack(da.delivery_id).unwrap();
+        b.ack(db.delivery_id).unwrap();
+    }
+}

@@ -4,18 +4,28 @@
 //! current prototype we customized the open source ESB ServiceMix") with
 //! a publish/subscribe model so "many entities can subscribe to the same
 //! type of event" (Section 3). This crate reproduces the integration
-//! semantics that matter to the platform:
+//! semantics that matter to the platform, behind a pluggable driver
+//! contract:
 //!
+//! - the [`BusDriver`] trait — the broker contract (sync, std-only,
+//!   payload-blind) that an in-memory broker, a recording wrapper, or a
+//!   future networked multi-site driver all implement; the platform
+//!   holds a [`Bus`] facade over `Arc<dyn BusDriver>`,
 //! - named **topics** (one per class of events),
-//! - **durable subscriptions** with explicit acknowledgement: a message
-//!   stays owned by the subscription until acked, and a nack (or
-//!   redelivery timeout) puts it back at the front of the queue,
-//! - **bounded queues** per subscription with a configurable overflow
-//!   policy (reject the publish or drop the oldest unclaimed message),
-//! - a **dead-letter queue** for messages that exhaust their delivery
-//!   attempts,
-//! - per-topic and per-subscription **statistics** used by experiments
-//!   E1/E2.
+//! - **delivery groups** with explicit acknowledgement: a private group
+//!   per subscriber gives classic fan-out, while N members of a named
+//!   group *compete* — each message is delivered to exactly one member,
+//!   load-balanced by pull,
+//! - **bounded redelivery**: a nack (with exponential backoff), an
+//!   expired visibility timeout, or a member detach puts the message
+//!   back on the queue for another attempt, up to `max_attempts`, then
+//!   the **dead-letter queue** — with the original publish trace
+//!   preserved,
+//! - publish **dedup keys** (a bounded per-topic idempotency window),
+//!   **bounded queues** per group with a configurable overflow policy,
+//!   and **replay from offset** over a retained log,
+//! - per-group and broker-wide **statistics** used by experiments
+//!   E1/E2/E18.
 //!
 //! The broker is generic over the message type; the data controller
 //! instantiates it with notification messages. Delivery is pull-based
@@ -24,10 +34,14 @@
 
 pub mod broker;
 pub mod dispatcher;
+pub mod driver;
+pub mod recording;
 pub mod stats;
 pub mod subscription;
 
 pub use broker::{Broker, OverflowPolicy, SubscriptionConfig};
-pub use dispatcher::{spawn_dispatcher, DispatcherHandle};
+pub use dispatcher::{spawn_dispatcher, spawn_worker_pool, DispatcherHandle};
+pub use driver::{Bus, BusDriver, PublishOptions, PublishOutcome};
+pub use recording::{BusOp, RecordingDriver};
 pub use stats::{BrokerStats, SubscriptionStats};
 pub use subscription::{DeadLetter, Delivery, SubscriberHandle};

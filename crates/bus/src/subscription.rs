@@ -6,17 +6,20 @@ use std::time::Duration;
 use css_trace::TraceId;
 use css_types::{CssResult, SubscriptionId};
 
-use crate::broker::Inner;
+use crate::driver::BusDriver;
 use crate::stats::SubscriptionStats;
 
-/// One delivery of a message to a subscriber. The message stays owned by
-/// the subscription until [`SubscriberHandle::ack`]'d.
+/// One delivery of a message to a group member. The message stays owned
+/// by the group until [`SubscriberHandle::ack`]'d.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Delivery<M> {
     /// Identifier to pass back to `ack` / `nack`.
     pub delivery_id: u64,
     /// 1-based delivery attempt for this message.
     pub attempt: u32,
+    /// Group-local offset assigned at enqueue; stable across
+    /// redeliveries, usable with [`SubscriberHandle::replay_from`].
+    pub offset: u64,
     /// The causal trace of the publish that enqueued this message, if
     /// it was traced — lets the consumer continue the publisher's tree.
     pub trace: Option<TraceId>,
@@ -27,83 +30,109 @@ pub struct Delivery<M> {
 /// A message that exhausted its delivery attempts.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeadLetter<M> {
-    /// Subscription the message was destined for.
+    /// The member that last held the message before it was given up on.
     pub subscription: SubscriptionId,
     /// Topic it was published on.
     pub topic: String,
+    /// Delivery group it was queued for (`None` for a private group).
+    pub group: Option<String>,
     /// Attempts made before giving up.
     pub attempts: u32,
+    /// The original publish trace, preserved so a dead letter can be
+    /// joined back to its causal record.
+    pub trace: Option<TraceId>,
     /// The message payload.
     pub message: M,
 }
 
-/// Consumer-side handle to one subscription.
+/// Consumer-side handle to one group-member subscription, valid against
+/// any [`BusDriver`].
 ///
 /// Dropping the handle does **not** unsubscribe — subscriptions are
 /// durable, mirroring how a consumer's queue on the ESB outlives any one
 /// connection. Call [`SubscriberHandle::unsubscribe`] to remove it.
-pub struct SubscriberHandle<M: Clone + Send> {
-    pub(crate) inner: Arc<Inner<M>>,
-    pub(crate) id: SubscriptionId,
+pub struct SubscriberHandle<M: Clone + Send + 'static> {
+    driver: Arc<dyn BusDriver<M>>,
+    id: SubscriptionId,
 }
 
-impl<M: Clone + Send> std::fmt::Debug for SubscriberHandle<M> {
+impl<M: Clone + Send + 'static> std::fmt::Debug for SubscriberHandle<M> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "SubscriberHandle({})", self.id)
     }
 }
 
-impl<M: Clone + Send> Clone for SubscriberHandle<M> {
+impl<M: Clone + Send + 'static> Clone for SubscriberHandle<M> {
     fn clone(&self) -> Self {
         SubscriberHandle {
-            inner: Arc::clone(&self.inner),
+            driver: Arc::clone(&self.driver),
             id: self.id,
         }
     }
 }
 
-impl<M: Clone + Send> SubscriberHandle<M> {
+impl<M: Clone + Send + 'static> SubscriberHandle<M> {
+    /// A handle binding subscription `id` to `driver`.
+    pub fn new(driver: Arc<dyn BusDriver<M>>, id: SubscriptionId) -> Self {
+        SubscriberHandle { driver, id }
+    }
+
     /// The subscription's identifier.
     pub fn id(&self) -> SubscriptionId {
         self.id
     }
 
-    /// Take the next message, if one is queued. Non-blocking.
+    /// Take the next message, if one is available. Non-blocking.
     pub fn poll(&self) -> CssResult<Option<Delivery<M>>> {
-        self.inner.poll(self.id)
+        self.driver.poll(self.id)
     }
 
-    /// Take the next message, waiting up to `timeout` for one to arrive.
+    /// Take the next message, waiting up to `timeout` for one to arrive
+    /// (or become redeliverable).
     pub fn poll_wait(&self, timeout: Duration) -> CssResult<Option<Delivery<M>>> {
-        self.inner.poll_wait(self.id, timeout)
+        self.driver.poll_wait(self.id, timeout)
     }
 
     /// Acknowledge a delivery, removing the message for good.
     pub fn ack(&self, delivery_id: u64) -> CssResult<()> {
-        self.inner.ack(self.id, delivery_id)
+        self.driver.ack(self.id, delivery_id)
     }
 
     /// Negatively acknowledge a delivery. The message returns to the
-    /// front of the queue for redelivery, or moves to the dead-letter
-    /// queue once its attempts are exhausted.
+    /// queue for redelivery (to any group member, after the configured
+    /// backoff), or moves to the dead-letter queue once its attempts
+    /// are exhausted.
     pub fn nack(&self, delivery_id: u64) -> CssResult<()> {
-        self.inner.nack(self.id, delivery_id)
+        self.driver.nack(self.id, delivery_id)
     }
 
-    /// Messages currently queued (not counting in-flight deliveries).
+    /// Messages currently queued for the group (not counting in-flight
+    /// deliveries).
     pub fn backlog(&self) -> CssResult<usize> {
-        self.inner.backlog(self.id)
+        self.driver.backlog(self.id)
     }
 
-    /// Statistics for this subscription.
+    /// Deliveries of the group currently awaiting ack/nack.
+    pub fn in_flight(&self) -> CssResult<usize> {
+        self.driver.in_flight(self.id)
+    }
+
+    /// Statistics for this subscription's delivery group.
     pub fn stats(&self) -> CssResult<SubscriptionStats> {
-        self.inner.sub_stats(self.id)
+        self.driver.sub_stats(self.id)
     }
 
-    /// Remove the subscription. Queued and in-flight messages are
-    /// discarded.
+    /// Re-enqueue retained messages with offset ≥ `offset`, oldest
+    /// first. Requires the group to be configured with `retain > 0`.
+    pub fn replay_from(&self, offset: u64) -> CssResult<usize> {
+        self.driver.replay_from(self.id, offset)
+    }
+
+    /// Remove this member. Its in-flight deliveries requeue for the
+    /// remaining group members; the last member leaving discards the
+    /// group's queue.
     pub fn unsubscribe(self) -> CssResult<()> {
-        self.inner.unsubscribe(self.id)
+        self.driver.detach(self.id)
     }
 
     /// Drain every queued message, acking each — convenience for tests

@@ -4,7 +4,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use css_audit::{AuditAction, AuditLog, AuditQuery, AuditRecord, AuditReport};
-use css_bus::{Broker, SubscriberHandle, SubscriptionConfig};
+use css_bus::{Bus, BusDriver, PublishOptions, SubscriberHandle, SubscriptionConfig};
 use css_event::{EventSchema, NotificationMessage};
 use css_policy::{DetailRequest, PolicyDecisionPoint, PrivacyPolicy};
 use css_registry::EventCatalog;
@@ -38,6 +38,12 @@ pub struct ControllerConfig {
     /// deliver, inquiry, detail request → PEP stages). Disabled by
     /// default, making every span a no-op.
     pub tracer: Tracer,
+    /// Bus driver the controller routes notifications through. `None`
+    /// (the default) builds a private in-memory broker instrumented
+    /// against `telemetry`; supply a driver to swap the transport (e.g.
+    /// a [`css_bus::RecordingDriver`] in tests, a networked broker in a
+    /// multi-site deployment).
+    pub bus_driver: Option<Arc<dyn BusDriver<NotificationMessage>>>,
 }
 
 impl ControllerConfig {
@@ -49,6 +55,7 @@ impl ControllerConfig {
             clock,
             telemetry: MetricsRegistry::new(),
             tracer: Tracer::disabled(),
+            bus_driver: None,
         }
     }
 
@@ -63,6 +70,14 @@ impl ControllerConfig {
     /// land in a shared collector.
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Route notifications through the given driver instead of a
+    /// private in-memory broker. The driver is payload-blind; detail
+    /// confinement holds regardless of the transport chosen here.
+    pub fn with_bus_driver(mut self, driver: Arc<dyn BusDriver<NotificationMessage>>) -> Self {
+        self.bus_driver = Some(driver);
         self
     }
 }
@@ -84,7 +99,7 @@ pub struct DataController<B: LogBackend> {
     actors: ActorRegistry,
     contracts: ContractRegistry,
     catalog: EventCatalog,
-    bus: Broker<NotificationMessage>,
+    bus: Bus<NotificationMessage>,
     index: EventsIndex<B>,
     pdp: PolicyDecisionPoint,
     consent: ConsentRegistry,
@@ -132,7 +147,10 @@ impl<B: LogBackend> DataController<B> {
             actors: ActorRegistry::new(),
             contracts: ContractRegistry::new(),
             catalog: EventCatalog::new(),
-            bus: Broker::with_telemetry(&config.telemetry),
+            bus: match config.bus_driver {
+                Some(driver) => Bus::from_driver(driver),
+                None => Bus::in_memory_with_telemetry(&config.telemetry),
+            },
             index,
             pdp: PolicyDecisionPoint::new(),
             consent: ConsentRegistry::new(),
@@ -211,7 +229,7 @@ impl<B: LogBackend> DataController<B> {
     ) -> CssResult<()> {
         self.contracts.require_producer(schema.producer)?;
         self.catalog.declare(schema, domain)?;
-        self.bus.create_topic(schema.id.to_string());
+        self.bus.create_topic(&schema.id.to_string());
         Ok(())
     }
 
@@ -316,6 +334,32 @@ impl<B: LogBackend> DataController<B> {
         consumer: ActorId,
         event_type: &EventTypeId,
     ) -> CssResult<SubscriberHandle<NotificationMessage>> {
+        self.subscribe_inner(consumer, event_type, None)
+    }
+
+    /// Consumer subscribes a *worker group*: every call with the same
+    /// `group` name joins one competing-consumer group, so N workers of
+    /// the same organization split the notification stream instead of
+    /// each receiving every message. The group is scoped to the consumer
+    /// (two organizations using the same group name never share a
+    /// queue), and each member passes the same deny-by-default
+    /// authorization gate as [`DataController::subscribe`].
+    pub fn subscribe_grouped(
+        &mut self,
+        consumer: ActorId,
+        event_type: &EventTypeId,
+        group: &str,
+    ) -> CssResult<SubscriberHandle<NotificationMessage>> {
+        let scoped = format!("{consumer}:{group}");
+        self.subscribe_inner(consumer, event_type, Some(&scoped))
+    }
+
+    fn subscribe_inner(
+        &mut self,
+        consumer: ActorId,
+        event_type: &EventTypeId,
+        group: Option<&str>,
+    ) -> CssResult<SubscriberHandle<NotificationMessage>> {
         self.contracts.require_consumer(
             self.actors
                 .organization_of(consumer)
@@ -335,9 +379,13 @@ impl<B: LogBackend> DataController<B> {
             )?;
             return Err(CssError::AccessDenied(DenyReason::NoMatchingPolicy));
         }
-        let handle = self
-            .bus
-            .subscribe(&event_type.to_string(), self.subscription_config)?;
+        let topic = event_type.to_string();
+        let handle = match group {
+            Some(g) => self
+                .bus
+                .subscribe_group(&topic, g, self.subscription_config)?,
+            None => self.bus.subscribe(&topic, self.subscription_config)?,
+        };
         self.subscribers
             .insert(handle.id(), (consumer, event_type.clone()));
         self.audit.append(
@@ -358,33 +406,20 @@ impl<B: LogBackend> DataController<B> {
     /// consent-checked, indexed (identity sealed) and routed to every
     /// authorized subscriber. The detail message must already be
     /// persisted in the producer's gateway under `src_event_id`.
-    pub fn publish(
-        &mut self,
-        producer: ActorId,
-        person: PersonIdentity,
-        description: String,
-        event_type: EventTypeId,
-        occurred_at: Timestamp,
-        src_event_id: SourceEventId,
-    ) -> CssResult<PublishReceipt> {
-        self.publish_traced(
-            producer,
-            person,
-            description,
-            event_type,
-            occurred_at,
-            src_event_id,
-            None,
-        )
-    }
-
-    /// [`DataController::publish`], continuing `parent` when given or
-    /// minting a fresh `publish` root span otherwise. The span covers
+    ///
+    /// `(producer, src_event_id)` doubles as the publish **idempotency
+    /// key**: re-publishing the same source event (a producer retry
+    /// after a timeout, a crash-recovery replay) is dropped by the bus's
+    /// dedup window and reported as [`CssError::AlreadyExists`] instead
+    /// of notifying every consumer twice.
+    ///
+    /// When `parent` is given the publish continues that trace;
+    /// otherwise a fresh `publish` root span is minted. The span covers
     /// the consent gate through the audit group commit; `bus.route`,
     /// `bus.deliver` and `index.insert` become children, and the trace
     /// id is stamped into the Publish and Delivery audit records.
     #[allow(clippy::too_many_arguments)]
-    pub fn publish_traced(
+    pub fn publish(
         &mut self,
         producer: ActorId,
         person: PersonIdentity,
@@ -439,10 +474,24 @@ impl<B: LogBackend> DataController<B> {
             occurred_at,
             producer,
         };
-        // Route first (all-or-nothing on overflow), then index.
+        // Route first (all-or-nothing on overflow), then index. The
+        // dedup key makes producer retries idempotent at the bus.
         let ctx = span.context();
-        self.bus
-            .publish_traced(&event_type.to_string(), notification.clone(), Some(&ctx))?;
+        let dedup_key = format!("{producer}:{src_event_id}");
+        let outcome = self.bus.publish_opts(
+            &event_type.to_string(),
+            notification.clone(),
+            PublishOptions::new().dedup_key(&dedup_key).traced(&ctx),
+        )?;
+        if outcome.is_duplicate() {
+            timer.stage("route");
+            span.set_status(SpanStatus::Error);
+            span.finish();
+            self.telemetry.counter("controller.publish_deduped").inc();
+            return Err(CssError::AlreadyExists(format!(
+                "source event {src_event_id} of {producer} was already published"
+            )));
+        }
         timer.stage("route");
         let notified: HashSet<ActorId> = self
             .subscribers
@@ -485,6 +534,30 @@ impl<B: LogBackend> DataController<B> {
             global_id,
             notified,
         })
+    }
+
+    /// [`DataController::publish`] under its pre-consolidation name.
+    #[allow(clippy::too_many_arguments)]
+    #[deprecated(note = "use publish with an optional parent TraceContext")]
+    pub fn publish_traced(
+        &mut self,
+        producer: ActorId,
+        person: PersonIdentity,
+        description: String,
+        event_type: EventTypeId,
+        occurred_at: Timestamp,
+        src_event_id: SourceEventId,
+        parent: Option<&TraceContext>,
+    ) -> CssResult<PublishReceipt> {
+        self.publish(
+            producer,
+            person,
+            description,
+            event_type,
+            occurred_at,
+            src_event_id,
+            parent,
+        )
     }
 
     // ---- index inquiry ----------------------------------------------------
@@ -733,5 +806,20 @@ impl<B: LogBackend> DataController<B> {
     /// Bus statistics.
     pub fn bus_stats(&self) -> css_bus::BrokerStats {
         self.bus.stats()
+    }
+
+    /// Notifications that exhausted their redelivery budget, with the
+    /// delivery group and original publish trace that dead-lettered
+    /// them.
+    pub fn bus_dead_letters(&self) -> Vec<css_bus::DeadLetter<NotificationMessage>> {
+        self.bus.dead_letters()
+    }
+
+    /// Move expired in-flight deliveries back onto their queues (or to
+    /// the dead-letter queue once attempts are exhausted); returns how
+    /// many were moved. Polling consumers sweep lazily; an idle
+    /// deployment can call this from its ops loop.
+    pub fn bus_sweep(&self) -> usize {
+        self.bus.sweep()
     }
 }

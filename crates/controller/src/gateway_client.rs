@@ -18,24 +18,25 @@ use parking_lot::Mutex;
 
 /// What the data controller may ask of a producer's gateway.
 pub trait GatewayClient: Send {
-    /// Algorithm 2: the field-filtered details of one event.
+    /// Algorithm 2: the field-filtered details of one event. When `ctx`
+    /// is given the endpoint continues the caller's trace; an endpoint
+    /// that cannot carry spans may ignore it.
     fn get_response(
         &self,
         src_event_id: SourceEventId,
         allowed: &BTreeSet<String>,
+        ctx: Option<&TraceContext>,
     ) -> CssResult<EventDetails>;
 
-    /// [`GatewayClient::get_response`], continuing the caller's trace.
-    /// The default ignores the context — a remote endpoint that cannot
-    /// carry spans still satisfies the trait; the in-process gateway
-    /// overrides it to emit its Algorithm 2 stage spans.
+    /// [`GatewayClient::get_response`] under its pre-consolidation name.
+    #[deprecated(note = "use get_response with an optional TraceContext")]
     fn get_response_traced(
         &self,
         src_event_id: SourceEventId,
         allowed: &BTreeSet<String>,
-        _ctx: Option<&TraceContext>,
+        ctx: Option<&TraceContext>,
     ) -> CssResult<EventDetails> {
-        self.get_response(src_event_id, allowed)
+        self.get_response(src_event_id, allowed, ctx)
     }
 }
 
@@ -47,17 +48,9 @@ impl<B: LogBackend> GatewayClient for SharedGateway<B> {
         &self,
         src_event_id: SourceEventId,
         allowed: &BTreeSet<String>,
-    ) -> CssResult<EventDetails> {
-        self.lock().get_response(src_event_id, allowed)
-    }
-
-    fn get_response_traced(
-        &self,
-        src_event_id: SourceEventId,
-        allowed: &BTreeSet<String>,
         ctx: Option<&TraceContext>,
     ) -> CssResult<EventDetails> {
-        self.lock().get_response_traced(src_event_id, allowed, ctx)
+        self.lock().get_response(src_event_id, allowed, ctx)
     }
 }
 
@@ -86,7 +79,9 @@ mod tests {
         let shared: SharedGateway<MemBackend> = Arc::new(Mutex::new(gw));
         let client: &dyn GatewayClient = &shared;
         let allowed: BTreeSet<String> = ["A".to_string()].into_iter().collect();
-        let details = client.get_response(SourceEventId(1), &allowed).unwrap();
+        let details = client
+            .get_response(SourceEventId(1), &allowed, None)
+            .unwrap();
         assert_eq!(
             details.get("A").unwrap(),
             &FieldValue::Text("visible".into())

@@ -196,23 +196,20 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                         )));
                     }
                 };
-                let details = match gateway.get_response_traced(
-                    src_event_id,
-                    &allowed_fields,
-                    Some(&self.trace),
-                ) {
-                    Ok(d) => d,
-                    Err(e) => {
-                        timer.stage("gateway_retrieve");
-                        denies.inc();
-                        self.audit.append(
-                            audit_base()
-                                .person(notification.person.id)
-                                .denied(format!("gateway failure: {e}")),
-                        )?;
-                        return Err(e);
-                    }
-                };
+                let details =
+                    match gateway.get_response(src_event_id, &allowed_fields, Some(&self.trace)) {
+                        Ok(d) => d,
+                        Err(e) => {
+                            timer.stage("gateway_retrieve");
+                            denies.inc();
+                            self.audit.append(
+                                audit_base()
+                                    .person(notification.person.id)
+                                    .denied(format!("gateway failure: {e}")),
+                            )?;
+                            return Err(e);
+                        }
+                    };
                 timer.stage("gateway_retrieve");
                 let span = self.trace.child("pep.obligation_filter");
                 let response = PrivacyAwareEvent::release(

@@ -117,6 +117,7 @@ fn publish_event(w: &mut World, src: u64) -> css_types::GlobalEventId {
             EventTypeId::v1("blood-test"),
             w.clock.now(),
             SourceEventId(src),
+            None,
         )
         .unwrap();
     receipt.global_id
@@ -345,6 +346,7 @@ fn opt_out_blocks_publication() {
             EventTypeId::v1("blood-test"),
             w.clock.now(),
             SourceEventId(1),
+            None,
         )
         .unwrap_err();
     assert!(matches!(err, CssError::ConsentWithheld(_)));

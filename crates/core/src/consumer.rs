@@ -9,6 +9,35 @@ use crate::pending::{AccessRequest, AccessRequestStatus};
 use crate::platform::{SharedController, SharedPending};
 use crate::provider::BackendProvider;
 
+/// One notification taken off a subscription, with its delivery
+/// metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivered {
+    /// The notification payload.
+    pub message: NotificationMessage,
+    /// The causal trace of the publish that routed the notification
+    /// (present when the producer published under an enabled tracer) —
+    /// hand it to `ProcessMonitor::feed_traced` to join monitoring KPIs
+    /// back to span trees and audit records.
+    pub trace: Option<TraceId>,
+    /// 1-based delivery attempt (greater than one after a nack,
+    /// visibility timeout, or worker detach redelivered the message).
+    pub attempt: u32,
+    /// Group-local offset, usable with [`Subscription::replay_from`].
+    pub offset: u64,
+}
+
+impl Delivered {
+    fn from_bus(d: css_bus::Delivery<NotificationMessage>) -> Self {
+        Delivered {
+            message: d.message,
+            trace: d.trace,
+            attempt: d.attempt,
+            offset: d.offset,
+        }
+    }
+}
+
 /// A live subscription to a class of events, yielding notification
 /// messages.
 pub struct Subscription {
@@ -23,44 +52,53 @@ impl Subscription {
     }
 
     /// Next notification, if one is queued (acknowledged on receipt).
-    pub fn next(&self) -> CssResult<Option<NotificationMessage>> {
+    pub fn next(&self) -> CssResult<Option<Delivered>> {
         match self.inner.poll()? {
             None => Ok(None),
             Some(delivery) => {
                 self.inner.ack(delivery.delivery_id)?;
-                Ok(Some(delivery.message))
+                Ok(Some(Delivered::from_bus(delivery)))
             }
         }
     }
 
-    /// Like [`Subscription::next`], also returning the trace id of the
-    /// publish that routed the notification (present when the producer
-    /// published under an enabled tracer) — hand it to
-    /// `ProcessMonitor::feed_traced` to join monitoring KPIs back to
-    /// span trees and audit records.
+    /// [`Subscription::next`] under its pre-consolidation name and
+    /// shape.
+    #[deprecated(note = "use next(); Delivered carries the trace id")]
     pub fn next_traced(&self) -> CssResult<Option<(NotificationMessage, Option<TraceId>)>> {
-        match self.inner.poll()? {
-            None => Ok(None),
-            Some(delivery) => {
-                self.inner.ack(delivery.delivery_id)?;
-                Ok(Some((delivery.message, delivery.trace)))
-            }
-        }
+        Ok(self.next()?.map(|d| (d.message, d.trace)))
     }
 
     /// Next notification, waiting up to `timeout` for one to arrive
     /// (acknowledged on receipt). For threaded consumers.
-    pub fn next_wait(
-        &self,
-        timeout: std::time::Duration,
-    ) -> CssResult<Option<NotificationMessage>> {
+    pub fn next_wait(&self, timeout: std::time::Duration) -> CssResult<Option<Delivered>> {
         match self.inner.poll_wait(timeout)? {
             None => Ok(None),
             Some(delivery) => {
                 self.inner.ack(delivery.delivery_id)?;
-                Ok(Some(delivery.message))
+                Ok(Some(Delivered::from_bus(delivery)))
             }
         }
+    }
+
+    /// Next delivery **without** acknowledging it. Pair with
+    /// [`Subscription::ack`] on success or [`Subscription::nack`] to
+    /// hand the notification to another worker of the group (bounded by
+    /// the subscription's `max_attempts`, then dead-lettered).
+    pub fn next_unacked(&self) -> CssResult<Option<css_bus::Delivery<NotificationMessage>>> {
+        self.inner.poll()
+    }
+
+    /// Acknowledge a delivery taken with [`Subscription::next_unacked`].
+    pub fn ack(&self, delivery_id: u64) -> CssResult<()> {
+        self.inner.ack(delivery_id)
+    }
+
+    /// Negatively acknowledge a delivery: it returns to the group's
+    /// queue (after the configured backoff) for another worker, or
+    /// dead-letters once attempts are exhausted.
+    pub fn nack(&self, delivery_id: u64) -> CssResult<()> {
+        self.inner.nack(delivery_id)
     }
 
     /// Drain every queued notification.
@@ -71,6 +109,17 @@ impl Subscription {
     /// Queued (undelivered) notification count.
     pub fn backlog(&self) -> CssResult<usize> {
         self.inner.backlog()
+    }
+
+    /// Deliveries currently awaiting ack/nack.
+    pub fn in_flight(&self) -> CssResult<usize> {
+        self.inner.in_flight()
+    }
+
+    /// Re-enqueue retained notifications with offset ≥ `offset` (the
+    /// subscription must be configured with retention).
+    pub fn replay_from(&self, offset: u64) -> CssResult<usize> {
+        self.inner.replay_from(offset)
     }
 }
 
@@ -120,6 +169,25 @@ impl<P: BackendProvider> ConsumerHandle<P> {
     /// Subscribe to a class of events (policy-gated, deny-by-default).
     pub fn subscribe(&self, event_type: &EventTypeId) -> CssResult<Subscription> {
         let handle = self.controller.lock().subscribe(self.actor, event_type)?;
+        Ok(Subscription {
+            inner: handle,
+            event_type: event_type.clone(),
+        })
+    }
+
+    /// Subscribe a worker to a named competing-consumer group: every
+    /// subscription this consumer takes with the same `group` name
+    /// splits the notification stream instead of duplicating it. Same
+    /// policy gate as [`ConsumerHandle::subscribe`].
+    pub fn subscribe_grouped(
+        &self,
+        event_type: &EventTypeId,
+        group: &str,
+    ) -> CssResult<Subscription> {
+        let handle = self
+            .controller
+            .lock()
+            .subscribe_grouped(self.actor, event_type, group)?;
         Ok(Subscription {
             inner: handle,
             event_type: event_type.clone(),

@@ -55,7 +55,7 @@ pub mod producer;
 pub mod provider;
 
 pub use citizen::CitizenHandle;
-pub use consumer::{ConsumerHandle, Subscription};
+pub use consumer::{ConsumerHandle, Delivered, Subscription};
 pub use elicitation::{PolicyWizard, WizardError};
 pub use ops::OpsPlane;
 pub use pending::{AccessRequest, AccessRequestStatus};
@@ -66,7 +66,7 @@ pub use provider::{BackendProvider, DirProvider, MemoryProvider};
 /// Commonly used items across the whole platform.
 pub mod prelude {
     pub use crate::{
-        CitizenHandle, ConsumerHandle, CssPlatform, CssPlatformBuilder, PolicyWizard,
+        CitizenHandle, ConsumerHandle, CssPlatform, CssPlatformBuilder, Delivered, PolicyWizard,
         ProducerHandle, Role, Subscription,
     };
     pub use css_controller::{ConsentDecision, ConsentScope, Credential, ParticipantRole};

@@ -36,6 +36,10 @@ use crate::provider::BackendProvider;
 
 /// Bus backlog that merits operator attention.
 const BUS_QUEUE_DEPTH_DEGRADED: i64 = 10_000;
+/// Unacked in-flight deliveries past which consumers are stalling:
+/// messages are being handed out but neither acked nor nacked, so
+/// visibility timeouts (and redelivery churn) are imminent.
+const BUS_INFLIGHT_DEGRADED: i64 = 1_000;
 /// Lifetime p99 delivery lag past which the bus is degraded.
 const BUS_DELIVER_P99_CEILING_NS: u64 = 5_000_000; // 5 ms
 /// PDP decision-cache hit-rate floor (after warmup).
@@ -126,6 +130,10 @@ fn default_checks<B: LogBackend + 'static>(probe_backend: B) -> Vec<Box<dyn Heal
         Box::new(
             GaugeThresholdCheck::new("bus-queue", "bus.queue_depth", BUS_QUEUE_DEPTH_DEGRADED)
                 .unhealthy_above(BUS_QUEUE_DEPTH_DEGRADED * 10),
+        ),
+        Box::new(
+            GaugeThresholdCheck::new("bus-inflight", "bus.inflight", BUS_INFLIGHT_DEGRADED)
+                .unhealthy_above(BUS_INFLIGHT_DEGRADED * 10),
         ),
         Box::new(LatencyCheck::new(
             "bus-delivery",

@@ -6,10 +6,12 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use css_audit::{AuditQuery, AuditRecord, AuditReport};
+use css_bus::BusDriver;
 use css_controller::{
     ConsentDecision, ConsentScope, ControllerConfig, Credential, DataController, IdentityManager,
     ParticipantRole, SharedGateway,
 };
+use css_event::NotificationMessage;
 use css_gateway::LocalCooperationGateway;
 use css_policy::PolicyRepository;
 use css_storage::InstrumentedBackend;
@@ -72,6 +74,7 @@ pub struct CssPlatformBuilder<P: BackendProvider = MemoryProvider> {
     ops_checks: Vec<Box<dyn css_health::HealthCheck>>,
     ops_slos: Vec<css_health::Slo>,
     ops_monitor: Option<Arc<Mutex<css_monitor::ProcessMonitor>>>,
+    bus_driver: Option<Arc<dyn BusDriver<NotificationMessage>>>,
 }
 
 impl Default for CssPlatformBuilder<MemoryProvider> {
@@ -95,6 +98,7 @@ impl CssPlatformBuilder<MemoryProvider> {
             ops_checks: Vec::new(),
             ops_slos: Vec::new(),
             ops_monitor: None,
+            bus_driver: None,
         }
     }
 }
@@ -114,7 +118,19 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             ops_checks: self.ops_checks,
             ops_slos: self.ops_slos,
             ops_monitor: self.ops_monitor,
+            bus_driver: self.bus_driver,
         }
+    }
+
+    /// Route notifications through an explicit [`BusDriver`] instead of
+    /// the controller's private in-memory broker — e.g. a
+    /// [`css_bus::RecordingDriver`] for integration forensics, or a
+    /// networked broker in a multi-site deployment. The driver is
+    /// payload-blind: it moves opaque notification values and can never
+    /// see event details.
+    pub fn bus_driver(mut self, driver: Arc<dyn BusDriver<NotificationMessage>>) -> Self {
+        self.bus_driver = Some(driver);
+        self
     }
 
     /// Use an explicit (usually simulated) clock.
@@ -197,14 +213,18 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             ops_checks,
             ops_slos,
             ops_monitor,
+            bus_driver,
         } = self;
         let tracer = match trace_capacity {
             Some(capacity) => Tracer::with_metrics(capacity, &telemetry),
             None => Tracer::disabled(),
         };
-        let config = ControllerConfig::with_clock(clock.clone())
+        let mut config = ControllerConfig::with_clock(clock.clone())
             .with_telemetry(telemetry.clone())
             .with_tracer(tracer.clone());
+        if let Some(driver) = bus_driver {
+            config = config.with_bus_driver(driver);
+        }
         let controller = DataController::with_backends(
             config,
             InstrumentedBackend::new(provider.backend("audit")?, &telemetry),
@@ -427,19 +447,6 @@ impl<P: BackendProvider> CssPlatform<P> {
         self.src_gens
             .insert(actor, Arc::new(IdGenerator::starting_at(next_src)));
         Ok(())
-    }
-
-    /// Sign a producer contract for an organization and stand up its
-    /// Local Cooperation Gateway.
-    #[deprecated(note = "use `join(actor, Role::Producer)`")]
-    pub fn join_as_producer(&mut self, actor: ActorId) -> CssResult<()> {
-        self.join(actor, Role::Producer)
-    }
-
-    /// Sign a consumer contract for an organization.
-    #[deprecated(note = "use `join(actor, Role::Consumer)`")]
-    pub fn join_as_consumer(&mut self, actor: ActorId) -> CssResult<()> {
-        self.join(actor, Role::Consumer)
     }
 
     /// Reload every policy from the certified repository into the

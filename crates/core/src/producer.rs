@@ -80,6 +80,7 @@ impl<P: BackendProvider> ProducerHandle<P> {
             event_type,
             occurred_at,
             src_event_id,
+            None,
         )
     }
 

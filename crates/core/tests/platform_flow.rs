@@ -95,7 +95,7 @@ fn wizard_end_to_end() {
     producer
         .publish(mario(), "blood test done", details(), w.clock.now())
         .unwrap();
-    let n = sub.next().unwrap().unwrap();
+    let n = sub.next().unwrap().unwrap().message;
     assert_eq!(n.person.name, "Mario");
     assert!(sub.next().unwrap().is_none());
     let response = consumer
@@ -443,7 +443,7 @@ fn subscription_next_wait_wakes_on_publish() {
         .next_wait(std::time::Duration::from_secs(5))
         .unwrap()
         .expect("woken by publish");
-    assert_eq!(got.person.id, PersonId(42));
+    assert_eq!(got.message.person.id, PersonId(42));
     handle.join().unwrap();
 }
 
@@ -524,7 +524,7 @@ fn schema_evolution_to_v2_keeps_both_versions_usable() {
             w.clock.now(),
         )
         .unwrap();
-    let n = sub_v2.next().unwrap().unwrap();
+    let n = sub_v2.next().unwrap().unwrap().message;
     let resp = consumer
         .request_details(&n, Purpose::HealthcareTreatment)
         .unwrap();
@@ -580,22 +580,6 @@ fn join_both_widens() {
     assert!(w.platform.producer(w.doctor).is_err());
 }
 
-/// Compatibility: the deprecated `join_as_*` wrappers must keep
-/// delegating to `join()` until they are removed. This is the only
-/// place in the workspace allowed to call them.
-#[test]
-fn deprecated_join_wrappers_still_delegate() {
-    let mut w = setup();
-    let lab = w.platform.register_organization("Laboratory").unwrap();
-    #[allow(deprecated)]
-    {
-        w.platform.join_as_producer(lab).unwrap();
-        w.platform.join_as_consumer(lab).unwrap();
-    }
-    assert!(w.platform.producer(lab).is_ok());
-    assert!(w.platform.consumer(lab).is_ok());
-}
-
 #[test]
 fn telemetry_subsumes_stats() {
     let w = setup();
@@ -635,4 +619,156 @@ fn telemetry_subsumes_stats() {
         stats.bus.published
     );
     assert!(telemetry.histogram("publish.total").is_some());
+}
+
+/// A consumer's worker fleet on `subscribe_grouped` splits the stream
+/// (each notification to exactly one worker), while a solo subscriber
+/// still sees everything — and the workers can nack a notification to
+/// hand it to a peer.
+#[test]
+fn grouped_subscription_splits_the_stream() {
+    let w = setup();
+    let producer = w.platform.producer(w.hospital).unwrap();
+    producer
+        .policy_wizard(&EventTypeId::v1("blood-test"))
+        .unwrap()
+        .select_fields(["PatientId"])
+        .unwrap()
+        .grant_to([w.doctor])
+        .unwrap()
+        .for_purposes([Purpose::HealthcareTreatment])
+        .labeled("doctor-bt", "")
+        .save()
+        .unwrap();
+
+    let consumer = w.platform.consumer(w.doctor).unwrap();
+    let solo = consumer.subscribe(&EventTypeId::v1("blood-test")).unwrap();
+    let worker_a = consumer
+        .subscribe_grouped(&EventTypeId::v1("blood-test"), "triage")
+        .unwrap();
+    let worker_b = consumer
+        .subscribe_grouped(&EventTypeId::v1("blood-test"), "triage")
+        .unwrap();
+
+    for _ in 0..10 {
+        producer
+            .publish(mario(), "bt", details(), w.clock.now())
+            .unwrap();
+    }
+
+    // The group partitions the 10 notifications across its members...
+    let mut group_total = 0;
+    loop {
+        let mut progressed = false;
+        for worker in [&worker_a, &worker_b] {
+            if let Some(d) = worker.next().unwrap() {
+                group_total += 1;
+                let _ = d;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    assert_eq!(group_total, 10);
+    // ...while the solo subscription received every one of them.
+    assert_eq!(solo.drain().unwrap().len(), 10);
+}
+
+/// A worker that cannot process a notification nacks it; a peer in the
+/// same group picks it up on the next attempt.
+#[test]
+fn grouped_subscription_redelivers_nacked_work_to_a_peer() {
+    let w = setup();
+    let producer = w.platform.producer(w.hospital).unwrap();
+    producer
+        .policy_wizard(&EventTypeId::v1("blood-test"))
+        .unwrap()
+        .select_fields(["PatientId"])
+        .unwrap()
+        .grant_to([w.doctor])
+        .unwrap()
+        .for_purposes([Purpose::HealthcareTreatment])
+        .labeled("doctor-bt", "")
+        .save()
+        .unwrap();
+
+    let consumer = w.platform.consumer(w.doctor).unwrap();
+    let worker_a = consumer
+        .subscribe_grouped(&EventTypeId::v1("blood-test"), "triage")
+        .unwrap();
+    let worker_b = consumer
+        .subscribe_grouped(&EventTypeId::v1("blood-test"), "triage")
+        .unwrap();
+    producer
+        .publish(mario(), "bt", details(), w.clock.now())
+        .unwrap();
+
+    let first = worker_a.next_unacked().unwrap().expect("delivered");
+    assert_eq!(first.attempt, 1);
+    worker_a.nack(first.delivery_id).unwrap();
+
+    let second = worker_b
+        .next_unacked()
+        .unwrap()
+        .expect("redelivered to peer");
+    assert_eq!(second.attempt, 2);
+    assert_eq!(second.message.person.id, PersonId(42));
+    worker_b.ack(second.delivery_id).unwrap();
+    assert_eq!(worker_a.in_flight().unwrap(), 0);
+}
+
+/// The whole platform runs unchanged over a swapped-in bus driver, and
+/// the driver — payload-blind by construction — journals only shape,
+/// never person data.
+#[test]
+fn platform_runs_on_a_recording_bus_driver() {
+    let driver = Arc::new(css_bus::RecordingDriver::<NotificationMessage>::in_memory());
+    let clock = SimClock::starting_at(Timestamp(1_000));
+    let mut platform = CssPlatformBuilder::new()
+        .clock(Arc::new(clock.clone()))
+        .bus_driver(driver.clone())
+        .build()
+        .unwrap();
+    let hospital = platform.register_organization("Hospital").unwrap();
+    let doctor = platform.register_organization("Doctor").unwrap();
+    platform.join(hospital, Role::Producer).unwrap();
+    platform.join(doctor, Role::Consumer).unwrap();
+    let producer = platform.producer(hospital).unwrap();
+    producer
+        .declare(&blood_test(hospital), Some("health"))
+        .unwrap();
+    producer
+        .policy_wizard(&EventTypeId::v1("blood-test"))
+        .unwrap()
+        .select_fields(["PatientId"])
+        .unwrap()
+        .grant_to([doctor])
+        .unwrap()
+        .for_purposes([Purpose::HealthcareTreatment])
+        .labeled("doctor-bt", "")
+        .save()
+        .unwrap();
+    let consumer = platform.consumer(doctor).unwrap();
+    let sub = consumer.subscribe(&EventTypeId::v1("blood-test")).unwrap();
+    producer
+        .publish(mario(), "bt", details(), clock.now())
+        .unwrap();
+    let delivered = sub.next().unwrap().expect("routed through the driver");
+    assert_eq!(delivered.message.person.id, PersonId(42));
+
+    // The journal saw the whole lifecycle...
+    let journal = driver.journal();
+    assert!(journal
+        .iter()
+        .any(|op| matches!(op, css_bus::BusOp::Publish { deduped: false, .. })));
+    assert!(journal
+        .iter()
+        .any(|op| matches!(op, css_bus::BusOp::Ack(_, _))));
+    // ...but never the identifying payload (detail confinement: the
+    // driver moves opaque values it cannot inspect).
+    let rendered = format!("{journal:?}");
+    assert!(!rendered.contains("RSSMRA45C12L378Y"));
+    assert!(!rendered.contains("Mario"));
 }

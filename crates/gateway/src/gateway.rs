@@ -133,19 +133,13 @@ impl<B: LogBackend> LocalCooperationGateway<B> {
     ///
     /// The returned details are guaranteed privacy-safe for `F`
     /// (Definition 4); this postcondition is asserted.
+    ///
+    /// When `ctx` is given the call continues the caller's trace with
+    /// one child span per Algorithm 2 stage: `gateway.retrieve`
+    /// (repository lookup), `gateway.parse` (type/schema resolution +
+    /// record load), `gateway.filter` (field filtering + privacy
+    /// postcondition).
     pub fn get_response(
-        &self,
-        src_event_id: SourceEventId,
-        allowed: &BTreeSet<String>,
-    ) -> CssResult<EventDetails> {
-        self.get_response_traced(src_event_id, allowed, None)
-    }
-
-    /// [`Self::get_response`], continuing the caller's trace with one
-    /// child span per Algorithm 2 stage: `gateway.retrieve` (repository
-    /// lookup), `gateway.parse` (type/schema resolution + record load),
-    /// `gateway.filter` (field filtering + privacy postcondition).
-    pub fn get_response_traced(
         &self,
         src_event_id: SourceEventId,
         allowed: &BTreeSet<String>,
@@ -202,6 +196,17 @@ impl<B: LogBackend> LocalCooperationGateway<B> {
         Ok(filtered)
     }
 
+    /// [`Self::get_response`] under its pre-consolidation name.
+    #[deprecated(note = "use get_response with an optional TraceContext")]
+    pub fn get_response_traced(
+        &self,
+        src_event_id: SourceEventId,
+        allowed: &BTreeSet<String>,
+        ctx: Option<&TraceContext>,
+    ) -> CssResult<EventDetails> {
+        self.get_response(src_event_id, allowed, ctx)
+    }
+
     /// Simulate the legacy source system going offline. Gateway answers
     /// are unaffected.
     pub fn set_source_online(&mut self, online: bool) {
@@ -218,7 +223,7 @@ impl<B: LogBackend> LocalCooperationGateway<B> {
         }
         // When online, the source holds the same data the gateway does.
         // css-lint: allow(audit-before-release): E12 demo of the legacy source path; real releases audit at the PEP
-        self.get_response(src_event_id, &self.all_fields_of(src_event_id)?)
+        self.get_response(src_event_id, &self.all_fields_of(src_event_id)?, None)
     }
 
     fn all_fields_of(&self, src_event_id: SourceEventId) -> CssResult<BTreeSet<String>> {
@@ -291,7 +296,7 @@ mod tests {
         let mut gw = gateway();
         gw.persist(&message(1)).unwrap();
         let resp = gw
-            .get_response(SourceEventId(1), &allowed(&["PatientId"]))
+            .get_response(SourceEventId(1), &allowed(&["PatientId"]), None)
             .unwrap();
         assert_eq!(resp.get("PatientId").unwrap(), &FieldValue::Integer(42));
         assert_eq!(resp.get("Result").unwrap(), &FieldValue::Empty);
@@ -304,7 +309,7 @@ mod tests {
         gw.persist(&message(1)).unwrap();
         // Allowed set naming fields that don't exist: nothing leaks.
         let resp = gw
-            .get_response(SourceEventId(1), &allowed(&["DoesNotExist"]))
+            .get_response(SourceEventId(1), &allowed(&["DoesNotExist"]), None)
             .unwrap();
         assert_eq!(resp.exposed_bytes(), 0);
     }
@@ -313,7 +318,7 @@ mod tests {
     fn unknown_event_not_found() {
         let gw = gateway();
         assert!(matches!(
-            gw.get_response(SourceEventId(404), &allowed(&["PatientId"])),
+            gw.get_response(SourceEventId(404), &allowed(&["PatientId"]), None),
             Err(CssError::NotFound(_))
         ));
     }
@@ -358,7 +363,7 @@ mod tests {
         assert!(gw.query_source_directly(SourceEventId(1)).is_err());
         // ...but the gateway still serves the details.
         let resp = gw
-            .get_response(SourceEventId(1), &allowed(&["PatientId", "Result"]))
+            .get_response(SourceEventId(1), &allowed(&["PatientId", "Result"]), None)
             .unwrap();
         assert_eq!(
             resp.get("Result").unwrap(),
@@ -383,7 +388,7 @@ mod tests {
             LocalCooperationGateway::open(ActorId(1), FileBackend::open(&path).unwrap()).unwrap();
         gw.register_schema(schema()).unwrap();
         let resp = gw
-            .get_response(SourceEventId(7), &allowed(&["PatientId"]))
+            .get_response(SourceEventId(7), &allowed(&["PatientId"]), None)
             .unwrap();
         assert_eq!(resp.get("PatientId").unwrap(), &FieldValue::Integer(42));
         let _ = std::fs::remove_file(&path);
@@ -396,11 +401,11 @@ mod tests {
         gw.instrument(&registry);
         gw.persist(&message(1)).unwrap();
         gw.persist(&message(2)).unwrap();
-        gw.get_response(SourceEventId(1), &allowed(&["PatientId"]))
+        gw.get_response(SourceEventId(1), &allowed(&["PatientId"]), None)
             .unwrap();
         // A failed lookup is not counted as a response.
         assert!(gw
-            .get_response(SourceEventId(404), &allowed(&["PatientId"]))
+            .get_response(SourceEventId(404), &allowed(&["PatientId"]), None)
             .is_err());
 
         let snap = registry.snapshot();
@@ -421,7 +426,7 @@ mod tests {
         let tracer = Tracer::new(64);
         let root = tracer.root("detail_request", Timestamp(5));
         let ctx = root.context();
-        gw.get_response_traced(SourceEventId(1), &allowed(&["PatientId"]), Some(&ctx))
+        gw.get_response(SourceEventId(1), &allowed(&["PatientId"]), Some(&ctx))
             .unwrap();
         root.finish();
 
@@ -443,7 +448,7 @@ mod tests {
         let root = tracer.root("detail_request", Timestamp(5));
         let ctx = root.context();
         assert!(gw
-            .get_response_traced(SourceEventId(404), &allowed(&["PatientId"]), Some(&ctx))
+            .get_response(SourceEventId(404), &allowed(&["PatientId"]), Some(&ctx))
             .is_err());
         root.finish();
 
@@ -475,7 +480,7 @@ mod tests {
         gw.persist(&d2).unwrap();
         assert_eq!(gw.stored_count(), 2);
         let resp = gw
-            .get_response(SourceEventId(2), &allowed(&["Ward"]))
+            .get_response(SourceEventId(2), &allowed(&["Ward"]), None)
             .unwrap();
         assert_eq!(
             resp.get("Ward").unwrap(),

@@ -44,6 +44,31 @@ fn detail_confinement_fires_and_clean_passes() {
     assert!(clean.is_empty(), "clean fixture fired: {clean:#?}");
 }
 
+/// The broker stays payload-blind: a `BusDriver` impl instantiated
+/// over a detail payload would let any transport inspect or journal
+/// unfiltered person data, so naming one inside css-bus is an error.
+#[test]
+fn detail_confinement_covers_bus_driver_impls() {
+    let hits = fire(
+        "css-bus",
+        "detail_confinement/driver_fire.rs",
+        "detail-confinement",
+    );
+    assert_eq!(hits.len(), 2, "impl header + field: {hits:#?}");
+    assert!(hits.iter().all(|f| f.severity == Severity::Error));
+    assert!(hits.iter().all(|f| f.message.contains("DetailMessage")));
+
+    // The same driver shape is fine in a crate outside the confinement
+    // boundary (e.g. a producer-side adapter that legitimately holds
+    // details before gateway persistence).
+    let outside = fire(
+        "css-gateway",
+        "detail_confinement/driver_fire.rs",
+        "detail-confinement",
+    );
+    assert!(outside.is_empty(), "fired outside boundary: {outside:#?}");
+}
+
 /// The ops plane is confined: were css-health able to name a detail
 /// payload, any of its HTTP endpoints could leak it to a scraper.
 #[test]

@@ -1,0 +1,16 @@
+//! FIXTURE (linted as crate `css-bus`, role Production): a `BusDriver`
+//! implementation that names the confined detail payload — the exact
+//! temptation the payload-blind trait design exists to forbid. A
+//! driver instantiated over `DetailMessage` could inspect, copy or
+//! journal unfiltered person data on every hop. Must fire
+//! `detail-confinement` twice (impl header + constructor body).
+
+pub struct LeakyDriver {
+    queue: Vec<DetailMessage>,
+}
+
+impl BusDriver<DetailMessage> for LeakyDriver {
+    fn publish_opts(&mut self, topic: &str) -> usize {
+        self.queue.len() + topic.len()
+    }
+}

@@ -73,7 +73,7 @@ fn main() -> CssResult<()> {
             .with("Result", FieldValue::Text("negative".into()));
         producer.publish(person, format!("bt-{i}"), details, platform.clock().now())?;
         if let Some(n) = sub.next()? {
-            consumer.request_details(&n, Purpose::HealthcareTreatment)?;
+            consumer.request_details(&n.message, Purpose::HealthcareTreatment)?;
         }
         std::thread::sleep(Duration::from_millis(200));
     }

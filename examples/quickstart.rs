@@ -58,7 +58,7 @@ fn main() -> CssResult<()> {
     producer.publish(mario, "blood test completed", details, now)?;
 
     // 6. Phase 1 — the doctor receives the notification.
-    let notification = subscription.next()?.expect("notification routed");
+    let notification = subscription.next()?.expect("notification routed").message;
     println!(
         "notification: {}",
         css_xml::to_string_pretty(&notification.to_xml())

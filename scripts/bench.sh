@@ -6,7 +6,7 @@
 # Usage: scripts/bench.sh [bench ...]
 #   (default benches: e4_detail_request e9_encrypted_index
 #    e11_policy_scaling e15_mixed_workload e16_trace_overhead
-#    e17_ops_overhead)
+#    e17_ops_overhead e18_consumer_groups)
 #
 # Environment:
 #   CSS_BENCH_MS  measurement window per benchmark in ms (default 50;
@@ -16,7 +16,7 @@ cd "$(dirname "$0")/.."
 
 BENCHES=("$@")
 if [ ${#BENCHES[@]} -eq 0 ]; then
-  BENCHES=(e4_detail_request e9_encrypted_index e11_policy_scaling e15_mixed_workload e16_trace_overhead e17_ops_overhead)
+  BENCHES=(e4_detail_request e9_encrypted_index e11_policy_scaling e15_mixed_workload e16_trace_overhead e17_ops_overhead e18_consumer_groups)
 fi
 : "${CSS_BENCH_MS:=50}"
 export CSS_BENCH_MS

@@ -146,7 +146,7 @@ fn gateway_serves_details_with_source_offline() {
     gw.set_source_online(false);
     let allowed: std::collections::BTreeSet<String> = ["A".to_string()].into_iter().collect();
     let details = gw
-        .get_response(css::types::SourceEventId(1), &allowed)
+        .get_response(css::types::SourceEventId(1), &allowed, None)
         .unwrap();
     assert_eq!(details.get("A").unwrap(), &FieldValue::Text("kept".into()));
 }

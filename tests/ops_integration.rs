@@ -246,7 +246,7 @@ fn ops_platform(fail: Arc<AtomicBool>) -> (CssPlatform<FaultableProvider>, Socke
     producer
         .publish(person, "bt", details, platform.clock().now())
         .unwrap();
-    let notification = sub.next().unwrap().expect("delivered");
+    let notification = sub.next().unwrap().expect("delivered").message;
     consumer
         .request_details(&notification, Purpose::HealthcareTreatment)
         .unwrap();

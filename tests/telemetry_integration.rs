@@ -58,7 +58,7 @@ fn telemetry_matches_audit_after_end_to_end_flow() {
         producer
             .publish(person(i), "bt", details, clock.now())
             .unwrap();
-        notifications.push(sub.next().unwrap().expect("notification delivered"));
+        notifications.push(sub.next().unwrap().expect("notification delivered").message);
     }
 
     for n in notifications.iter().take(PERMITS as usize) {

@@ -61,8 +61,9 @@ fn traced_flow(capacity: usize) -> (css::core::CssPlatform, Vec<Span>) {
         .unwrap();
 
     // The deliver span stays open until the subscriber polls.
-    let (notification, delivery_trace) = sub.next_traced().unwrap().expect("delivered");
-    assert!(delivery_trace.is_some(), "delivery carries the trace id");
+    let delivered = sub.next().unwrap().expect("delivered");
+    assert!(delivered.trace.is_some(), "delivery carries the trace id");
+    let notification = delivered.message;
 
     let inquired = consumer.inquire_by_person(PersonId(1)).unwrap();
     assert_eq!(inquired.len(), 1);
@@ -294,8 +295,11 @@ fn untraced_platform_records_nothing_and_omits_trace_dimensions() {
     producer
         .publish(person(1), "x", details, clock.now())
         .unwrap();
-    let (_, trace) = sub.next_traced().unwrap().expect("delivered");
-    assert_eq!(trace, None, "disabled tracer puts no id on deliveries");
+    let delivered = sub.next().unwrap().expect("delivered");
+    assert_eq!(
+        delivered.trace, None,
+        "disabled tracer puts no id on deliveries"
+    );
     assert!(!platform.tracer().is_enabled());
     assert!(platform.tracer().finished_spans().is_empty());
     for record in platform.audit_query(&AuditQuery::new()) {
