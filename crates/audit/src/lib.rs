@@ -21,8 +21,10 @@ pub mod log;
 pub mod query;
 pub mod record;
 pub mod report;
+pub mod shards;
 
 pub use log::AuditLog;
 pub use query::AuditQuery;
 pub use record::{AuditAction, AuditOutcome, AuditRecord};
 pub use report::AuditReport;
+pub use shards::AuditShards;

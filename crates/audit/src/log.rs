@@ -5,6 +5,9 @@
 //! whole chain, so any offline modification of the persisted log is
 //! detected at open time.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use css_crypto::{ChainVerifyError, HashChain};
 use css_storage::{LogBackend, RecordLog};
 use css_types::{CssError, CssResult};
@@ -14,10 +17,23 @@ use crate::record::AuditRecord;
 use crate::report::AuditReport;
 
 /// Append-only audit log with hash chaining and optional persistence.
+///
+/// A log numbers its records in one of two modes:
+///
+/// - **self-sequenced** (the default): seq equals the record's position
+///   in this log, so the persisted stream is densely numbered `0, 1,
+///   2, …` and recovery rejects any gap.
+/// - **globally sequenced** ([`AuditLog::in_memory_sequenced`] /
+///   [`AuditLog::open_sequenced`]): seq is drawn from a shared
+///   [`AtomicU64`] that several shard-local logs allocate from. Each
+///   shard's stream is then strictly increasing but *gappy* (the gaps
+///   live on sibling shards), and recovery only enforces monotonicity,
+///   advancing the shared counter past the highest recovered seq.
 pub struct AuditLog<B: LogBackend> {
     chain: HashChain,
     records: Vec<AuditRecord>,
     storage: Option<RecordLog<B>>,
+    sequencer: Option<Arc<AtomicU64>>,
 }
 
 impl<B: LogBackend> AuditLog<B> {
@@ -27,6 +43,16 @@ impl<B: LogBackend> AuditLog<B> {
             chain: HashChain::new(),
             records: Vec::new(),
             storage: None,
+            sequencer: None,
+        }
+    }
+
+    /// An in-memory log drawing sequence numbers from a shared counter
+    /// (one shard of a sharded audit plane).
+    pub fn in_memory_sequenced(sequencer: Arc<AtomicU64>) -> Self {
+        AuditLog {
+            sequencer: Some(sequencer),
+            ..Self::in_memory()
         }
     }
 
@@ -35,23 +61,49 @@ impl<B: LogBackend> AuditLog<B> {
     /// Fails if any persisted record is malformed or if the rebuilt
     /// chain does not verify (evidence of offline tampering).
     pub fn open(backend: B) -> CssResult<Self> {
+        Self::open_inner(backend, None)
+    }
+
+    /// Open a disk-backed shard log that numbers records from a shared
+    /// counter. Recovery accepts the strictly-increasing (gappy)
+    /// sequence a shard produces and advances `sequencer` past the
+    /// highest recovered seq so restarts never reuse a number.
+    pub fn open_sequenced(backend: B, sequencer: Arc<AtomicU64>) -> CssResult<Self> {
+        Self::open_inner(backend, Some(sequencer))
+    }
+
+    fn open_inner(backend: B, sequencer: Option<Arc<AtomicU64>>) -> CssResult<Self> {
         let (storage, outcome) = RecordLog::recover(backend)?;
         let mut chain = HashChain::new();
-        let mut records = Vec::with_capacity(outcome.records.len());
+        let mut records: Vec<AuditRecord> = Vec::with_capacity(outcome.records.len());
         for ptr in &outcome.records {
             let payload = storage.read(*ptr)?;
             let text = String::from_utf8(payload.clone())
                 .map_err(|e| CssError::Serialization(format!("audit record not UTF-8: {e}")))?;
             let doc = css_xml::parse(&text).map_err(|e| CssError::Serialization(e.to_string()))?;
-            let mut record = AuditRecord::from_xml(&doc)?;
-            let expected_seq = records.len() as u64;
-            if record.seq != expected_seq {
-                return Err(CssError::Storage(format!(
-                    "audit log sequence gap: expected {expected_seq}, found {}",
-                    record.seq
-                )));
+            let record = AuditRecord::from_xml(&doc)?;
+            match &sequencer {
+                None => {
+                    let expected_seq = records.len() as u64;
+                    if record.seq != expected_seq {
+                        return Err(CssError::Storage(format!(
+                            "audit log sequence gap: expected {expected_seq}, found {}",
+                            record.seq
+                        )));
+                    }
+                }
+                Some(seq) => {
+                    if let Some(prev) = records.last() {
+                        if record.seq <= prev.seq {
+                            return Err(CssError::Storage(format!(
+                                "audit shard sequence not increasing: {} after {}",
+                                record.seq, prev.seq
+                            )));
+                        }
+                    }
+                    seq.fetch_max(record.seq + 1, Ordering::AcqRel);
+                }
             }
-            record.seq = expected_seq;
             chain.append(payload);
             records.push(record);
         }
@@ -62,12 +114,21 @@ impl<B: LogBackend> AuditLog<B> {
             chain,
             records,
             storage: Some(storage),
+            sequencer,
         })
+    }
+
+    /// Allocate `n` consecutive sequence numbers in this log's mode.
+    fn alloc_seq(&self, n: u64) -> u64 {
+        match &self.sequencer {
+            Some(seq) => seq.fetch_add(n, Ordering::AcqRel),
+            None => self.records.len() as u64,
+        }
     }
 
     /// Append a record, assigning its sequence number. Returns the seq.
     pub fn append(&mut self, mut record: AuditRecord) -> CssResult<u64> {
-        record.seq = self.records.len() as u64;
+        record.seq = self.alloc_seq(1);
         let payload = css_xml::to_string(&record.to_xml()).into_bytes();
         if let Some(storage) = &mut self.storage {
             storage.append(&payload)?;
@@ -89,7 +150,8 @@ impl<B: LogBackend> AuditLog<B> {
         &mut self,
         records: impl IntoIterator<Item = AuditRecord>,
     ) -> CssResult<u64> {
-        let first_seq = self.records.len() as u64;
+        let records: Vec<AuditRecord> = records.into_iter().collect();
+        let first_seq = self.alloc_seq(records.len() as u64);
         let mut assigned = Vec::new();
         let mut payloads = Vec::new();
         for mut record in records {
@@ -109,6 +171,12 @@ impl<B: LogBackend> AuditLog<B> {
             self.records.push(record);
         }
         Ok(first_seq)
+    }
+
+    /// Tear down the log, returning its storage backend (reopen tests,
+    /// migrations between shard layouts).
+    pub fn into_backend(self) -> Option<B> {
+        self.storage.map(RecordLog::into_backend)
     }
 
     /// Flush persisted records to stable storage.

@@ -1,0 +1,290 @@
+//! The sharded audit plane.
+//!
+//! One audit log serializes every publish, inquiry, and detail request
+//! behind a single lock — the same bottleneck the sharded events index
+//! removes from the data plane. [`AuditShards`] partitions the log into
+//! N shard-local [`AuditLog`]s, each behind its own mutex, routed by
+//! the record's data subject (falling back to the acting party for
+//! records without a person dimension). A publish group commit carries
+//! one person, so the whole batch lands on one shard as a single
+//! storage write — group-commit semantics survive sharding.
+//!
+//! Sequence numbers come from one shared [`AtomicU64`]: the global
+//! order of the log is preserved (merge-sort by seq), each shard's
+//! stream is strictly increasing, and the tamper-evident hash chain
+//! still covers every shard — the combined head binds all shard heads.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use css_storage::LogBackend;
+use css_types::{CssError, CssResult};
+
+use crate::log::AuditLog;
+use crate::query::AuditQuery;
+use crate::record::AuditRecord;
+use crate::report::AuditReport;
+
+/// Fibonacci-hash a routing key onto `n` shards (multiplicative
+/// spreading keeps sequential person ids from clustering).
+fn spread(key: u64, n: usize) -> usize {
+    ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % n
+}
+
+/// N shard-local audit logs sharing one global sequence counter.
+pub struct AuditShards<B: LogBackend> {
+    shards: Vec<Mutex<AuditLog<B>>>,
+    sequencer: Arc<AtomicU64>,
+}
+
+impl<B: LogBackend> AuditShards<B> {
+    /// `n` purely in-memory shards (n is clamped to at least 1).
+    pub fn in_memory(n: usize) -> Self {
+        let sequencer = Arc::new(AtomicU64::new(0));
+        let shards = (0..n.max(1))
+            .map(|_| Mutex::new(AuditLog::in_memory_sequenced(sequencer.clone())))
+            .collect();
+        AuditShards { shards, sequencer }
+    }
+
+    /// Open one disk-backed shard per backend, replaying and verifying
+    /// each shard's chain and advancing the shared sequencer past the
+    /// highest recovered seq.
+    pub fn open(backends: Vec<B>) -> CssResult<Self> {
+        if backends.is_empty() {
+            return Err(CssError::Invalid(
+                "audit shards need at least one backend".into(),
+            ));
+        }
+        let sequencer = Arc::new(AtomicU64::new(0));
+        let mut shards = Vec::with_capacity(backends.len());
+        for backend in backends {
+            shards.push(Mutex::new(AuditLog::open_sequenced(
+                backend,
+                sequencer.clone(),
+            )?));
+        }
+        Ok(AuditShards { shards, sequencer })
+    }
+
+    /// Shard 0 disk-backed on `backend`, shards `1..n` in-memory — the
+    /// shape a controller constructed with a single audit backend takes
+    /// when asked for an `n`-shard plane. Recovery replays shard 0 and
+    /// resumes the shared sequencer past its highest seq.
+    pub fn open_padded(backend: B, n: usize) -> CssResult<Self> {
+        let sequencer = Arc::new(AtomicU64::new(0));
+        let mut shards = vec![Mutex::new(AuditLog::open_sequenced(
+            backend,
+            sequencer.clone(),
+        )?)];
+        for _ in 1..n.max(1) {
+            shards.push(Mutex::new(AuditLog::in_memory_sequenced(sequencer.clone())));
+        }
+        Ok(AuditShards { shards, sequencer })
+    }
+
+    /// How many shards the plane runs.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared sequence counter (shard-local logs of the same plane
+    /// must allocate from it).
+    pub fn sequencer(&self) -> Arc<AtomicU64> {
+        self.sequencer.clone()
+    }
+
+    /// Which shard a record routes to: by data subject when the record
+    /// has a person dimension, by acting party otherwise.
+    pub fn shard_of(&self, record: &AuditRecord) -> usize {
+        let key = record
+            .person
+            .map(|p| p.value())
+            .unwrap_or_else(|| record.actor.value());
+        spread(key, self.shards.len())
+    }
+
+    /// Append one record to its shard. Returns the global seq.
+    pub fn append(&self, record: AuditRecord) -> CssResult<u64> {
+        let mut shard = self.shards[self.shard_of(&record)].lock();
+        shard.append(record)
+    }
+
+    /// Append a batch as one group commit on the first record's shard
+    /// (a publish batch carries a single data subject, so the routing
+    /// key is the same for every record in it). Returns the first seq.
+    pub fn append_batch(&self, records: Vec<AuditRecord>) -> CssResult<u64> {
+        let Some(first) = records.first() else {
+            return Ok(self.sequencer.load(std::sync::atomic::Ordering::Acquire));
+        };
+        let mut shard = self.shards[self.shard_of(first)].lock();
+        shard.append_batch(records)
+    }
+
+    /// Run an inquiry across every shard, merged into global seq order.
+    pub fn query(&self, q: &AuditQuery) -> Vec<AuditRecord> {
+        let mut out: Vec<AuditRecord> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock();
+            out.extend(shard.query(q).into_iter().cloned());
+        }
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Aggregate report over the records matching `q`, all shards.
+    pub fn report(&self, q: &AuditQuery) -> AuditReport {
+        AuditReport::from_records(self.query(q).iter())
+    }
+
+    /// Every record, merged into global seq order.
+    pub fn records(&self) -> Vec<AuditRecord> {
+        self.query(&AuditQuery::new())
+    }
+
+    /// The digest pinning the whole plane's state. With one shard this
+    /// is that shard's chain head (identical to an unsharded log); with
+    /// several it is the hash over the concatenated shard heads, so any
+    /// offline modification of any shard changes the combined head.
+    pub fn head(&self) -> [u8; 32] {
+        if self.shards.len() == 1 {
+            return self.shards[0].lock().head();
+        }
+        let mut all = Vec::with_capacity(self.shards.len() * 32);
+        for shard in &self.shards {
+            all.extend_from_slice(&shard.lock().head());
+        }
+        css_crypto::sha256(&all)
+    }
+
+    /// Re-derive and check every chain link of every shard.
+    pub fn verify(&self) -> CssResult<()> {
+        for shard in &self.shards {
+            shard.lock().verify()?;
+        }
+        Ok(())
+    }
+
+    /// Total records across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no shard holds a record.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records per shard — the balance picture an operator watches.
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().len()).collect()
+    }
+
+    /// Flush every shard's persisted records to stable storage.
+    pub fn sync(&self) -> CssResult<()> {
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            shard.sync()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::AuditAction;
+    use css_storage::MemBackend;
+    use css_types::{ActorId, PersonId, Timestamp};
+
+    fn rec(i: u64, person: u64) -> AuditRecord {
+        AuditRecord::new(Timestamp(i * 10), ActorId(i % 3 + 1), AuditAction::Publish)
+            .person(PersonId(person))
+    }
+
+    #[test]
+    fn appends_route_by_person_and_merge_in_seq_order() {
+        let shards = AuditShards::<MemBackend>::in_memory(4);
+        for i in 0..32 {
+            shards.append(rec(i, i)).unwrap();
+        }
+        assert_eq!(shards.len(), 32);
+        // At least two shards got records (spread hash over 0..32).
+        let busy = shards.shard_lens().iter().filter(|&&n| n > 0).count();
+        assert!(busy >= 2, "expected spread, got {:?}", shards.shard_lens());
+        // Merged view is densely seq-ordered.
+        let merged = shards.records();
+        let seqs: Vec<u64> = merged.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, (0..32).collect::<Vec<_>>());
+        shards.verify().unwrap();
+    }
+
+    #[test]
+    fn same_person_batch_lands_on_one_shard_contiguously() {
+        let shards = AuditShards::<MemBackend>::in_memory(4);
+        shards.append(rec(0, 1)).unwrap();
+        let first = shards
+            .append_batch((0..5).map(|i| rec(i, 7)).collect())
+            .unwrap();
+        assert_eq!(first, 1);
+        let batch = shards.query(&AuditQuery::new().person(PersonId(7)));
+        assert_eq!(batch.len(), 5);
+        let seqs: Vec<u64> = batch.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn single_shard_head_matches_unsharded_log() {
+        let shards = AuditShards::<MemBackend>::in_memory(1);
+        let mut plain = AuditLog::<MemBackend>::in_memory();
+        for i in 0..6 {
+            shards.append(rec(i, i)).unwrap();
+            plain.append(rec(i, i)).unwrap();
+        }
+        assert_eq!(shards.head(), plain.head());
+    }
+
+    #[test]
+    fn multi_shard_head_detects_any_shard_change() {
+        let a = AuditShards::<MemBackend>::in_memory(4);
+        let b = AuditShards::<MemBackend>::in_memory(4);
+        for i in 0..8 {
+            a.append(rec(i, i)).unwrap();
+            b.append(rec(i, i)).unwrap();
+        }
+        assert_eq!(a.head(), b.head());
+        b.append(rec(99, 3)).unwrap();
+        assert_ne!(a.head(), b.head());
+    }
+
+    #[test]
+    fn sharded_logs_reopen_with_gappy_seqs() {
+        let shards = AuditShards::open(vec![MemBackend::new(), MemBackend::new()]).unwrap();
+        for i in 0..10 {
+            shards.append(rec(i, i)).unwrap();
+        }
+        let head = shards.head();
+        // Extract both backends and reopen: each shard's stream is
+        // gappy but increasing; the sequencer resumes past the max.
+        let backends: Vec<MemBackend> = shards
+            .shards
+            .into_iter()
+            .map(|s| s.into_inner().into_backend().unwrap())
+            .collect();
+        let reopened = AuditShards::open(backends).unwrap();
+        assert_eq!(reopened.len(), 10);
+        assert_eq!(reopened.head(), head);
+        let next = reopened.append(rec(50, 50)).unwrap();
+        assert_eq!(next, 10);
+    }
+
+    #[test]
+    fn empty_batch_allocates_nothing() {
+        let shards = AuditShards::<MemBackend>::in_memory(2);
+        shards.append(rec(0, 0)).unwrap();
+        shards.append_batch(Vec::new()).unwrap();
+        assert_eq!(shards.append(rec(1, 1)).unwrap(), 1);
+    }
+}

@@ -13,7 +13,7 @@ fn bench(c: &mut Criterion) {
 
     // Grant path: consumer 0 has a policy.
     {
-        let mut world = micro_world(2);
+        let world = micro_world(2);
         let granted = world.consumers[0];
         group.bench_function("subscribe_granted", |b| {
             b.iter(|| {
@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
 
     // Deny path: a consumer with a contract but no policy.
     {
-        let mut world = micro_world(1);
+        let world = micro_world(1);
         let stranger = css_types::ActorId(900);
         world
             .controller

@@ -3,28 +3,34 @@
 //! Several consumer threads interleave the three hot operations of the
 //! integration platform — detail requests (Algorithm 1), person
 //! inquiries over the encrypted index, and publishes — against a single
-//! shared `DataController`. The single-threaded mix is registered as a
+//! shared `DataController`. The controller is internally synchronized
+//! (sharded index, segmented decision cache, read-write registries), so
+//! the threads drive a plain `Arc<DataController>` with no outer lock:
+//! what is measured is the platform's real concurrency, not a
+//! test-harness mutex. The single-threaded mix is registered as a
 //! Criterion timing; the threaded runs are timed manually (the harness
 //! is single-threaded) and printed in the same machine-readable format,
 //! plus aggregate ops/s and the PDP cache hit rate at the end.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use css_bench::{blood_test_details, micro_world, print_header, HOSPITAL};
+use css_bench::{blood_test_details, micro_world_sharded, print_header, HOSPITAL};
 use css_controller::{DataController, SharedGateway};
 use css_storage::MemBackend;
 use css_types::{EventTypeId, GlobalEventId, PersonId, Purpose, SourceEventId, Timestamp};
 
 const EVENTS: u64 = 500;
 const OPS_PER_THREAD: u64 = 2_000;
+/// Shards for the threaded runs: matches the widest thread count.
+const SHARDS: usize = 8;
 
 /// One step of the 70/20/10 request/inquiry/publish mix.
 fn mixed_op(
-    controller: &mut DataController<MemBackend>,
+    controller: &DataController<MemBackend>,
     gateway: &SharedGateway<MemBackend>,
     consumer: css_types::ActorId,
     event_ids: &[GlobalEventId],
@@ -74,8 +80,9 @@ fn bench(c: &mut Criterion) {
     print_header("E15", "multi-threaded mixed workload (1 controller)");
 
     // World: four consumer organizations, each subscribed and granted a
-    // policy; a corpus of published events to request against.
-    let mut world = micro_world(4);
+    // policy; a corpus of published events to request against; the data
+    // plane split into SHARDS citizen-hashed shards.
+    let mut world = micro_world_sharded(4, SHARDS);
     let ty = EventTypeId::v1("blood-test");
     let subs: Vec<_> = world
         .consumers
@@ -101,7 +108,7 @@ fn bench(c: &mut Criterion) {
     let gateway = world.gateway.clone();
     let mut group = c.benchmark_group("e15_mixed_workload");
     {
-        let controller = &mut world.controller;
+        let controller = &world.controller;
         let mut i = 0u64;
         let mut src = 10_000_000u64;
         group.bench_function("mixed_op_single_thread", |b| {
@@ -120,9 +127,9 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
-    // Threaded runs: the controller behind one mutex, N threads driving
-    // the same mix. Contention on the lock is part of what is measured.
-    let controller = Arc::new(Mutex::new(world.controller));
+    // Threaded runs: N threads drive the shared controller directly —
+    // shard contention (not a global lock) is what is measured.
+    let controller = Arc::new(world.controller);
     let event_ids = Arc::new(event_ids);
     for threads in [1usize, 2, 4, 8] {
         let started = Instant::now();
@@ -139,14 +146,7 @@ fn bench(c: &mut Criterion) {
                 std::thread::spawn(move || {
                     let mut src = base;
                     for i in 0..OPS_PER_THREAD {
-                        mixed_op(
-                            &mut controller.lock().unwrap(),
-                            &gateway,
-                            consumer,
-                            &event_ids,
-                            i,
-                            &mut src,
-                        );
+                        mixed_op(&controller, &gateway, consumer, &event_ids, i, &mut src);
                     }
                 })
             })
@@ -163,12 +163,16 @@ fn bench(c: &mut Criterion) {
         eprintln!("  {total_ops} ops across {threads} thread(s): {ops_per_s:.0} ops/s");
     }
 
-    let snapshot = controller.lock().unwrap().telemetry().snapshot();
+    let snapshot = controller.telemetry().snapshot();
     let hits = snapshot.counter("pdp.cache_hit");
     let misses = snapshot.counter("pdp.cache_miss");
     eprintln!(
         "PDP cache: {hits} hits / {misses} misses ({:.1}% hit rate)",
         100.0 * hits as f64 / (hits + misses).max(1) as f64
+    );
+    eprintln!(
+        "shard balance (index events per shard): {:?}",
+        controller.index_shard_lens()
     );
     for (name, h) in &snapshot.histograms {
         if name == "stage.pdp_evaluate" {

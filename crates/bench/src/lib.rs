@@ -98,9 +98,22 @@ pub fn micro_world(consumers: usize) -> MicroWorld {
 /// Build a [`MicroWorld`] whose controller mints spans into `tracer` —
 /// the fixture for traced-vs-untraced overhead comparisons (E16).
 pub fn micro_world_traced(consumers: usize, tracer: Tracer) -> MicroWorld {
+    micro_world_config(consumers, tracer, 1)
+}
+
+/// Build a [`MicroWorld`] whose controller partitions its data plane
+/// into `shards` citizen-hashed shards — the fixture for the E15/E19
+/// multicore-scaling runs.
+pub fn micro_world_sharded(consumers: usize, shards: usize) -> MicroWorld {
+    micro_world_config(consumers, Tracer::disabled(), shards)
+}
+
+fn micro_world_config(consumers: usize, tracer: Tracer, shards: usize) -> MicroWorld {
     let clock = SimClock::starting_at(Timestamp(1_000_000));
-    let config = ControllerConfig::with_clock(Arc::new(clock.clone())).with_tracer(tracer);
-    let mut controller = DataController::new(config, MemBackend::new()).unwrap();
+    let config = ControllerConfig::with_clock(Arc::new(clock.clone()))
+        .with_tracer(tracer)
+        .with_shards(shards);
+    let controller = DataController::new(config, MemBackend::new()).unwrap();
     controller
         .register_actor(Actor::organization(HOSPITAL, "Hospital"))
         .unwrap();

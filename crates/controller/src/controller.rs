@@ -1,9 +1,23 @@
 //! The Data Controller facade.
+//!
+//! Since the sharded data plane (see [`crate::shards`]) every method
+//! takes `&self`: the controller's registries sit behind their own
+//! `RwLock`s, the events index and audit log are partitioned by
+//! citizen into independently locked shards, and id generators are
+//! atomic. Callers share one controller with a plain `Arc` — no outer
+//! mutex — and operations on different citizens proceed in parallel.
+//!
+//! Lock ordering (to stay deadlock-free): registry read guards (`pdp`
+//! before `actors` when both are held) are taken before any index
+//! shard lock; audit shard locks are taken last, with no other guard
+//! held. Cross-shard operations hold one shard lock at a time.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-use css_audit::{AuditAction, AuditLog, AuditQuery, AuditRecord, AuditReport};
+use parking_lot::{RwLock, RwLockReadGuard};
+
+use css_audit::{AuditAction, AuditQuery, AuditRecord, AuditReport, AuditShards};
 use css_bus::{Bus, BusDriver, PublishOptions, SubscriberHandle, SubscriptionConfig};
 use css_event::{EventSchema, NotificationMessage};
 use css_policy::{DetailRequest, PolicyDecisionPoint, PrivacyPolicy};
@@ -20,8 +34,8 @@ use css_types::{
 use crate::consent::{ConsentDecision, ConsentRegistry, ConsentScope};
 use crate::contract::{ContractRegistry, ParticipantContract, ParticipantRole};
 use crate::gateway_client::GatewayClient;
-use crate::index::EventsIndex;
 use crate::pep::PolicyEnforcementPoint;
+use crate::shards::{HashedShards, IndexShards, ShardMap, SingleShard};
 
 /// Construction parameters for a controller.
 pub struct ControllerConfig {
@@ -44,6 +58,11 @@ pub struct ControllerConfig {
     /// a [`css_bus::RecordingDriver`] in tests, a networked broker in a
     /// multi-site deployment).
     pub bus_driver: Option<Arc<dyn BusDriver<NotificationMessage>>>,
+    /// How many data-plane shards (events index + audit) the controller
+    /// partitions its state into. `1` (the default) reproduces the
+    /// unsharded layout exactly; a multicore deployment wants one shard
+    /// per expected concurrent writer, e.g. `min(8, cores)`.
+    pub shards: usize,
 }
 
 impl ControllerConfig {
@@ -56,6 +75,7 @@ impl ControllerConfig {
             telemetry: MetricsRegistry::new(),
             tracer: Tracer::disabled(),
             bus_driver: None,
+            shards: 1,
         }
     }
 
@@ -80,6 +100,22 @@ impl ControllerConfig {
         self.bus_driver = Some(driver);
         self
     }
+
+    /// Partition the data plane into `n` citizen-hashed shards
+    /// (clamped to at least 1).
+    pub fn with_shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// The shard map this configuration implies.
+    fn shard_map(&self) -> Arc<dyn ShardMap> {
+        if self.shards <= 1 {
+            Arc::new(SingleShard)
+        } else {
+            Arc::new(HashedShards::new(self.shards))
+        }
+    }
 }
 
 /// Outcome of a successful publish.
@@ -94,19 +130,20 @@ pub struct PublishReceipt {
 /// The central coordination node (Fig. 2).
 ///
 /// Generic over the storage backend of its audit log so tests run in
-/// memory and deployments on disk.
+/// memory and deployments on disk. All methods take `&self`; share a
+/// controller between threads with `Arc<DataController<_>>`.
 pub struct DataController<B: LogBackend> {
-    actors: ActorRegistry,
-    contracts: ContractRegistry,
-    catalog: EventCatalog,
+    actors: RwLock<ActorRegistry>,
+    contracts: RwLock<ContractRegistry>,
+    catalog: RwLock<EventCatalog>,
     bus: Bus<NotificationMessage>,
-    index: EventsIndex<B>,
-    pdp: PolicyDecisionPoint,
-    consent: ConsentRegistry,
-    audit: AuditLog<B>,
-    gateways: HashMap<ActorId, Box<dyn GatewayClient>>,
+    index: IndexShards<B>,
+    pdp: RwLock<PolicyDecisionPoint>,
+    consent: RwLock<ConsentRegistry>,
+    audit: AuditShards<B>,
+    gateways: RwLock<HashMap<ActorId, Arc<dyn GatewayClient>>>,
     /// consumer org per live subscription, for routing bookkeeping.
-    subscribers: HashMap<SubscriptionId, (ActorId, EventTypeId)>,
+    subscribers: RwLock<HashMap<SubscriptionId, (ActorId, EventTypeId)>>,
     clock: Arc<dyn Clock>,
     subscription_config: SubscriptionConfig,
     telemetry: MetricsRegistry,
@@ -118,45 +155,78 @@ pub struct DataController<B: LogBackend> {
 
 impl<B: LogBackend> DataController<B> {
     /// Create a controller whose audit log lives on `audit_backend`.
+    ///
+    /// With `config.shards > 1` the events index is partitioned
+    /// in-memory and the audit plane keeps shard 0 on the given
+    /// backend (sibling shards are memory-resident).
     pub fn new(config: ControllerConfig, audit_backend: B) -> CssResult<Self> {
-        let index = EventsIndex::new(&config.master_key);
-        Self::assemble(config, audit_backend, index)
+        let map = config.shard_map();
+        let index = IndexShards::new(&config.master_key, map);
+        let audit = AuditShards::open_padded(audit_backend, config.shards)?;
+        Self::assemble(config, index, audit)
     }
 
     /// Create a controller whose audit log AND events index are both
-    /// disk-backed. The index replays persisted notifications on open,
-    /// so a controller restart loses no events.
+    /// disk-backed, on one backend each. The index replays persisted
+    /// notifications on open, so a controller restart loses no events.
+    /// This layout is single-shard regardless of `config.shards`; a
+    /// sharded persistent deployment uses
+    /// [`DataController::with_shard_backends`].
     pub fn with_backends(
         config: ControllerConfig,
         audit_backend: B,
         index_backend: B,
     ) -> CssResult<Self> {
-        let index = EventsIndex::open(&config.master_key, index_backend)?;
-        Self::assemble(config, audit_backend, index)
+        Self::with_shard_backends(config, vec![audit_backend], vec![index_backend])
+    }
+
+    /// Create a fully disk-backed controller with one audit backend and
+    /// one index backend **per shard**. The two backend vectors must be
+    /// the same length; that length overrides `config.shards`. Index
+    /// replay re-routes every persisted entry to its current owner
+    /// shard, so reopening with a different shard count loses nothing.
+    pub fn with_shard_backends(
+        mut config: ControllerConfig,
+        audit_backends: Vec<B>,
+        index_backends: Vec<B>,
+    ) -> CssResult<Self> {
+        if audit_backends.len() != index_backends.len() {
+            return Err(CssError::Invalid(format!(
+                "shard backend mismatch: {} audit vs {} index",
+                audit_backends.len(),
+                index_backends.len()
+            )));
+        }
+        config.shards = index_backends.len().max(1);
+        let map = config.shard_map();
+        let index = IndexShards::open(&config.master_key, map, index_backends)?;
+        let audit = AuditShards::open(audit_backends)?;
+        Self::assemble(config, index, audit)
     }
 
     fn assemble(
         config: ControllerConfig,
-        audit_backend: B,
-        index: EventsIndex<B>,
+        mut index: IndexShards<B>,
+        audit: AuditShards<B>,
     ) -> CssResult<Self> {
+        index.instrument(&config.telemetry);
         // Continue minting global ids after the highest recovered one so
         // restarts never reuse an eID (nonce safety for the sealer).
         let next_eid = index.max_event_id().map(|m| m.value() + 1).unwrap_or(1);
         Ok(DataController {
-            actors: ActorRegistry::new(),
-            contracts: ContractRegistry::new(),
-            catalog: EventCatalog::new(),
+            actors: RwLock::new(ActorRegistry::new()),
+            contracts: RwLock::new(ContractRegistry::new()),
+            catalog: RwLock::new(EventCatalog::new()),
             bus: match config.bus_driver {
                 Some(driver) => Bus::from_driver(driver),
                 None => Bus::in_memory_with_telemetry(&config.telemetry),
             },
             index,
-            pdp: PolicyDecisionPoint::new(),
-            consent: ConsentRegistry::new(),
-            audit: AuditLog::open(audit_backend)?,
-            gateways: HashMap::new(),
-            subscribers: HashMap::new(),
+            pdp: RwLock::new(PolicyDecisionPoint::new()),
+            consent: RwLock::new(ConsentRegistry::new()),
+            audit,
+            gateways: RwLock::new(HashMap::new()),
+            subscribers: RwLock::new(HashMap::new()),
             clock: config.clock,
             subscription_config: config.subscription,
             telemetry: config.telemetry,
@@ -182,30 +252,46 @@ impl<B: LogBackend> DataController<B> {
         self.clock.now()
     }
 
+    /// How many data-plane shards this controller runs.
+    pub fn shard_count(&self) -> usize {
+        self.index.shard_count()
+    }
+
+    /// Indexed events per shard — the balance picture behind the
+    /// imbalance gauge and health check.
+    pub fn index_shard_lens(&self) -> Vec<usize> {
+        self.index.shard_lens()
+    }
+
+    /// Audit records per shard.
+    pub fn audit_shard_lens(&self) -> Vec<usize> {
+        self.audit.shard_lens()
+    }
+
     // ---- onboarding --------------------------------------------------
 
     /// Register an actor in the organizational registry.
-    pub fn register_actor(&mut self, actor: Actor) -> CssResult<()> {
-        self.actors.register(actor)?;
+    pub fn register_actor(&self, actor: Actor) -> CssResult<()> {
+        self.actors.write().register(actor)?;
         // The hierarchy is an input to policy matching (a new unit under
         // an organization inherits its grants), so cached decisions are
         // no longer trustworthy.
-        self.pdp.invalidate_cache();
+        self.pdp.read().invalidate_cache();
         Ok(())
     }
 
-    /// The actor registry (read-only).
-    pub fn actors(&self) -> &ActorRegistry {
-        &self.actors
+    /// Read access to the actor registry.
+    pub fn actors(&self) -> RwLockReadGuard<'_, ActorRegistry> {
+        self.actors.read()
     }
 
     /// Sign a participation contract for a (top-level) actor.
-    pub fn sign_contract(&mut self, actor: ActorId, role: ParticipantRole) -> CssResult<()> {
-        if self.actors.get(actor).is_none() {
+    pub fn sign_contract(&self, actor: ActorId, role: ParticipantRole) -> CssResult<()> {
+        if self.actors.read().get(actor).is_none() {
             return Err(CssError::NotFound(format!("actor {actor} not registered")));
         }
         let now = self.now();
-        self.contracts.sign(ParticipantContract {
+        self.contracts.write().sign(ParticipantContract {
             actor,
             role,
             signed_at: now,
@@ -216,26 +302,23 @@ impl<B: LogBackend> DataController<B> {
     }
 
     /// Connect a producer's gateway endpoint.
-    pub fn register_gateway(&mut self, producer: ActorId, client: Box<dyn GatewayClient>) {
-        self.gateways.insert(producer, client);
+    pub fn register_gateway(&self, producer: ActorId, client: Box<dyn GatewayClient>) {
+        self.gateways.write().insert(producer, Arc::from(client));
     }
 
     /// Producer declares a class of events in the catalog; the bus topic
     /// is created alongside.
-    pub fn declare_event_class(
-        &mut self,
-        schema: &EventSchema,
-        domain: Option<&str>,
-    ) -> CssResult<()> {
-        self.contracts.require_producer(schema.producer)?;
-        self.catalog.declare(schema, domain)?;
+    pub fn declare_event_class(&self, schema: &EventSchema, domain: Option<&str>) -> CssResult<()> {
+        self.contracts.read().require_producer(schema.producer)?;
+        self.catalog.write().declare(schema, domain)?;
         self.bus.create_topic(&schema.id.to_string());
         Ok(())
     }
 
-    /// The event catalog (visible to every contracted participant).
-    pub fn catalog(&self) -> &EventCatalog {
-        &self.catalog
+    /// Read access to the event catalog (visible to every contracted
+    /// participant).
+    pub fn catalog(&self) -> RwLockReadGuard<'_, EventCatalog> {
+        self.catalog.read()
     }
 
     // ---- policies -----------------------------------------------------
@@ -249,24 +332,27 @@ impl<B: LogBackend> DataController<B> {
     ///
     /// Validates ownership (only the declaring producer may protect its
     /// classes) and that `F` only names declared fields.
-    pub fn define_policy(&mut self, policy: PrivacyPolicy) -> CssResult<()> {
-        self.contracts.require_producer(policy.producer)?;
-        let schema = self.catalog.schema(&policy.event_type)?;
-        if schema.producer != policy.producer {
-            return Err(CssError::Invalid(format!(
-                "event class {} belongs to {}, not to {}",
-                policy.event_type, schema.producer, policy.producer
-            )));
-        }
-        for field in &policy.fields {
-            if schema.field_def(field).is_none() {
+    pub fn define_policy(&self, policy: PrivacyPolicy) -> CssResult<()> {
+        self.contracts.read().require_producer(policy.producer)?;
+        {
+            let catalog = self.catalog.read();
+            let schema = catalog.schema(&policy.event_type)?;
+            if schema.producer != policy.producer {
                 return Err(CssError::Invalid(format!(
-                    "policy names unknown field {field:?} of {}",
-                    policy.event_type
+                    "event class {} belongs to {}, not to {}",
+                    policy.event_type, schema.producer, policy.producer
                 )));
             }
+            for field in &policy.fields {
+                if schema.field_def(field).is_none() {
+                    return Err(CssError::Invalid(format!(
+                        "policy names unknown field {field:?} of {}",
+                        policy.event_type
+                    )));
+                }
+            }
         }
-        if self.actors.get(policy.actor).is_none() {
+        if self.actors.read().get(policy.actor).is_none() {
             return Err(CssError::NotFound(format!(
                 "policy subject {} not registered",
                 policy.actor
@@ -275,7 +361,7 @@ impl<B: LogBackend> DataController<B> {
         let record = AuditRecord::new(self.now(), policy.producer, AuditAction::PolicyChange)
             .event_type(policy.event_type.clone())
             .with_detail(format!("defined {}", policy.id));
-        self.pdp.install(policy);
+        self.pdp.write().install(policy);
         self.audit.append(record)?;
         Ok(())
     }
@@ -286,16 +372,17 @@ impl<B: LogBackend> DataController<B> {
     /// [`DataController::define_policy`] (the repository content was
     /// validated when first defined) and writes no audit record (the
     /// original definition is already on the log).
-    pub fn restore_policy(&mut self, policy: PrivacyPolicy) {
+    pub fn restore_policy(&self, policy: PrivacyPolicy) {
         // Keep the id generator ahead of restored ids.
         self.policy_gen.advance_past(policy.id.value());
-        self.pdp.install(policy);
+        self.pdp.write().install(policy);
     }
 
     /// Producer revokes one of its policies.
-    pub fn revoke_policy(&mut self, producer: ActorId, id: PolicyId) -> CssResult<()> {
+    pub fn revoke_policy(&self, producer: ActorId, id: PolicyId) -> CssResult<()> {
         let owned = self
             .pdp
+            .read()
             .iter()
             .any(|p| p.id == id && p.producer == producer);
         if !owned {
@@ -303,7 +390,7 @@ impl<B: LogBackend> DataController<B> {
                 "policy {id} not found for producer {producer}"
             )));
         }
-        self.pdp.revoke(id);
+        self.pdp.write().revoke(id);
         let record = AuditRecord::new(self.now(), producer, AuditAction::PolicyChange)
             .with_detail(format!("revoked {id}"));
         self.audit.append(record)?;
@@ -312,15 +399,19 @@ impl<B: LogBackend> DataController<B> {
 
     /// Number of installed policies.
     pub fn policy_count(&self) -> usize {
-        self.pdp.len()
+        self.pdp.read().len()
     }
 
     /// Whether any policy (valid now, not revoked) authorizes `consumer`
     /// for events of `event_type` — the subscription / inquiry gate.
-    /// Served from the PDP's generation-stamped cache on repeat checks.
+    /// Served from the PDP's generation-stamped cache on repeat checks;
+    /// the cache is segment-local but its generation stamp is global, so
+    /// a revocation anywhere denies everywhere on the next request.
     pub fn is_authorized_consumer(&self, consumer: ActorId, event_type: &EventTypeId) -> bool {
-        self.pdp
-            .is_authorized(consumer, event_type, &self.actors, self.now())
+        let now = self.now();
+        let pdp = self.pdp.read();
+        let actors = self.actors.read();
+        pdp.is_authorized(consumer, event_type, &actors, now)
     }
 
     // ---- subscription --------------------------------------------------
@@ -330,7 +421,7 @@ impl<B: LogBackend> DataController<B> {
     /// Deny-by-default: rejected unless a privacy policy authorizes this
     /// consumer for the class (Section 5.2).
     pub fn subscribe(
-        &mut self,
+        &self,
         consumer: ActorId,
         event_type: &EventTypeId,
     ) -> CssResult<SubscriberHandle<NotificationMessage>> {
@@ -345,7 +436,7 @@ impl<B: LogBackend> DataController<B> {
     /// queue), and each member passes the same deny-by-default
     /// authorization gate as [`DataController::subscribe`].
     pub fn subscribe_grouped(
-        &mut self,
+        &self,
         consumer: ActorId,
         event_type: &EventTypeId,
         group: &str,
@@ -355,18 +446,19 @@ impl<B: LogBackend> DataController<B> {
     }
 
     fn subscribe_inner(
-        &mut self,
+        &self,
         consumer: ActorId,
         event_type: &EventTypeId,
         group: Option<&str>,
     ) -> CssResult<SubscriberHandle<NotificationMessage>> {
-        self.contracts.require_consumer(
-            self.actors
-                .organization_of(consumer)
-                .ok_or_else(|| CssError::NotFound(format!("actor {consumer} not registered")))?,
-        )?;
+        let org = self
+            .actors
+            .read()
+            .organization_of(consumer)
+            .ok_or_else(|| CssError::NotFound(format!("actor {consumer} not registered")))?;
+        self.contracts.read().require_consumer(org)?;
         let now = self.now();
-        if !self.catalog.contains(event_type) {
+        if !self.catalog.read().contains(event_type) {
             return Err(CssError::NotFound(format!(
                 "event class {event_type} not declared"
             )));
@@ -387,6 +479,7 @@ impl<B: LogBackend> DataController<B> {
             None => self.bus.subscribe(&topic, self.subscription_config)?,
         };
         self.subscribers
+            .write()
             .insert(handle.id(), (consumer, event_type.clone()));
         self.audit.append(
             AuditRecord::new(now, consumer, AuditAction::Subscribe).event_type(event_type.clone()),
@@ -395,8 +488,8 @@ impl<B: LogBackend> DataController<B> {
     }
 
     /// Remove a subscription (consumer-initiated).
-    pub fn unsubscribe(&mut self, handle: SubscriberHandle<NotificationMessage>) -> CssResult<()> {
-        self.subscribers.remove(&handle.id());
+    pub fn unsubscribe(&self, handle: SubscriberHandle<NotificationMessage>) -> CssResult<()> {
+        self.subscribers.write().remove(&handle.id());
         handle.unsubscribe()
     }
 
@@ -418,9 +511,12 @@ impl<B: LogBackend> DataController<B> {
     /// the consent gate through the audit group commit; `bus.route`,
     /// `bus.deliver` and `index.insert` become children, and the trace
     /// id is stamped into the Publish and Delivery audit records.
+    ///
+    /// Concurrency: publishes about different citizens touch disjoint
+    /// index and audit shards, so they serialize only on the bus topic.
     #[allow(clippy::too_many_arguments)]
     pub fn publish(
-        &mut self,
+        &self,
         producer: ActorId,
         person: PersonIdentity,
         description: String,
@@ -429,13 +525,16 @@ impl<B: LogBackend> DataController<B> {
         src_event_id: SourceEventId,
         parent: Option<&TraceContext>,
     ) -> CssResult<PublishReceipt> {
-        self.contracts.require_producer(producer)?;
-        let schema = self.catalog.schema(&event_type)?;
-        if schema.producer != producer {
-            return Err(CssError::Invalid(format!(
-                "event class {event_type} belongs to {}, not to {producer}",
-                schema.producer
-            )));
+        self.contracts.read().require_producer(producer)?;
+        {
+            let catalog = self.catalog.read();
+            let schema = catalog.schema(&event_type)?;
+            if schema.producer != producer {
+                return Err(CssError::Invalid(format!(
+                    "event class {event_type} belongs to {}, not to {producer}",
+                    schema.producer
+                )));
+            }
         }
         let now = self.now();
         let mut timer = StageTimer::start(&self.telemetry, "publish");
@@ -447,7 +546,7 @@ impl<B: LogBackend> DataController<B> {
         span.attr(SpanAttr::event_type(&event_type));
         let trace_id = span.trace_id();
         // Consent gate at the source.
-        if !self.consent.allows(person.id, producer, &event_type) {
+        if !self.consent.read().allows(person.id, producer, &event_type) {
             timer.stage("consent_gate");
             span.set_status(SpanStatus::Denied);
             self.telemetry.counter("controller.publish_denied").inc();
@@ -495,6 +594,7 @@ impl<B: LogBackend> DataController<B> {
         timer.stage("route");
         let notified: HashSet<ActorId> = self
             .subscribers
+            .read()
             .values()
             .filter(|(_, ty)| *ty == event_type)
             .map(|(actor, _)| *actor)
@@ -506,6 +606,8 @@ impl<B: LogBackend> DataController<B> {
         timer.stage("index");
         // One group commit for the Publish record and the per-consumer
         // Delivery fan-out: a single storage write instead of 1 + N.
+        // Every record carries the same person, so the whole batch
+        // lands on one audit shard.
         let mut records = Vec::with_capacity(1 + notified.len());
         records.push(
             AuditRecord::new(now, producer, AuditAction::Publish)
@@ -540,7 +642,7 @@ impl<B: LogBackend> DataController<B> {
     #[allow(clippy::too_many_arguments)]
     #[deprecated(note = "use publish with an optional parent TraceContext")]
     pub fn publish_traced(
-        &mut self,
+        &self,
         producer: ActorId,
         person: PersonIdentity,
         description: String,
@@ -566,9 +668,9 @@ impl<B: LogBackend> DataController<B> {
     /// person. Only events of classes the consumer is authorized for are
     /// returned; each returned event is marked as notified to the
     /// consumer (inquiry and pub/sub are equivalent notification
-    /// channels, Section 4).
+    /// channels, Section 4). Touches exactly one index shard.
     pub fn inquire_by_person(
-        &mut self,
+        &self,
         consumer: ActorId,
         person: PersonId,
     ) -> CssResult<Vec<NotificationMessage>> {
@@ -578,7 +680,7 @@ impl<B: LogBackend> DataController<B> {
     /// [`DataController::inquire_by_person`], continuing the caller's
     /// trace (or minting an `inquiry` root span when `parent` is none).
     pub fn inquire_by_person_traced(
-        &mut self,
+        &self,
         consumer: ActorId,
         person: PersonId,
         parent: Option<&TraceContext>,
@@ -588,8 +690,9 @@ impl<B: LogBackend> DataController<B> {
     }
 
     /// Consumer queries the events index for notifications of one class.
+    /// Scatter-gathers across shards; results keep global id order.
     pub fn inquire_by_type(
-        &mut self,
+        &self,
         consumer: ActorId,
         event_type: &EventTypeId,
     ) -> CssResult<Vec<NotificationMessage>> {
@@ -600,7 +703,7 @@ impl<B: LogBackend> DataController<B> {
     /// Consumer queries the events index for notifications in a time
     /// window (any class the consumer is authorized for).
     pub fn inquire_between(
-        &mut self,
+        &self,
         consumer: ActorId,
         from: Timestamp,
         to: Timestamp,
@@ -610,31 +713,36 @@ impl<B: LogBackend> DataController<B> {
     }
 
     fn filter_inquiry(
-        &mut self,
+        &self,
         consumer: ActorId,
         candidates: Vec<GlobalEventId>,
         parent: Option<&TraceContext>,
     ) -> CssResult<Vec<NotificationMessage>> {
         let org = self
             .actors
+            .read()
             .organization_of(consumer)
             .ok_or_else(|| CssError::NotFound(format!("actor {consumer} not registered")))?;
-        self.contracts.require_consumer(org)?;
+        self.contracts.read().require_consumer(org)?;
         let now = self.now();
         let mut span = match parent {
             Some(ctx) => ctx.child("inquiry"),
             None => self.tracer.root("inquiry", now),
         };
         span.attr(SpanAttr::actor(consumer));
-        // Resolve each candidate once inside the index (entry lookup,
-        // authorization, decrypt and notified-marking share a single
-        // entry resolution; markers are persisted as one batch).
-        let pdp = &self.pdp;
-        let actors = &self.actors;
+        // Resolve each candidate once inside its owner shard (entry
+        // lookup, authorization, decrypt and notified-marking share a
+        // single entry resolution; markers are persisted as one batch
+        // per shard). The pdp/actors read guards span the scatter, but
+        // shard locks nest strictly inside them, one at a time.
         let filter_span = span.context().child("index.filter");
-        let mut out = self.index.filter_authorized(&candidates, consumer, |ty| {
-            pdp.is_authorized(consumer, ty, actors, now)
-        })?;
+        let mut out = {
+            let pdp = self.pdp.read();
+            let actors = self.actors.read();
+            self.index.filter_authorized(&candidates, consumer, |ty| {
+                pdp.is_authorized(consumer, ty, &actors, now)
+            })?
+        };
         filter_span.finish();
         self.audit.append(
             AuditRecord::new(now, consumer, AuditAction::IndexInquiry)
@@ -650,7 +758,7 @@ impl<B: LogBackend> DataController<B> {
 
     /// Consumer requests the details of an event (Algorithm 1).
     pub fn request_details(
-        &mut self,
+        &self,
         consumer: ActorId,
         event_type: EventTypeId,
         event_id: GlobalEventId,
@@ -665,7 +773,7 @@ impl<B: LogBackend> DataController<B> {
     /// span, and the root span status mirrors the outcome: `Denied` for
     /// policy denials, `Error` for infrastructure faults.
     pub fn request_details_traced(
-        &mut self,
+        &self,
         consumer: ActorId,
         event_type: EventTypeId,
         event_id: GlobalEventId,
@@ -674,9 +782,10 @@ impl<B: LogBackend> DataController<B> {
     ) -> CssResult<css_event::PrivacyAwareEvent> {
         let org = self
             .actors
+            .read()
             .organization_of(consumer)
             .ok_or_else(|| CssError::NotFound(format!("actor {consumer} not registered")))?;
-        self.contracts.require_consumer(org)?;
+        self.contracts.read().require_consumer(org)?;
         let now = self.now();
         let mut span = match parent {
             Some(ctx) => ctx.child("detail_request"),
@@ -693,12 +802,12 @@ impl<B: LogBackend> DataController<B> {
             event_id,
             purpose,
         );
-        let mut pep = PolicyEnforcementPoint {
+        let pep = PolicyEnforcementPoint {
             index: &self.index,
             pdp: &self.pdp,
             actors: &self.actors,
             consent: &self.consent,
-            audit: &mut self.audit,
+            audit: &self.audit,
             gateways: &self.gateways,
             telemetry: &self.telemetry,
             trace: span.context(),
@@ -721,7 +830,7 @@ impl<B: LogBackend> DataController<B> {
     /// A data subject views their own profile: every notification about
     /// them, regardless of consumer policies — the right of access that
     /// underpins the PHR use the paper projects. Audited.
-    pub fn subject_profile(&mut self, person: PersonId) -> CssResult<Vec<NotificationMessage>> {
+    pub fn subject_profile(&self, person: PersonId) -> CssResult<Vec<NotificationMessage>> {
         let ids = self.index.events_of_person(person);
         let mut out = Vec::with_capacity(ids.len());
         for id in ids {
@@ -738,13 +847,8 @@ impl<B: LogBackend> DataController<B> {
 
     /// A data subject asks who touched their data: the audit records
     /// carrying their person dimension. The lookup itself is audited.
-    pub fn subject_audit_trail(&mut self, person: PersonId) -> CssResult<Vec<AuditRecord>> {
-        let trail: Vec<AuditRecord> = self
-            .audit
-            .query(&AuditQuery::new().person(person))
-            .into_iter()
-            .cloned()
-            .collect();
+    pub fn subject_audit_trail(&self, person: PersonId) -> CssResult<Vec<AuditRecord>> {
+        let trail = self.audit.query(&AuditQuery::new().person(person));
         self.audit.append(
             AuditRecord::new(self.now(), ActorId(0), AuditAction::SubjectAccess)
                 .person(person)
@@ -757,13 +861,13 @@ impl<B: LogBackend> DataController<B> {
 
     /// Record a consent directive from a data subject.
     pub fn record_consent(
-        &mut self,
+        &self,
         person: PersonId,
         scope: ConsentScope,
         decision: ConsentDecision,
     ) -> CssResult<()> {
         let now = self.now();
-        self.consent.record(person, scope, decision, now);
+        self.consent.write().record(person, scope, decision, now);
         // Consent changes are logged against the platform itself; the
         // subject is tracked in the person dimension.
         self.audit
@@ -773,9 +877,9 @@ impl<B: LogBackend> DataController<B> {
 
     // ---- audit ----------------------------------------------------------
 
-    /// Run an audit inquiry.
+    /// Run an audit inquiry (merged across shards, global seq order).
     pub fn audit_query(&self, q: &AuditQuery) -> Vec<AuditRecord> {
-        self.audit.query(q).into_iter().cloned().collect()
+        self.audit.query(q)
     }
 
     /// Aggregate audit report.
@@ -783,12 +887,14 @@ impl<B: LogBackend> DataController<B> {
         self.audit.report(q)
     }
 
-    /// The audit chain head (hand to an external auditor).
+    /// The audit chain head (hand to an external auditor). With one
+    /// shard this is the shard's chain head; with several it binds
+    /// every shard head.
     pub fn audit_head(&self) -> [u8; 32] {
         self.audit.head()
     }
 
-    /// Verify the audit chain end-to-end.
+    /// Verify the audit chain end-to-end (every shard).
     pub fn verify_audit(&self) -> CssResult<()> {
         self.audit.verify()
     }
@@ -821,5 +927,17 @@ impl<B: LogBackend> DataController<B> {
     /// deployment can call this from its ops loop.
     pub fn bus_sweep(&self) -> usize {
         self.bus.sweep()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use css_storage::MemBackend;
+
+    #[test]
+    fn controller_is_shareable_across_threads() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<DataController<MemBackend>>();
     }
 }

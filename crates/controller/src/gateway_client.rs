@@ -17,7 +17,11 @@ use css_types::{CssResult, SourceEventId};
 use parking_lot::Mutex;
 
 /// What the data controller may ask of a producer's gateway.
-pub trait GatewayClient: Send {
+///
+/// `Send + Sync` because the controller shares registered gateways
+/// across its data-plane threads (an `Arc<dyn GatewayClient>` is
+/// cloned out of the registry before the unlocked network call).
+pub trait GatewayClient: Send + Sync {
     /// Algorithm 2: the field-filtered details of one event. When `ctx`
     /// is given the endpoint continues the caller's trace; an endpoint
     /// that cannot carry spans may ignore it.

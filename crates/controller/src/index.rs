@@ -56,7 +56,7 @@ pub struct IndexEntry {
 }
 
 impl IndexEntry {
-    fn to_xml(&self) -> Element {
+    pub(crate) fn to_xml(&self) -> Element {
         let mut e = Element::new("IndexEntry")
             .attr("eventId", self.global_id.to_string())
             .attr("type", self.event_type.to_string())
@@ -74,7 +74,7 @@ impl IndexEntry {
         e
     }
 
-    fn from_xml(e: &Element) -> CssResult<Self> {
+    pub(crate) fn from_xml(e: &Element) -> CssResult<Self> {
         let bad = |msg: String| CssError::Serialization(format!("IndexEntry: {msg}"));
         let req = |attr: &str| {
             e.attribute(attr)
@@ -137,12 +137,20 @@ pub struct EventsIndex<B: LogBackend = MemBackend> {
     storage: Option<RecordLog<B>>,
 }
 
+/// The keyed-lookup-tag key derivation shared by every shard of an
+/// index plane: identical master keys must yield identical person tags,
+/// or per-person routing would scatter.
+pub(crate) fn derive_tag_key(master_key: &[u8]) -> Vec<u8> {
+    let mut tag_key = b"css-person-tag-v1:".to_vec();
+    tag_key.extend_from_slice(master_key);
+    tag_key
+}
+
 impl<B: LogBackend> EventsIndex<B> {
     /// A purely in-memory index sealing identities under keys derived
     /// from `master_key`.
     pub fn new(master_key: &[u8]) -> Self {
-        let mut tag_key = b"css-person-tag-v1:".to_vec();
-        tag_key.extend_from_slice(master_key);
+        let tag_key = derive_tag_key(master_key);
         EventsIndex {
             sealer: SealedBox::new(master_key),
             tag_key,
@@ -196,6 +204,32 @@ impl<B: LogBackend> EventsIndex<B> {
         }
         index.storage = Some(storage);
         Ok(index)
+    }
+
+    /// Adopt a recovered entry in memory only (no persistence) — the
+    /// shard layer re-routes replayed entries to their current owner
+    /// shard, which may differ from the backend they were read off.
+    pub(crate) fn adopt_entry(&mut self, entry: IndexEntry) {
+        self.link_entry(entry);
+    }
+
+    /// Adopt a recovered notified-marker in memory only. Returns whether
+    /// this index holds the marked event (the shard layer probes shards
+    /// until one does).
+    pub(crate) fn adopt_marker(&mut self, id: GlobalEventId, actor: ActorId) -> bool {
+        match self.entries.get_mut(&id) {
+            Some(entry) => {
+                entry.notified.insert(actor);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Attach the shard's own record log after replay; subsequent
+    /// inserts and markers append to it.
+    pub(crate) fn attach_storage(&mut self, storage: RecordLog<B>) {
+        self.storage = Some(storage);
     }
 
     fn link_entry(&mut self, entry: IndexEntry) {

@@ -27,6 +27,7 @@ pub mod gateway_client;
 pub mod identity;
 pub mod index;
 pub mod pep;
+pub mod shards;
 
 pub use consent::{ConsentDecision, ConsentRegistry, ConsentScope};
 pub use contract::{ContractRegistry, ParticipantContract, ParticipantRole};
@@ -35,3 +36,4 @@ pub use gateway_client::{GatewayClient, SharedGateway};
 pub use identity::{Credential, IdentityManager};
 pub use index::{EventsIndex, IndexEntry};
 pub use pep::PolicyEnforcementPoint;
+pub use shards::{HashedShards, IndexShards, ShardMap, SingleShard};

@@ -16,10 +16,19 @@
 //! (the notification "is a pre-requisite to issue the request for
 //! details"), and the data subject must not have **opted out**.
 //! Every request — permitted or denied — is written to the audit log.
+//!
+//! The PEP borrows the controller's sharded planes and locked
+//! registries; it takes each registry read guard only for the stage
+//! that needs it (pdp before actors when both are held) and clones the
+//! gateway handle out of its registry before the network call, so no
+//! lock spans producer I/O.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use css_audit::{AuditAction, AuditLog, AuditRecord};
+use parking_lot::RwLock;
+
+use css_audit::{AuditAction, AuditRecord, AuditShards};
 use css_event::PrivacyAwareEvent;
 use css_policy::{Decision, DetailRequest, PolicyDecisionPoint};
 use css_storage::LogBackend;
@@ -29,22 +38,22 @@ use css_types::{ActorId, ActorRegistry, CssError, CssResult, DenyReason, Timesta
 
 use crate::consent::ConsentRegistry;
 use crate::gateway_client::GatewayClient;
-use crate::index::EventsIndex;
+use crate::shards::IndexShards;
 
 /// A per-request enforcement context borrowing the controller's parts.
 pub struct PolicyEnforcementPoint<'a, B: LogBackend> {
-    /// Events index (PIP + notified-set).
-    pub index: &'a EventsIndex<B>,
+    /// Sharded events index (PIP + notified-set).
+    pub index: &'a IndexShards<B>,
     /// Policy decision point.
-    pub pdp: &'a PolicyDecisionPoint,
+    pub pdp: &'a RwLock<PolicyDecisionPoint>,
     /// Organizational hierarchy.
-    pub actors: &'a ActorRegistry,
+    pub actors: &'a RwLock<ActorRegistry>,
     /// Data-subject consent.
-    pub consent: &'a ConsentRegistry,
-    /// Audit log (every request is recorded).
-    pub audit: &'a mut AuditLog<B>,
+    pub consent: &'a RwLock<ConsentRegistry>,
+    /// Sharded audit plane (every request is recorded).
+    pub audit: &'a AuditShards<B>,
     /// Producer gateways, keyed by producer organization.
-    pub gateways: &'a HashMap<ActorId, Box<dyn GatewayClient>>,
+    pub gateways: &'a RwLock<HashMap<ActorId, Arc<dyn GatewayClient>>>,
     /// Per-stage latency histograms (`stage.*`) and request counters.
     pub telemetry: &'a MetricsRegistry,
     /// Causal trace of the enclosing detail request; each Algorithm 1
@@ -63,7 +72,7 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
     /// (plus the `controller.detail_denies` counter and, via the
     /// timer's drop guard, `stage.partial` and `stage.total`), a
     /// permitted one records all six and `stage.total`.
-    pub fn get_event_details(&mut self, request: &DetailRequest) -> CssResult<PrivacyAwareEvent> {
+    pub fn get_event_details(&self, request: &DetailRequest) -> CssResult<PrivacyAwareEvent> {
         self.telemetry.counter("controller.detail_requests").inc();
         let denies = self.telemetry.counter("controller.detail_denies");
         let mut timer = StageTimer::start(self.telemetry, "stage");
@@ -106,14 +115,13 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
         span.finish();
 
         // Precondition: the requester (or an enclosing organization)
-        // received the notification.
+        // received the notification. The ancestor chain is resolved
+        // first so one shard probe covers the whole check.
         let mut span = self.trace.child("pep.notified_check");
-        let notified = self.index.was_notified(request.event_id, request.actor)
-            || self
-                .actors
-                .ancestors(request.actor)
-                .iter()
-                .any(|a| self.index.was_notified(request.event_id, *a));
+        let ancestors = self.actors.read().ancestors(request.actor);
+        let notified = self
+            .index
+            .was_notified_any(request.event_id, request.actor, &ancestors);
         timer.stage("notified_check");
         if !notified {
             span.set_status(SpanStatus::Denied);
@@ -128,9 +136,10 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
         // the controller unseals the identity it sealed at publish time).
         let mut span = self.trace.child("pep.consent_check");
         let notification = self.index.decrypt_notification(request.event_id)?;
-        let consented = self
-            .consent
-            .allows(notification.person.id, producer, &request.event_type);
+        let consented =
+            self.consent
+                .read()
+                .allows(notification.person.id, producer, &request.event_type);
         timer.stage("consent_check");
         if !consented {
             span.set_status(SpanStatus::Denied);
@@ -146,10 +155,15 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
 
         // Steps 2–3 — PDP: find and evaluate the matching policy. The
         // PDP answers repeat (actor, type, purpose) requests from its
-        // decision cache; hits and misses are counted separately so the
-        // cache-hit rate is visible in a telemetry snapshot.
+        // segmented decision cache; hits and misses are counted
+        // separately so the cache-hit rate is visible in a telemetry
+        // snapshot.
         let mut span = self.trace.child("pep.pdp_evaluate");
-        let (decision, cache_hit) = self.pdp.evaluate_traced(request, self.actors, self.now);
+        let (decision, cache_hit) = {
+            let pdp = self.pdp.read();
+            let actors = self.actors.read();
+            pdp.evaluate_traced(request, &actors, self.now)
+        };
         timer.stage("pdp_evaluate");
         span.attr(SpanAttr::cache_hit(cache_hit));
         span.attr(SpanAttr::decision(matches!(
@@ -181,8 +195,11 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
                 // Step 4 — getResponse at the producer. Failures here
                 // are infrastructure faults, not policy denials, but
                 // they are audited all the same. The gateway continues
-                // the trace with its own Algorithm 2 stage spans.
-                let gateway = match self.gateways.get(&producer) {
+                // the trace with its own Algorithm 2 stage spans. The
+                // handle is cloned out of the registry so no lock is
+                // held across the call.
+                let gateway = self.gateways.read().get(&producer).cloned();
+                let gateway = match gateway {
                     Some(g) => g,
                     None => {
                         denies.inc();

@@ -49,7 +49,7 @@ fn mario() -> PersonIdentity {
 fn setup() -> World {
     let clock = SimClock::starting_at(Timestamp(1_000_000));
     let config = ControllerConfig::with_clock(Arc::new(clock.clone()));
-    let mut c = DataController::new(config, MemBackend::new()).unwrap();
+    let c = DataController::new(config, MemBackend::new()).unwrap();
 
     c.register_actor(Actor::organization(HOSPITAL, "Hospital S. Maria"))
         .unwrap();
@@ -125,7 +125,7 @@ fn publish_event(w: &mut World, src: u64) -> css_types::GlobalEventId {
 
 #[test]
 fn subscription_denied_without_policy() {
-    let mut w = setup();
+    let w = setup();
     let err = w
         .controller
         .subscribe(DOCTOR, &EventTypeId::v1("blood-test"))
@@ -321,7 +321,7 @@ fn revoked_policy_blocks_requests() {
 
 #[test]
 fn opt_out_blocks_publication() {
-    let mut w = setup();
+    let w = setup();
     w.controller.define_policy(doctor_policy(&w)).unwrap();
     w.controller
         .record_consent(PersonId(42), ConsentScope::All, ConsentDecision::OptOut)
@@ -426,7 +426,7 @@ fn laboratory_covered_by_hospital_grant() {
 
 #[test]
 fn policy_validation_rejects_bad_definitions() {
-    let mut w = setup();
+    let w = setup();
     // Unknown field.
     let bad_field = PrivacyPolicy::new(
         w.controller.next_policy_id(),
@@ -473,7 +473,7 @@ fn policy_validation_rejects_bad_definitions() {
 
 #[test]
 fn contracts_gate_every_role() {
-    let mut w = setup();
+    let w = setup();
     // Governance never signed a contract.
     assert!(matches!(
         w.controller

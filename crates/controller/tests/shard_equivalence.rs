@@ -1,0 +1,211 @@
+//! Shard-count transparency: a sharded controller must be
+//! observationally equivalent to a single-shard one.
+//!
+//! The property drives the *same* random interleaving of publishes,
+//! person inquiries, detail requests, and policy revocations/restores
+//! against a 1-shard and an 8-shard controller and asserts that every
+//! observable output matches step by step: publish receipts, inquiry
+//! result sets (scatter-gather must preserve the single-index
+//! ordering), allow/deny decisions on detail requests (the segmented
+//! decision cache must honor the global revocation generation), the
+//! full audit record stream (global sequencer order), and chain
+//! verification.
+
+use std::sync::Arc;
+
+use css_audit::AuditQuery;
+use css_controller::{ControllerConfig, DataController, ParticipantRole, SharedGateway};
+use css_event::{DetailMessage, EventDetails, EventSchema, FieldDef, FieldKind, FieldValue};
+use css_gateway::LocalCooperationGateway;
+use css_policy::PrivacyPolicy;
+use css_storage::MemBackend;
+use css_types::{
+    Actor, ActorId, EventTypeId, GlobalEventId, PersonId, PersonIdentity, PolicyId, Purpose,
+    SimClock, SourceEventId, Timestamp,
+};
+use parking_lot::Mutex;
+use proptest::prelude::*;
+
+const HOSPITAL: ActorId = ActorId(1);
+const DOCTOR: ActorId = ActorId(100);
+const WELFARE: ActorId = ActorId(101);
+const PERSONS: u64 = 20;
+
+fn schema() -> EventSchema {
+    EventSchema::new(EventTypeId::v1("blood-test"), "Blood Test", HOSPITAL)
+        .field(FieldDef::required("PatientId", FieldKind::Integer))
+        .field(FieldDef::required("Result", FieldKind::Text).sensitive())
+}
+
+fn details(person: u64) -> EventDetails {
+    EventDetails::new(EventTypeId::v1("blood-test"))
+        .with("PatientId", FieldValue::Integer(person as i64))
+        .with("Result", FieldValue::Text("negative".into()))
+}
+
+fn person(id: u64) -> PersonIdentity {
+    PersonIdentity {
+        id: PersonId(id),
+        fiscal_code: format!("FC{id:014}"),
+        name: "Mario".into(),
+        surname: "Rossi".into(),
+    }
+}
+
+fn policy(id: u64, consumer: ActorId) -> PrivacyPolicy {
+    PrivacyPolicy::new(
+        PolicyId(id),
+        HOSPITAL,
+        consumer,
+        EventTypeId::v1("blood-test"),
+        [Purpose::HealthcareTreatment],
+        ["PatientId", "Result"].map(String::from),
+    )
+}
+
+struct World {
+    controller: DataController<MemBackend>,
+    gateway: SharedGateway<MemBackend>,
+}
+
+fn world(shards: usize) -> World {
+    let clock = SimClock::starting_at(Timestamp(1_000_000));
+    let config = ControllerConfig::with_clock(Arc::new(clock)).with_shards(shards);
+    let controller = DataController::new(config, MemBackend::new()).unwrap();
+    controller
+        .register_actor(Actor::organization(HOSPITAL, "Hospital"))
+        .unwrap();
+    controller
+        .register_actor(Actor::organization(DOCTOR, "Family Doctor"))
+        .unwrap();
+    controller
+        .register_actor(Actor::organization(WELFARE, "Social Welfare"))
+        .unwrap();
+    controller
+        .sign_contract(HOSPITAL, ParticipantRole::Producer)
+        .unwrap();
+    controller
+        .sign_contract(DOCTOR, ParticipantRole::Consumer)
+        .unwrap();
+    controller
+        .sign_contract(WELFARE, ParticipantRole::Consumer)
+        .unwrap();
+    let mut gw = LocalCooperationGateway::open(HOSPITAL, MemBackend::new()).unwrap();
+    gw.register_schema(schema()).unwrap();
+    let gateway: SharedGateway<MemBackend> = Arc::new(Mutex::new(gw));
+    controller.register_gateway(HOSPITAL, Box::new(gateway.clone()));
+    controller
+        .declare_event_class(&schema(), Some("health/laboratory"))
+        .unwrap();
+    controller.define_policy(policy(1, DOCTOR)).unwrap();
+    controller.define_policy(policy(2, WELFARE)).unwrap();
+    World {
+        controller,
+        gateway,
+    }
+}
+
+/// One interpreted step against a world; the return value is the
+/// observation the two worlds must agree on.
+fn step(w: &World, op: u8, x: u64, src: &mut u64, published: &mut Vec<GlobalEventId>) -> String {
+    let ty = EventTypeId::v1("blood-test");
+    match op {
+        // Publish an event about citizen `x` (fresh source id).
+        0 | 1 => {
+            *src += 1;
+            w.gateway
+                .lock()
+                .persist(&DetailMessage {
+                    src_event_id: SourceEventId(*src),
+                    producer: HOSPITAL,
+                    details: details(x),
+                })
+                .unwrap();
+            let r = w.controller.publish(
+                HOSPITAL,
+                person(x),
+                "blood test completed".into(),
+                ty,
+                Timestamp(2_000_000 + *src),
+                SourceEventId(*src),
+                None,
+            );
+            if let Ok(receipt) = &r {
+                published.push(receipt.global_id);
+            }
+            format!("{r:?}")
+        }
+        // Inquire citizen `x` as the doctor.
+        2 => format!("{:?}", w.controller.inquire_by_person(DOCTOR, PersonId(x))),
+        // Request details of a published event; consumer by parity, so
+        // the revoke toggle below flips these between allow and deny.
+        3 => {
+            if published.is_empty() {
+                return "skip".into();
+            }
+            let id = published[(x % published.len() as u64) as usize];
+            let consumer = if x.is_multiple_of(2) { DOCTOR } else { WELFARE };
+            format!(
+                "{:?}",
+                w.controller
+                    .request_details(consumer, ty, id, Purpose::HealthcareTreatment)
+            )
+        }
+        // Toggle the doctor's policy: revoke on even, restore on odd.
+        _ => {
+            if x.is_multiple_of(2) {
+                format!("{:?}", w.controller.revoke_policy(HOSPITAL, PolicyId(1)))
+            } else {
+                w.controller.restore_policy(policy(1, DOCTOR));
+                "restored".into()
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Random publish / inquiry / detail-request / revoke interleavings
+    /// observe identical behavior on 1-shard and 8-shard controllers.
+    #[test]
+    fn sharded_controller_is_observationally_equivalent(
+        ops in proptest::collection::vec((0u8..5, 1u64..200), 1..80),
+    ) {
+        let single = world(1);
+        let sharded = world(8);
+        prop_assert_eq!(single.controller.shard_count(), 1);
+        prop_assert_eq!(sharded.controller.shard_count(), 8);
+
+        let (mut src_a, mut src_b) = (0u64, 0u64);
+        let (mut pub_a, mut pub_b) = (Vec::new(), Vec::new());
+        for (op, raw) in ops {
+            let x = raw % PERSONS + 1;
+            // `raw` (not `x`) picks detail-request targets and the
+            // revoke/restore direction so they cover the full range.
+            let arg = if op >= 3 { raw } else { x };
+            let a = step(&single, op, arg, &mut src_a, &mut pub_a);
+            let b = step(&sharded, op, arg, &mut src_b, &mut pub_b);
+            prop_assert_eq!(a, b);
+        }
+
+        // Every citizen's inquiry comes back identical — scatter-gather
+        // across shards must reproduce the single-index ordering.
+        for p in 1..=PERSONS {
+            let a = single.controller.inquire_by_person(DOCTOR, PersonId(p));
+            let b = sharded.controller.inquire_by_person(DOCTOR, PersonId(p));
+            prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        }
+
+        // The audit streams match record for record (global seq order),
+        // and both sharded chains verify.
+        let audit_a = single.controller.audit_query(&AuditQuery::new());
+        let audit_b = sharded.controller.audit_query(&AuditQuery::new());
+        prop_assert_eq!(format!("{audit_a:?}"), format!("{audit_b:?}"));
+        prop_assert!(single.controller.verify_audit().is_ok());
+        prop_assert!(sharded.controller.verify_audit().is_ok());
+        prop_assert_eq!(single.controller.index_len(), sharded.controller.index_len());
+        prop_assert_eq!(
+            single.controller.index_len(),
+            sharded.controller.index_shard_lens().iter().sum::<usize>()
+        );
+    }
+}

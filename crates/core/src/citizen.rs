@@ -37,25 +37,23 @@ impl<P: BackendProvider> CitizenHandle<P> {
 
     /// The PHR view: every event about this citizen, in timeline order.
     pub fn my_profile(&self) -> CssResult<Vec<NotificationMessage>> {
-        self.controller.lock().subject_profile(self.person)
+        self.controller.subject_profile(self.person)
     }
 
     /// Who accessed my data, when, and for which purpose?
     pub fn who_accessed_my_data(&self) -> CssResult<Vec<AuditRecord>> {
-        self.controller.lock().subject_audit_trail(self.person)
+        self.controller.subject_audit_trail(self.person)
     }
 
     /// Withdraw consent for a scope.
     pub fn opt_out(&self, scope: ConsentScope) -> CssResult<()> {
         self.controller
-            .lock()
             .record_consent(self.person, scope, ConsentDecision::OptOut)
     }
 
     /// Grant (or restore) consent for a scope.
     pub fn opt_in(&self, scope: ConsentScope) -> CssResult<()> {
         self.controller
-            .lock()
             .record_consent(self.person, scope, ConsentDecision::OptIn)
     }
 }

@@ -5,7 +5,7 @@ use css_event::{NotificationMessage, PrivacyAwareEvent};
 use css_trace::{TraceContext, TraceId};
 use css_types::{ActorId, CssResult, EventTypeId, GlobalEventId, PersonId, Purpose, Timestamp};
 
-use crate::pending::{AccessRequest, AccessRequestStatus};
+use crate::pending::AccessRequestStatus;
 use crate::platform::{SharedController, SharedPending};
 use crate::provider::BackendProvider;
 
@@ -151,24 +151,24 @@ impl<P: BackendProvider> ConsumerHandle<P> {
 
     /// Browse the catalog: every declared event class.
     pub fn browse_catalog(&self) -> Vec<EventTypeId> {
-        self.controller.lock().catalog().all_types()
+        self.controller.catalog().all_types()
     }
 
     /// Browse the catalog restricted to a care-domain node (e.g.
     /// `"health"` or `"social/home-care"`).
     pub fn browse_by_domain(&self, domain: &str) -> Vec<EventTypeId> {
-        self.controller.lock().catalog().by_domain(domain)
+        self.controller.catalog().by_domain(domain)
     }
 
     /// The published structure (schema) of a declared event class — the
     /// catalog "is visible to any candidate data consumer" (§5).
     pub fn class_schema(&self, event_type: &EventTypeId) -> CssResult<css_event::EventSchema> {
-        self.controller.lock().catalog().schema(event_type)
+        self.controller.catalog().schema(event_type)
     }
 
     /// Subscribe to a class of events (policy-gated, deny-by-default).
     pub fn subscribe(&self, event_type: &EventTypeId) -> CssResult<Subscription> {
-        let handle = self.controller.lock().subscribe(self.actor, event_type)?;
+        let handle = self.controller.subscribe(self.actor, event_type)?;
         Ok(Subscription {
             inner: handle,
             event_type: event_type.clone(),
@@ -186,7 +186,6 @@ impl<P: BackendProvider> ConsumerHandle<P> {
     ) -> CssResult<Subscription> {
         let handle = self
             .controller
-            .lock()
             .subscribe_grouped(self.actor, event_type, group)?;
         Ok(Subscription {
             inner: handle,
@@ -196,7 +195,7 @@ impl<P: BackendProvider> ConsumerHandle<P> {
 
     /// Query the events index for notifications about one person.
     pub fn inquire_by_person(&self, person: PersonId) -> CssResult<Vec<NotificationMessage>> {
-        self.controller.lock().inquire_by_person(self.actor, person)
+        self.controller.inquire_by_person(self.actor, person)
     }
 
     /// [`ConsumerHandle::inquire_by_person`], continuing the caller's
@@ -207,15 +206,12 @@ impl<P: BackendProvider> ConsumerHandle<P> {
         parent: Option<&TraceContext>,
     ) -> CssResult<Vec<NotificationMessage>> {
         self.controller
-            .lock()
             .inquire_by_person_traced(self.actor, person, parent)
     }
 
     /// Query the events index for notifications of one class.
     pub fn inquire_by_type(&self, event_type: &EventTypeId) -> CssResult<Vec<NotificationMessage>> {
-        self.controller
-            .lock()
-            .inquire_by_type(self.actor, event_type)
+        self.controller.inquire_by_type(self.actor, event_type)
     }
 
     /// Query the events index for notifications in a time window,
@@ -225,7 +221,7 @@ impl<P: BackendProvider> ConsumerHandle<P> {
         from: Timestamp,
         to: Timestamp,
     ) -> CssResult<Vec<NotificationMessage>> {
-        self.controller.lock().inquire_between(self.actor, from, to)
+        self.controller.inquire_between(self.actor, from, to)
     }
 
     /// Request the details of a notified event, stating a purpose
@@ -250,7 +246,6 @@ impl<P: BackendProvider> ConsumerHandle<P> {
         purpose: Purpose,
     ) -> CssResult<PrivacyAwareEvent> {
         self.controller
-            .lock()
             .request_details(self.actor, event_type, event_id, purpose)
     }
 
@@ -264,39 +259,26 @@ impl<P: BackendProvider> ConsumerHandle<P> {
         parent: Option<&TraceContext>,
     ) -> CssResult<PrivacyAwareEvent> {
         self.controller
-            .lock()
             .request_details_traced(self.actor, event_type, event_id, purpose, parent)
     }
 
     /// File an access request for a class this consumer has no policy
-    /// for; the producer sees it in its pending queue.
+    /// for; the producer sees it in its pending queue. Rejected with
+    /// [`css_types::CssError::Backpressure`] when the queue of
+    /// undecided requests is at its high-water mark.
     pub fn request_access(
         &self,
         event_type: EventTypeId,
         purposes: Vec<Purpose>,
         note: impl Into<String>,
         at: Timestamp,
-    ) -> u64 {
-        let mut pending = self.pending.lock();
-        let id = pending.len() as u64 + 1;
-        pending.push(AccessRequest {
-            id,
-            consumer: self.actor,
-            event_type,
-            purposes,
-            note: note.into(),
-            requested_at: at,
-            status: AccessRequestStatus::Pending,
-        });
-        id
+    ) -> CssResult<u64> {
+        self.pending
+            .file(self.actor, event_type, purposes, note.into(), at)
     }
 
     /// Status of one of this consumer's access requests.
     pub fn access_request_status(&self, id: u64) -> Option<AccessRequestStatus> {
-        self.pending
-            .lock()
-            .iter()
-            .find(|r| r.id == id && r.consumer == self.actor)
-            .map(|r| r.status)
+        self.pending.status_of(id, self.actor)
     }
 }

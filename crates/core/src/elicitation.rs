@@ -136,16 +136,14 @@ impl<P: BackendProvider> PolicyWizard<P> {
         mut self,
         consumers: impl IntoIterator<Item = ActorId>,
     ) -> Result<Self, WizardError> {
-        let controller = self.controller.lock();
         for c in consumers {
-            if controller.actors().get(c).is_none() {
+            if self.controller.actors().get(c).is_none() {
                 return Err(WizardError::UnknownConsumer(c));
             }
             if !self.consumers.contains(&c) {
                 self.consumers.push(c);
             }
         }
-        drop(controller);
         Ok(self)
     }
 
@@ -192,13 +190,11 @@ impl<P: BackendProvider> PolicyWizard<P> {
                 return Err(WizardError::InvertedValidity.into());
             }
         }
-        let mut controller = self.controller.lock();
-        let mut repo = self.repo.lock();
         let mut ids = Vec::with_capacity(self.consumers.len());
         let mut saved = Vec::with_capacity(self.consumers.len());
         for consumer in &self.consumers {
             let policy = PrivacyPolicy::new(
-                controller.next_policy_id(),
+                self.controller.next_policy_id(),
                 self.producer,
                 *consumer,
                 self.schema.id.clone(),
@@ -208,11 +204,12 @@ impl<P: BackendProvider> PolicyWizard<P> {
             .valid(self.validity)
             .labeled(self.label.clone(), self.description.clone());
             ids.push(policy.id);
-            controller.define_policy(policy.clone())?;
+            self.controller.define_policy(policy.clone())?;
             saved.push(policy);
         }
         // One group commit for the whole consumer fan-out: a single
         // storage write + sync instead of one per policy.
+        let mut repo = self.repo.lock();
         repo.save_all(&saved)?;
         Ok(ids)
     }

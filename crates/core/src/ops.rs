@@ -52,6 +52,10 @@ const GATEWAY_PENDING_DEGRADED: i64 = 1_000;
 const TRACE_DROP_CEILING: f64 = 0.25;
 /// Spans before the trace drop-rate check starts judging.
 const TRACE_MIN_SPANS: u64 = 1_000;
+/// Percent by which the busiest index shard may exceed the mean shard
+/// load before the plane counts as degraded (200% = one shard carrying
+/// 3× its fair share — the citizen-hash routing has gone skewed).
+const SHARD_IMBALANCE_DEGRADED: i64 = 200;
 
 /// Detail-request p99 target (paper §7 reports sub-millisecond
 /// enforcement; 200 µs holds comfortably on the E15 workload).
@@ -120,7 +124,7 @@ fn storage_probe(backend: &mut impl LogBackend) -> HealthStatus {
 
 /// The component checks every platform gets: storage round-trip, bus
 /// backlog and delivery lag, PDP cache hit rate, gateway pending
-/// backlog, trace-ring drop rate.
+/// backlog, trace-ring drop rate, index-shard balance.
 fn default_checks<B: LogBackend + 'static>(probe_backend: B) -> Vec<Box<dyn HealthCheck>> {
     let probe = StdMutex::new(probe_backend);
     vec![
@@ -158,6 +162,11 @@ fn default_checks<B: LogBackend + 'static>(probe_backend: B) -> Vec<Box<dyn Heal
             "trace.spans_recorded",
             TRACE_DROP_CEILING,
             TRACE_MIN_SPANS,
+        )),
+        Box::new(GaugeThresholdCheck::new(
+            "shard-balance",
+            "shard.imbalance_pct",
+            SHARD_IMBALANCE_DEGRADED,
         )),
     ]
 }

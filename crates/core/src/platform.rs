@@ -22,16 +22,16 @@ use css_types::{Actor, ActorId, Clock, CssError, CssResult, IdGenerator, PersonI
 use crate::citizen::CitizenHandle;
 use crate::consumer::ConsumerHandle;
 use crate::ops::{OpsConfig, OpsPlane};
-use crate::pending::AccessRequest;
+use crate::pending::{AccessRequest, PendingQueue, DEFAULT_PENDING_CAPACITY};
 use crate::producer::ProducerHandle;
 use crate::provider::{BackendProvider, DirProvider, MemoryProvider};
 
 /// The backend an assembled platform actually runs on: the provider's
 /// backend wrapped with `storage.*` latency/byte telemetry.
 pub(crate) type PlatformBackend<P> = InstrumentedBackend<<P as BackendProvider>::Backend>;
-pub(crate) type SharedController<P> = Arc<Mutex<DataController<PlatformBackend<P>>>>;
+pub(crate) type SharedController<P> = Arc<DataController<PlatformBackend<P>>>;
 pub(crate) type SharedRepo<P> = Arc<Mutex<PolicyRepository<PlatformBackend<P>>>>;
-pub(crate) type SharedPending = Arc<Mutex<Vec<AccessRequest>>>;
+pub(crate) type SharedPending = Arc<PendingQueue>;
 
 /// The capacity in which an organization joins the platform
 /// ([`CssPlatform::join`]).
@@ -59,6 +59,7 @@ pub enum Role {
 /// let platform = CssPlatformBuilder::new()
 ///     .clock(Arc::new(SimClock::starting_at(Timestamp(0))))
 ///     .enforce_identity(true)
+///     .shards(4)
 ///     .build()
 ///     .unwrap();
 /// # let _ = platform;
@@ -69,6 +70,8 @@ pub struct CssPlatformBuilder<P: BackendProvider = MemoryProvider> {
     enforce_identity: bool,
     telemetry: MetricsRegistry,
     trace_capacity: Option<usize>,
+    shards: Option<usize>,
+    pending_capacity: usize,
     ops_addr: Option<String>,
     ops_interval: std::time::Duration,
     ops_checks: Vec<Box<dyn css_health::HealthCheck>>,
@@ -93,6 +96,8 @@ impl CssPlatformBuilder<MemoryProvider> {
             enforce_identity: false,
             telemetry: MetricsRegistry::new(),
             trace_capacity: None,
+            shards: None,
+            pending_capacity: DEFAULT_PENDING_CAPACITY,
             ops_addr: None,
             ops_interval: std::time::Duration::from_millis(250),
             ops_checks: Vec::new(),
@@ -101,6 +106,17 @@ impl CssPlatformBuilder<MemoryProvider> {
             bus_driver: None,
         }
     }
+}
+
+/// The shard count a builder uses when none is requested: one shard per
+/// available core, capped at 8 (past that the coordination overhead of
+/// scatter-gather inquiries outweighs the extra parallelism for the
+/// deployment sizes the paper targets).
+pub fn default_shard_count() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cores.clamp(1, 8)
 }
 
 impl<P: BackendProvider> CssPlatformBuilder<P> {
@@ -113,6 +129,8 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             enforce_identity: self.enforce_identity,
             telemetry: self.telemetry,
             trace_capacity: self.trace_capacity,
+            shards: self.shards,
+            pending_capacity: self.pending_capacity,
             ops_addr: self.ops_addr,
             ops_interval: self.ops_interval,
             ops_checks: self.ops_checks,
@@ -153,6 +171,23 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
         self
     }
 
+    /// Partition the controller data plane (events index, notified
+    /// markers, audit group commits) into `n` citizen-hashed shards,
+    /// each behind its own lock (clamped to at least 1). Defaults to
+    /// [`default_shard_count`] — `min(8, cores)`.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n.max(1));
+        self
+    }
+
+    /// High-water mark for the pending access-request queue: filings
+    /// past this many undecided requests are rejected with
+    /// [`css_types::CssError::Backpressure`] (default 1024).
+    pub fn pending_capacity(mut self, n: usize) -> Self {
+        self.pending_capacity = n.max(1);
+        self
+    }
+
     /// Collect causal spans (publish → route → deliver, inquiry, detail
     /// request → enforcement stages) into a bounded in-memory ring
     /// holding the most recent `capacity` finished spans. Off by
@@ -181,7 +216,7 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
 
     /// Register an additional component health check alongside the
     /// defaults (storage probe, bus backlog/lag, PDP cache, gateway
-    /// backlog, trace drop rate).
+    /// backlog, trace drop rate, shard balance).
     pub fn health_check(mut self, check: Box<dyn css_health::HealthCheck>) -> Self {
         self.ops_checks.push(check);
         self
@@ -208,6 +243,8 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             enforce_identity,
             telemetry,
             trace_capacity,
+            shards,
+            pending_capacity,
             ops_addr,
             ops_interval,
             ops_checks,
@@ -219,23 +256,43 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             Some(capacity) => Tracer::with_metrics(capacity, &telemetry),
             None => Tracer::disabled(),
         };
+        let shards = shards.unwrap_or_else(default_shard_count);
         let mut config = ControllerConfig::with_clock(clock.clone())
             .with_telemetry(telemetry.clone())
-            .with_tracer(tracer.clone());
+            .with_tracer(tracer.clone())
+            .with_shards(shards);
         if let Some(driver) = bus_driver {
             config = config.with_bus_driver(driver);
         }
-        let controller = DataController::with_backends(
-            config,
-            InstrumentedBackend::new(provider.backend("audit")?, &telemetry),
-            InstrumentedBackend::new(provider.backend("events-index")?, &telemetry),
-        )?;
+        // Shard 0 keeps the legacy backend names so existing single-shard
+        // deployments reopen their data; shards 1..n get suffixed names.
+        let mut audit_backends = Vec::with_capacity(shards);
+        let mut index_backends = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (audit_name, index_name) = if i == 0 {
+                ("audit".to_string(), "events-index".to_string())
+            } else {
+                (format!("audit-{i}"), format!("events-index-{i}"))
+            };
+            audit_backends.push(InstrumentedBackend::new(
+                provider.backend(&audit_name)?,
+                &telemetry,
+            ));
+            index_backends.push(InstrumentedBackend::new(
+                provider.backend(&index_name)?,
+                &telemetry,
+            ));
+        }
+        let controller =
+            DataController::with_shard_backends(config, audit_backends, index_backends)?;
         let policy_repo = PolicyRepository::open(InstrumentedBackend::new(
             provider.backend("policies")?,
             &telemetry,
         ))?;
-        let controller = Arc::new(Mutex::new(controller));
-        let pending: SharedPending = Arc::new(Mutex::new(Vec::new()));
+        let controller = Arc::new(controller);
+        let mut queue = PendingQueue::new(pending_capacity);
+        queue.instrument(&telemetry);
+        let pending: SharedPending = Arc::new(queue);
         let ops = match ops_addr {
             None => None,
             Some(addr) => Some(crate::ops::start_ops(
@@ -292,31 +349,38 @@ pub struct CssPlatform<P: BackendProvider = MemoryProvider> {
     ops: Option<OpsPlane>,
 }
 
+/// Percent by which the busiest shard exceeds the mean shard load
+/// (0 for a balanced or empty plane, and always 0 with one shard).
+pub(crate) fn imbalance_pct(lens: &[usize]) -> i64 {
+    let total: usize = lens.iter().sum();
+    if lens.len() <= 1 || total == 0 {
+        return 0;
+    }
+    let max = *lens.iter().max().unwrap_or(&0);
+    let mean = total as f64 / lens.len() as f64;
+    (((max as f64 / mean) - 1.0) * 100.0).round() as i64
+}
+
 /// Refresh the `platform.*` state-size gauges from the live platform
 /// state — shared between [`CssPlatform::telemetry`] and the ops
 /// plane's scrape path, so both report identical, current numbers.
 pub(crate) fn refresh_platform_gauges<B: css_storage::LogBackend>(
-    controller: &Arc<Mutex<DataController<B>>>,
-    pending: &SharedPending,
+    controller: &DataController<B>,
+    pending: &PendingQueue,
     r: &MetricsRegistry,
 ) {
-    {
-        let controller = controller.lock();
-        r.gauge("platform.indexed_events")
-            .set(controller.index_len() as i64);
-        r.gauge("platform.audit_records")
-            .set(controller.audit_len() as i64);
-        r.gauge("platform.policies")
-            .set(controller.policy_count() as i64);
-        r.gauge("platform.actors")
-            .set(controller.actors().len() as i64);
-    }
-    let pending = pending
-        .lock()
-        .iter()
-        .filter(|r| r.status == crate::pending::AccessRequestStatus::Pending)
-        .count();
-    r.gauge("platform.pending_requests").set(pending as i64);
+    r.gauge("platform.indexed_events")
+        .set(controller.index_len() as i64);
+    r.gauge("platform.audit_records")
+        .set(controller.audit_len() as i64);
+    r.gauge("platform.policies")
+        .set(controller.policy_count() as i64);
+    r.gauge("platform.actors")
+        .set(controller.actors().len() as i64);
+    r.gauge("shard.imbalance_pct")
+        .set(imbalance_pct(&controller.index_shard_lens()));
+    r.gauge("platform.pending_requests")
+        .set(pending.pending_count() as i64);
 }
 
 impl CssPlatform<MemoryProvider> {
@@ -361,13 +425,17 @@ impl<P: BackendProvider> CssPlatform<P> {
         self.clock.clone()
     }
 
+    /// How many shards the controller data plane runs.
+    pub fn shard_count(&self) -> usize {
+        self.controller.shard_count()
+    }
+
     // ---- actors -------------------------------------------------------
 
     /// Register a top-level organization, minting its id.
     pub fn register_organization(&mut self, name: &str) -> CssResult<ActorId> {
         let id: ActorId = self.actor_gen.next_id();
         self.controller
-            .lock()
             .register_actor(Actor::organization(id, name))?;
         Ok(id)
     }
@@ -376,7 +444,6 @@ impl<P: BackendProvider> CssPlatform<P> {
     pub fn register_unit(&mut self, parent: ActorId, name: &str) -> CssResult<ActorId> {
         let id: ActorId = self.actor_gen.next_id();
         self.controller
-            .lock()
             .register_actor(Actor::unit(id, name, parent))?;
         Ok(id)
     }
@@ -385,7 +452,6 @@ impl<P: BackendProvider> CssPlatform<P> {
     pub fn register_role(&mut self, parent: ActorId, name: &str) -> CssResult<ActorId> {
         let id: ActorId = self.actor_gen.next_id();
         self.controller
-            .lock()
             .register_actor(Actor::role(id, name, parent))?;
         Ok(id)
     }
@@ -402,7 +468,7 @@ impl<P: BackendProvider> CssPlatform<P> {
             (false, true) => ParticipantRole::Consumer,
             (false, false) => unreachable!("at least one role requested"),
         };
-        self.controller.lock().sign_contract(actor, role)
+        self.controller.sign_contract(actor, role)
     }
 
     /// Sign a contract for an organization in the given capacity.
@@ -441,7 +507,6 @@ impl<P: BackendProvider> CssPlatform<P> {
             .map(|s| s.value() + 1)
             .unwrap_or(1);
         self.controller
-            .lock()
             .register_gateway(actor, Box::new(gateway.clone()));
         self.gateways.insert(actor, gateway);
         self.src_gens
@@ -455,10 +520,9 @@ impl<P: BackendProvider> CssPlatform<P> {
     /// enforcement state. Returns the number of policies restored.
     pub fn reload_policies(&self) -> CssResult<usize> {
         let policies = self.policy_repo.lock().load_all()?;
-        let mut controller = self.controller.lock();
         let n = policies.len();
         for policy in policies {
-            controller.restore_policy(policy);
+            self.controller.restore_policy(policy);
         }
         Ok(n)
     }
@@ -550,7 +614,6 @@ impl<P: BackendProvider> CssPlatform<P> {
     fn consumer_unchecked(&self, actor: ActorId) -> CssResult<ConsumerHandle<P>> {
         let org = self
             .controller
-            .lock()
             .actors()
             .organization_of(actor)
             .ok_or_else(|| CssError::NotFound(format!("actor {actor} not registered")))?;
@@ -581,28 +644,27 @@ impl<P: BackendProvider> CssPlatform<P> {
         scope: ConsentScope,
         decision: ConsentDecision,
     ) -> CssResult<()> {
-        self.controller
-            .lock()
-            .record_consent(person, scope, decision)
+        self.controller.record_consent(person, scope, decision)
     }
 
     /// Run an audit inquiry.
     pub fn audit_query(&self, q: &AuditQuery) -> Vec<AuditRecord> {
-        self.controller.lock().audit_query(q)
+        self.controller.audit_query(q)
     }
 
     /// Aggregate audit report.
     pub fn audit_report(&self, q: &AuditQuery) -> AuditReport {
-        self.controller.lock().audit_report(q)
+        self.controller.audit_report(q)
     }
 
     /// Verify the audit hash chain.
     pub fn verify_audit(&self) -> CssResult<()> {
-        self.controller.lock().verify_audit()
+        self.controller.verify_audit()
     }
 
     /// Direct (shared) access to the data controller for advanced use
-    /// and experiments.
+    /// and experiments. The controller is internally synchronized —
+    /// clones of this `Arc` can drive it from many threads at once.
     pub fn controller(&self) -> SharedController<P> {
         self.controller.clone()
     }
@@ -617,8 +679,9 @@ impl<P: BackendProvider> CssPlatform<P> {
     /// A point-in-time snapshot of every platform metric: counters,
     /// gauges, and latency histograms from the bus (`bus.*`), the
     /// storage layer (`storage.*`), each gateway (`gateway.*`), the
-    /// publish pipeline (`publish.*`), and the Algorithm-1 enforcement
-    /// stages (`stage.*`), plus `platform.*` state-size gauges.
+    /// publish pipeline (`publish.*`), the Algorithm-1 enforcement
+    /// stages (`stage.*`), and the sharded data plane (`shard.*`), plus
+    /// `platform.*` state-size gauges.
     ///
     /// This subsumes [`CssPlatform::stats`], which remains as a
     /// compatibility shim over the same underlying counters.
@@ -662,25 +725,19 @@ impl<P: BackendProvider> CssPlatform<P> {
     /// Compatibility shim — prefer [`CssPlatform::telemetry`], which
     /// adds latency histograms and hot-path counters.
     pub fn stats(&self) -> PlatformStats {
-        let controller = self.controller.lock();
         PlatformStats {
-            indexed_events: controller.index_len(),
-            audit_records: controller.audit_len(),
-            policies: controller.policy_count(),
-            actors: controller.actors().len(),
-            bus: controller.bus_stats(),
-            pending_requests: self
-                .pending
-                .lock()
-                .iter()
-                .filter(|r| r.status == crate::pending::AccessRequestStatus::Pending)
-                .count(),
+            indexed_events: self.controller.index_len(),
+            audit_records: self.controller.audit_len(),
+            policies: self.controller.policy_count(),
+            actors: self.controller.actors().len(),
+            bus: self.controller.bus_stats(),
+            pending_requests: self.pending.pending_count(),
         }
     }
 
     /// All pending access requests (any producer).
     pub fn pending_requests(&self) -> Vec<AccessRequest> {
-        self.pending.lock().clone()
+        self.pending.all()
     }
 }
 
@@ -699,4 +756,25 @@ pub struct PlatformStats {
     pub bus: css_bus::BrokerStats,
     /// Access requests awaiting a producer decision.
     pub pending_requests: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::imbalance_pct;
+
+    #[test]
+    fn imbalance_of_balanced_empty_or_single_is_zero() {
+        assert_eq!(imbalance_pct(&[]), 0);
+        assert_eq!(imbalance_pct(&[10]), 0);
+        assert_eq!(imbalance_pct(&[0, 0, 0, 0]), 0);
+        assert_eq!(imbalance_pct(&[5, 5, 5, 5]), 0);
+    }
+
+    #[test]
+    fn imbalance_reports_hot_shard() {
+        // Mean 5, max 10 → 100% over mean.
+        assert_eq!(imbalance_pct(&[10, 5, 0, 5]), 100);
+        // Mean 4, max 7 → 75%.
+        assert_eq!(imbalance_pct(&[7, 3, 4, 2]), 75);
+    }
 }

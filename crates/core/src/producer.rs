@@ -53,7 +53,7 @@ impl<P: BackendProvider> ProducerHandle<P> {
     /// schema at the local gateway).
     pub fn declare(&self, schema: &EventSchema, domain: Option<&str>) -> CssResult<()> {
         self.gateway.lock().register_schema(schema.clone())?;
-        self.controller.lock().declare_event_class(schema, domain)
+        self.controller.declare_event_class(schema, domain)
     }
 
     /// Publish an event: the full details are persisted at the local
@@ -73,7 +73,7 @@ impl<P: BackendProvider> ProducerHandle<P> {
             producer: self.actor,
             details,
         })?;
-        self.controller.lock().publish(
+        self.controller.publish(
             self.actor,
             person,
             description.into(),
@@ -86,7 +86,7 @@ impl<P: BackendProvider> ProducerHandle<P> {
 
     /// Open the elicitation wizard for one of this producer's classes.
     pub fn policy_wizard(&self, event_type: &EventTypeId) -> CssResult<PolicyWizard<P>> {
-        let schema = self.controller.lock().catalog().schema(event_type)?;
+        let schema = self.controller.catalog().schema(event_type)?;
         if schema.producer != self.actor {
             return Err(css_types::CssError::Invalid(format!(
                 "event class {event_type} belongs to {}, not to {}",
@@ -103,22 +103,15 @@ impl<P: BackendProvider> ProducerHandle<P> {
 
     /// Revoke one of this producer's policies.
     pub fn revoke_policy(&self, id: PolicyId) -> CssResult<()> {
-        self.controller.lock().revoke_policy(self.actor, id)?;
+        self.controller.revoke_policy(self.actor, id)?;
         self.policy_repo.lock().revoke(id)?;
         Ok(())
     }
 
     /// Pending access requests targeting this producer's event classes.
     pub fn pending_requests(&self) -> Vec<AccessRequest> {
-        let controller = self.controller.lock();
-        let mine: Vec<EventTypeId> = controller.catalog().by_producer(self.actor);
-        drop(controller);
-        self.pending
-            .lock()
-            .iter()
-            .filter(|r| r.status == AccessRequestStatus::Pending && mine.contains(&r.event_type))
-            .cloned()
-            .collect()
+        let mine: Vec<EventTypeId> = self.controller.catalog().by_producer(self.actor);
+        self.pending.pending_for(&mine)
     }
 
     /// Grant a pending request: returns a wizard prefilled with the
@@ -145,24 +138,16 @@ impl<P: BackendProvider> ProducerHandle<P> {
         request_id: u64,
         new_status: AccessRequestStatus,
     ) -> CssResult<AccessRequest> {
-        let mut pending = self.pending.lock();
-        let request = pending
-            .iter_mut()
-            .find(|r| r.id == request_id && r.status == AccessRequestStatus::Pending)
-            .ok_or_else(|| {
-                css_types::CssError::NotFound(format!("no pending request {request_id}"))
-            })?;
-        // Ownership check: the class must be this producer's.
-        let controller = self.controller.lock();
-        let schema = controller.catalog().schema(&request.event_type)?;
-        if schema.producer != self.actor {
-            return Err(css_types::CssError::Invalid(format!(
-                "request {request_id} targets another producer's class"
-            )));
-        }
-        drop(controller);
-        request.status = new_status;
-        Ok(request.clone())
+        self.pending.decide(request_id, new_status, |request| {
+            // Ownership check: the class must be this producer's.
+            let schema = self.controller.catalog().schema(&request.event_type)?;
+            if schema.producer != self.actor {
+                return Err(css_types::CssError::Invalid(format!(
+                    "request {request_id} targets another producer's class"
+                )));
+            }
+            Ok(())
+        })
     }
 
     /// Number of detail messages persisted at this producer's gateway.

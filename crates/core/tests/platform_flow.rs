@@ -216,12 +216,14 @@ fn pending_access_request_flow() {
     ));
 
     // So it files an access request.
-    let req_id = consumer.request_access(
-        ty.clone(),
-        vec![Purpose::SocialAssistance],
-        "needed for elderly care coordination",
-        w.clock.now(),
-    );
+    let req_id = consumer
+        .request_access(
+            ty.clone(),
+            vec![Purpose::SocialAssistance],
+            "needed for elderly care coordination",
+            w.clock.now(),
+        )
+        .unwrap();
     assert_eq!(
         consumer.access_request_status(req_id),
         Some(AccessRequestStatus::Pending)
@@ -255,12 +257,14 @@ fn pending_access_request_flow() {
 fn deny_access_request() {
     let w = setup();
     let consumer = w.platform.consumer(w.welfare).unwrap();
-    let req_id = consumer.request_access(
-        EventTypeId::v1("blood-test"),
-        vec![Purpose::StatisticalAnalysis],
-        "",
-        w.clock.now(),
-    );
+    let req_id = consumer
+        .request_access(
+            EventTypeId::v1("blood-test"),
+            vec![Purpose::StatisticalAnalysis],
+            "",
+            w.clock.now(),
+        )
+        .unwrap();
     let producer = w.platform.producer(w.hospital).unwrap();
     producer.deny_request(req_id).unwrap();
     assert_eq!(

@@ -198,11 +198,15 @@ fn test_role_files_are_exempt_from_file_rules() {
 #[test]
 fn lock_across_io_fires_and_clean_passes() {
     let hits = fire("css-storage", "lock_across_io/fire.rs", "lock-across-io");
-    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert_eq!(hits.len(), 2, "global + per-shard guard: {hits:#?}");
     assert_eq!(hits[0].severity, Severity::Warn);
     assert!(
         hits[0].message.contains("index"),
         "names the guard: {hits:#?}"
+    );
+    assert!(
+        hits[1].message.contains("`shard`"),
+        "names the per-shard guard: {hits:#?}"
     );
 
     let clean = fire("css-storage", "lock_across_io/clean.rs", "lock-across-io");

@@ -21,3 +21,30 @@ pub fn temporary(&self) -> CssResult<()> {
     self.log.append(snapshot.encode())?;
     Ok(())
 }
+
+pub fn shard_group_commit(&self, event: &Event) -> CssResult<()> {
+    // Per-shard guard writing through itself: the point of the lock.
+    let mut shard = self.index.shard(event.person.0 as usize).write();
+    shard.append(event.encode())?;
+    Ok(())
+}
+
+pub fn scatter_gather(&self, person: PersonId) -> CssResult<()> {
+    // Each shard guard dies with its loop iteration; the write below
+    // runs with no lock held.
+    let mut hits = Vec::new();
+    for i in 0..self.shards {
+        let shard = self.index.shard(i).read();
+        hits.extend(shard.for_person(person));
+    }
+    self.log.append(hits.encode())?;
+    Ok(())
+}
+
+pub fn rebalance(&self, from: usize, event: &Event) -> CssResult<()> {
+    let mut source = self.index.shard(from).write();
+    let moved = source.remove(event.id);
+    drop(source);
+    self.wal.append(moved.encode())?;
+    Ok(())
+}

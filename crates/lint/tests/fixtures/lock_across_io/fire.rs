@@ -8,3 +8,12 @@ pub fn record(&self, event: &Event) -> CssResult<()> {
     self.log.append(event.encode())?;
     Ok(())
 }
+
+pub fn record_sharded(&self, event: &Event) -> CssResult<()> {
+    // A *per-shard* guard is still a guard: holding one shard's lock
+    // across an unrelated backend write stalls that whole shard.
+    let mut shard = self.index.shard(event.person.0 as usize).lock();
+    shard.insert(event.id);
+    self.audit.append(event.encode())?;
+    Ok(())
+}

@@ -26,7 +26,7 @@
 //! skips re-deriving an answer that provably cannot have changed.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
@@ -119,13 +119,25 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// How many independently locked segments a cache spreads its entries
+/// over. Keys hash-partition across segments, so concurrent lookups
+/// from different shards of the data plane contend only when they land
+/// on the same segment, not on one global mutex.
+const CACHE_SEGMENTS: usize = 8;
+
 /// A keyed memo of decisions, validated against a [`Generation`] and a
 /// per-entry [`StabilityInterval`].
 ///
-/// Lookups and inserts take an internal mutex; the PDP's evaluation
-/// path stays `&self` so concurrent readers share one cache.
+/// Internally the map is split into [`CACHE_SEGMENTS`] segments, each
+/// behind its own mutex, keyed by the entry's hash — the sharded
+/// controller data plane hits the cache from many threads at once, and
+/// a single map mutex would re-serialize what the shards just
+/// parallelized. All segments share the owning PDP's one [`Generation`]
+/// counter, so a revocation invalidates every segment at the same
+/// instant. The PDP's evaluation path stays `&self` so concurrent
+/// readers share one cache.
 pub struct DecisionCache<K, V> {
-    entries: Mutex<HashMap<K, Entry<V>>>,
+    segments: Vec<Mutex<HashMap<K, Entry<V>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -133,7 +145,9 @@ pub struct DecisionCache<K, V> {
 impl<K, V> Default for DecisionCache<K, V> {
     fn default() -> Self {
         DecisionCache {
-            entries: Mutex::new(HashMap::new()),
+            segments: (0..CACHE_SEGMENTS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -141,10 +155,16 @@ impl<K, V> Default for DecisionCache<K, V> {
 }
 
 impl<K: Eq + Hash, V: Clone> DecisionCache<K, V> {
+    fn segment(&self, key: &K) -> &Mutex<HashMap<K, Entry<V>>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.segments[(hasher.finish() as usize) % self.segments.len()]
+    }
+
     /// The cached value for `key`, if it was computed under
     /// `generation` and its stability interval contains `now`.
     pub fn get(&self, key: &K, generation: u64, now: Timestamp) -> Option<V> {
-        let entries = self.entries.lock();
+        let entries = self.segment(key).lock();
         let hit = entries
             .get(key)
             .filter(|e| e.generation == generation && e.stable.contains(now))
@@ -161,7 +181,7 @@ impl<K: Eq + Hash, V: Clone> DecisionCache<K, V> {
     /// Memoize `value` for `key` under `generation`, stable on
     /// `stable`. An entry from an older generation is replaced.
     pub fn put(&self, key: K, generation: u64, stable: StabilityInterval, value: V) {
-        self.entries.lock().insert(
+        self.segment(&key).lock().insert(
             key,
             Entry {
                 generation,
@@ -174,17 +194,19 @@ impl<K: Eq + Hash, V: Clone> DecisionCache<K, V> {
     /// Drop every entry (generation bumps make entries unreachable;
     /// this also frees their memory on explicit invalidation).
     pub fn clear(&self) {
-        self.entries.lock().clear();
+        for segment in &self.segments {
+            segment.lock().clear();
+        }
     }
 
     /// Number of resident entries (any generation).
     pub fn len(&self) -> usize {
-        self.entries.lock().len()
+        self.segments.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.segments.iter().all(|s| s.lock().is_empty())
     }
 
     /// Hit/miss totals since creation.
@@ -265,6 +287,28 @@ mod tests {
         assert_eq!(cache.get(&1, 1, Timestamp(0)), None);
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn segmented_cache_round_trips_across_segments() {
+        // More keys than segments: every segment ends up holding
+        // entries, and get/len/clear see the union, not one segment.
+        let cache: DecisionCache<u64, u64> = DecisionCache::default();
+        let stable = StabilityInterval::around(Timestamp(0), []);
+        for k in 0..64u64 {
+            cache.put(k, 0, stable, k * 2);
+        }
+        assert_eq!(cache.len(), 64);
+        for k in 0..64u64 {
+            assert_eq!(cache.get(&k, 0, Timestamp(0)), Some(k * 2));
+        }
+        // A generation bump (as after revocation) misses on every
+        // segment at once.
+        for k in 0..64u64 {
+            assert_eq!(cache.get(&k, 1, Timestamp(0)), None);
+        }
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -287,7 +287,6 @@ pub fn run_workload(scenario: &Scenario, config: WorkloadConfig) -> WorkloadRepo
                                 let schema = scenario
                                     .platform
                                     .controller()
-                                    .lock()
                                     .catalog()
                                     .schema(&n.event_type)
                                     .expect("declared");
@@ -397,7 +396,7 @@ mod tests {
         let controller = scenario.platform.controller();
         for ty in types::all() {
             let details = synth_details(&ty, PersonId(1), &mut rng);
-            let schema = controller.lock().catalog().schema(&ty).unwrap();
+            let schema = controller.catalog().schema(&ty).unwrap();
             schema.validate(&details).unwrap_or_else(|e| {
                 panic!("synthetic details for {ty} invalid: {e}");
             });

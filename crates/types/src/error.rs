@@ -36,6 +36,9 @@ pub enum CssError {
     CredentialRequired(String),
     /// The participant has not signed a contract with the data controller.
     NoContract(String),
+    /// A bounded queue is at its high-water mark; retry after the
+    /// backlog drains (the platform rejects rather than grow unbounded).
+    Backpressure(String),
 }
 
 /// Why an access was denied. Coarse by design.
@@ -83,6 +86,7 @@ impl fmt::Display for CssError {
             CssError::Crypto(s) => write!(f, "crypto error: {s}"),
             CssError::CredentialRequired(s) => write!(f, "credential required: {s}"),
             CssError::NoContract(s) => write!(f, "no contract: {s}"),
+            CssError::Backpressure(s) => write!(f, "backpressure: {s}"),
         }
     }
 }

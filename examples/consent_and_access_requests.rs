@@ -68,7 +68,7 @@ fn main() -> CssResult<()> {
         vec![Purpose::StatisticalAnalysis],
         "anonymized lab statistics for the yearly health report",
         now,
-    );
+    )?;
     println!("\ngovernance filed access request #{request_id}");
 
     // The hospital reviews its queue and grants a narrow policy:

@@ -18,12 +18,22 @@ fn main() -> CssResult<()> {
     monitor.lock().register(ProcessDefinition::elderly_care());
 
     let addr = std::env::var("CSS_OPS_ADDR").unwrap_or_else(|_| "127.0.0.1:0".into());
-    let mut platform = CssPlatformBuilder::new()
+    let mut builder = CssPlatformBuilder::new()
         .tracing(1024)
         .ops_server(addr)
         .ops_sample_interval(Duration::from_millis(250))
-        .ops_monitor(monitor.clone())
-        .build()?;
+        .ops_monitor(monitor.clone());
+    // CSS_OPS_SHARDS pins the data-plane shard count (the obs.sh smoke
+    // sweeps this and checks the per-shard /metrics series); unset, the
+    // platform sizes it from the core count.
+    if let Some(shards) = std::env::var("CSS_OPS_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        builder = builder.shards(shards);
+    }
+    let mut platform = builder.build()?;
+    println!("data plane shards: {}", platform.shard_count());
 
     let hospital = platform.register_organization("Hospital S. Maria")?;
     let doctor = platform.register_organization("Family Doctor")?;

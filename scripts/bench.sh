@@ -6,17 +6,19 @@
 # Usage: scripts/bench.sh [bench ...]
 #   (default benches: e4_detail_request e9_encrypted_index
 #    e11_policy_scaling e15_mixed_workload e16_trace_overhead
-#    e17_ops_overhead e18_consumer_groups)
+#    e17_ops_overhead e18_consumer_groups e19_shard_scaling)
 #
 # Environment:
-#   CSS_BENCH_MS  measurement window per benchmark in ms (default 50;
-#                 the criterion shim reads the same variable)
+#   CSS_BENCH_MS    measurement window per benchmark in ms (default 50;
+#                   the criterion shim reads the same variable)
+#   CSS_E19_EVENTS  large-world event count for e19 (default 1000000)
+#   CSS_E19_PERSONS large-world citizen count for e19 (default 10000)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHES=("$@")
 if [ ${#BENCHES[@]} -eq 0 ]; then
-  BENCHES=(e4_detail_request e9_encrypted_index e11_policy_scaling e15_mixed_workload e16_trace_overhead e17_ops_overhead e18_consumer_groups)
+  BENCHES=(e4_detail_request e9_encrypted_index e11_policy_scaling e15_mixed_workload e16_trace_overhead e17_ops_overhead e18_consumer_groups e19_shard_scaling)
 fi
 : "${CSS_BENCH_MS:=50}"
 export CSS_BENCH_MS
@@ -39,6 +41,24 @@ for bench in "${BENCHES[@]}"; do
       nr++
       rname[nr] = $1; rns[nr] = v * f; rit[nr] = iters
     }
+    # Threaded-throughput lines (E15): "N ops across M thread(s): X ops/s"
+    $0 ~ / ops across / && $NF == "ops/s" {
+      t = 0; v = 0
+      for (i = 1; i <= NF; i++) if ($i == "across") t = $(i + 1) + 0
+      v = $(NF - 1) + 0
+      if (t > 0) { sops[t] = v; if (t > smax) smax = t; shave = 1 }
+    }
+    # Large-world tail line (E19): "1M-world: events=N ... p50=Xns p99=Yns"
+    $1 == "1M-world:" {
+      for (i = 2; i <= NF; i++) {
+        n = index($i, "=")
+        if (n == 0) continue
+        k = substr($i, 1, n - 1); val = substr($i, n + 1)
+        gsub(/[^0-9]/, "", val)
+        wk[++nw] = k; wv[nw] = val + 0
+      }
+      whave = 1
+    }
     # Telemetry lines: stage.pdp_evaluate  count=N  p50=Xns p99=Yns ...
     # (trace.* counters from E16 use the same format)
     $1 ~ /^(stage|trace)\./ && $2 ~ /^count=/ {
@@ -60,6 +80,27 @@ for bench in "${BENCHES[@]}"; do
       for (i = 1; i <= nt; i++)
         printf "%s\n    {\"stage\": \"%s\", \"count\": %d, \"p50_ns\": %d, \"p99_ns\": %d}", (i > 1 ? "," : ""), tname[i], tc[i], t50[i], t99[i]
       printf "\n  ]"
+      # Threaded scaling (E15): ops/s per thread count plus the 8v1
+      # speedup ratio, so the shard win is one JSON field.
+      if (shave) {
+        printf ",\n  \"scaling\": {\"ops_per_sec\": {"
+        first = 1
+        for (t = 1; t <= smax; t++) if (t in sops) {
+          printf "%s\"threads_%d\": %.0f", (first ? "" : ", "), t, sops[t]
+          first = 0
+        }
+        printf "}"
+        if ((1 in sops) && (8 in sops) && sops[1] > 0)
+          printf ", \"speedup_8v1\": %.3f", sops[8] / sops[1]
+        printf "}"
+      }
+      # Large-world tail (E19): the key=value pairs of the 1M-world marker.
+      if (whave) {
+        printf ",\n  \"world\": {"
+        for (i = 1; i <= nw; i++)
+          printf "%s\"%s\": %d", (i > 1 ? ", " : ""), wk[i], wv[i]
+        printf "}"
+      }
       # Overhead benches: the on/off ns-per-op delta, when the bench
       # registered an off and an on series (E16 collector_off/on,
       # E17 sampler_off/on).

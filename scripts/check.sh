@@ -26,4 +26,6 @@ scripts/obs.sh
 
 echo "== benches: build + smoke run"
 cargo build --benches
-CSS_BENCH_MS=5 scripts/bench.sh
+# Smoke sizes only — a real BENCH_*.json refresh is a plain
+# `scripts/bench.sh` (e19 then builds its full-scale sim world).
+CSS_BENCH_MS=5 CSS_E19_EVENTS=20000 CSS_E19_PERSONS=500 scripts/bench.sh

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Ops-plane smoke test: boot a live platform with the ops server on an
 # ephemeral port, scrape /health /metrics /slo, and validate the
-# responses (JSON well-formedness, Prometheus text syntax). Exits
-# nonzero on any failure; always reaps the demo process.
+# responses (JSON well-formedness, Prometheus text syntax). The boot is
+# swept across data-plane shard counts (CSS_OPS_SHARDS=1 and 4) and the
+# per-shard /metrics series are checked for each. Exits nonzero on any
+# failure; always reaps the demo process.
 # Usage: scripts/obs.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,30 +19,6 @@ cleanup() {
 trap cleanup EXIT
 
 cargo build -q --example ops_demo
-
-CSS_OPS_DEMO_SECS=60 ./target/debug/examples/ops_demo > "$log" &
-demo_pid=$!
-
-# The demo prints "ops plane listening at http://ADDR" once bound.
-addr=""
-for _ in $(seq 1 100); do
-    addr=$(sed -n 's|^ops plane listening at http://||p' "$log" | head -n1)
-    [ -n "$addr" ] && break
-    if ! kill -0 "$demo_pid" 2>/dev/null; then
-        echo "obs: demo exited before binding; log:" >&2
-        cat "$log" >&2
-        exit 1
-    fi
-    sleep 0.1
-done
-if [ -z "$addr" ]; then
-    echo "obs: timed out waiting for ops server address" >&2
-    exit 1
-fi
-echo "obs: ops plane at $addr"
-
-# Let the sampler tick and some traffic flow before scraping.
-sleep 1
 
 fetch() { # fetch PATH -> body on stdout, fails on non-200
     local path=$1
@@ -76,36 +54,109 @@ check_json() { # check_json NAME BODY REQUIRED_KEY
     echo "obs: $name ok (${#body} bytes)"
 }
 
-health=$(fetch /health)
-check_json /health "$health" status
-case "$health" in
-    *'"status":"healthy"'* | *'"status":"degraded"'*) ;;
-    *) echo "obs: live platform not serving: $health" >&2; exit 1 ;;
-esac
+run_smoke() { # run_smoke SHARDS
+    local shards=$1
+    : > "$log"
+    CSS_OPS_DEMO_SECS=60 CSS_OPS_SHARDS=$shards ./target/debug/examples/ops_demo > "$log" &
+    demo_pid=$!
 
-slo=$(fetch /slo)
-check_json /slo "$slo" slos
+    # The demo prints "ops plane listening at http://ADDR" once bound.
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's|^ops plane listening at http://||p' "$log" | head -n1)
+        [ -n "$addr" ] && break
+        if ! kill -0 "$demo_pid" 2>/dev/null; then
+            echo "obs: demo exited before binding; log:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [ -z "$addr" ]; then
+        echo "obs: timed out waiting for ops server address" >&2
+        exit 1
+    fi
+    echo "obs: ops plane at $addr (shards=$shards)"
+    if ! grep -q "^data plane shards: $shards\$" "$log"; then
+        echo "obs: demo did not honor CSS_OPS_SHARDS=$shards:" >&2
+        grep "^data plane shards:" "$log" >&2 || true
+        exit 1
+    fi
 
-metrics=$(fetch /metrics)
-# Prometheus text 0.0.4: every non-comment line is `name{labels} value`
-# with our css_ prefix, and every metric has HELP/TYPE headers.
-bad=$(printf '%s\n' "$metrics" | grep -v '^#' | grep -v '^$' \
-    | grep -cEv '^css_[a-zA-Z0-9_]+(\{[^}]*\})? [0-9.+-]+$' || true)
-if [ "$bad" -ne 0 ]; then
-    echo "obs: /metrics has $bad malformed exposition lines" >&2
-    printf '%s\n' "$metrics" | grep -v '^#' \
-        | grep -Ev '^css_[a-zA-Z0-9_]+(\{[^}]*\})? [0-9.+-]+$' | head >&2
-    exit 1
-fi
-types=$(printf '%s\n' "$metrics" | grep -c '^# TYPE css_' || true)
-if [ "$types" -eq 0 ]; then
-    echo "obs: /metrics has no TYPE headers" >&2
-    exit 1
-fi
-if ! printf '%s\n' "$metrics" | grep -q '^css_controller_published_total '; then
-    echo "obs: /metrics missing live publish counter" >&2
-    exit 1
-fi
-echo "obs: /metrics ok ($(printf '%s\n' "$metrics" | wc -l) lines, $types metrics)"
+    # Let the sampler tick and some traffic flow before scraping: on a
+    # loaded box the demo's setup (registration, policy wizard) can take
+    # a while, so poll until the live publish counter and every
+    # per-shard series are being exported rather than sleeping a fixed
+    # interval.
+    local metrics="" ready i
+    for _ in $(seq 1 150); do
+        metrics=$(fetch /metrics || true)
+        ready=1
+        printf '%s\n' "$metrics" | grep -q '^css_controller_published_total ' || ready=0
+        for ((i = 0; i < shards; i++)); do
+            printf '%s\n' "$metrics" | grep -q "^css_shard_${i}_ops" || ready=0
+        done
+        [ "$ready" -eq 1 ] && break
+        sleep 0.1
+    done
+
+    local health slo bad types
+    health=$(fetch /health)
+    check_json /health "$health" status
+    case "$health" in
+        *'"status":"healthy"'* | *'"status":"degraded"'*) ;;
+        *) echo "obs: live platform not serving: $health" >&2; exit 1 ;;
+    esac
+
+    slo=$(fetch /slo)
+    check_json /slo "$slo" slos
+
+    # Prometheus text 0.0.4: every non-comment line is `name{labels} value`
+    # with our css_ prefix, and every metric has HELP/TYPE headers.
+    bad=$(printf '%s\n' "$metrics" | grep -v '^#' | grep -v '^$' \
+        | grep -cEv '^css_[a-zA-Z0-9_]+(\{[^}]*\})? [0-9.+-]+$' || true)
+    if [ "$bad" -ne 0 ]; then
+        echo "obs: /metrics has $bad malformed exposition lines" >&2
+        printf '%s\n' "$metrics" | grep -v '^#' \
+            | grep -Ev '^css_[a-zA-Z0-9_]+(\{[^}]*\})? [0-9.+-]+$' | head >&2
+        exit 1
+    fi
+    types=$(printf '%s\n' "$metrics" | grep -c '^# TYPE css_' || true)
+    if [ "$types" -eq 0 ]; then
+        echo "obs: /metrics has no TYPE headers" >&2
+        exit 1
+    fi
+    if ! printf '%s\n' "$metrics" | grep -q '^css_controller_published_total '; then
+        echo "obs: /metrics missing live publish counter" >&2
+        exit 1
+    fi
+    # Per-shard data-plane series: one css_shard_{i}_ops counter per
+    # shard (and none beyond), plus the imbalance gauge.
+    local i
+    for ((i = 0; i < shards; i++)); do
+        if ! printf '%s\n' "$metrics" | grep -q "^css_shard_${i}_ops"; then
+            echo "obs: /metrics missing per-shard series css_shard_${i}_ops (shards=$shards)" >&2
+            printf '%s\n' "$metrics" | grep '^css_shard' >&2 || true
+            exit 1
+        fi
+    done
+    if printf '%s\n' "$metrics" | grep -q "^css_shard_${shards}_ops"; then
+        echo "obs: /metrics has a series for nonexistent shard $shards" >&2
+        exit 1
+    fi
+    if ! printf '%s\n' "$metrics" | grep -q '^css_shard_imbalance_pct '; then
+        echo "obs: /metrics missing css_shard_imbalance_pct gauge" >&2
+        exit 1
+    fi
+    echo "obs: /metrics ok ($(printf '%s\n' "$metrics" | wc -l) lines, $types metrics, $shards shard series)"
+
+    kill "$demo_pid" 2>/dev/null || true
+    wait "$demo_pid" 2>/dev/null || true
+    demo_pid=""
+}
+
+for shards in 1 4; do
+    run_smoke "$shards"
+done
 
 echo "obs: ops plane smoke passed"
