@@ -1,0 +1,173 @@
+//! Waiver-budget ratchet against a committed baseline.
+//!
+//! `lint-baseline.json` records the waivers the workspace is allowed to
+//! carry, as (rule, file) pairs. A lint run checked against the
+//! baseline fails when the current waiver multiset is not a subset of
+//! the baseline's — i.e. any *new* waiver (or a second waiver of the
+//! same rule in the same file) must be paid for by deliberately
+//! regenerating the baseline in the same change, which makes waiver
+//! growth visible in review instead of accreting silently. Removing
+//! waivers never fails: the ratchet only turns one way.
+
+use std::fs;
+use std::path::Path;
+
+use crate::cache::{parse_json, Json};
+use crate::engine::Report;
+use crate::json::escape;
+
+/// One allowed waiver: the rule and the file it is waived in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+}
+
+/// Load the baseline file. `Err` carries a human-readable reason.
+pub fn load(path: &Path) -> Result<Vec<BaselineEntry>, String> {
+    let src = fs::read_to_string(path)
+        .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+    let doc =
+        parse_json(&src).ok_or_else(|| format!("baseline {} is not valid JSON", path.display()))?;
+    let waivers = doc
+        .get("waivers")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("baseline {} has no \"waivers\" array", path.display()))?;
+    let mut out = Vec::new();
+    for w in waivers {
+        let (Some(rule), Some(file)) = (
+            w.get("rule").and_then(Json::as_str),
+            w.get("file").and_then(Json::as_str),
+        ) else {
+            return Err(format!(
+                "baseline {} entry missing rule/file",
+                path.display()
+            ));
+        };
+        out.push(BaselineEntry {
+            rule: rule.to_string(),
+            file: file.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Check the report's waivers against the baseline. Returns the list
+/// of violations (empty = pass): each violation is a waiver present in
+/// the report but not covered by a remaining baseline entry (multiset
+/// semantics — two waivers of one rule in one file need two entries).
+pub fn check(report: &Report, baseline: &[BaselineEntry]) -> Vec<String> {
+    let mut budget: Vec<BaselineEntry> = baseline.to_vec();
+    let mut violations = Vec::new();
+    for f in &report.waived {
+        let entry = BaselineEntry {
+            rule: f.rule.to_string(),
+            file: f.file.clone(),
+        };
+        match budget.iter().position(|b| *b == entry) {
+            Some(i) => {
+                budget.swap_remove(i);
+            }
+            None => violations.push(format!(
+                "new waiver not in baseline: {} in {} (line {})",
+                f.rule, f.file, f.line
+            )),
+        }
+    }
+    violations
+}
+
+/// Render the current report's waivers as a baseline document, for
+/// deliberate regeneration (`css-lint --write-baseline`).
+pub fn render(report: &Report) -> String {
+    let mut entries: Vec<String> = report
+        .waived
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"rule\":\"{}\",\"file\":\"{}\"}}",
+                escape(f.rule),
+                escape(&f.file)
+            )
+        })
+        .collect();
+    entries.sort();
+    format!(
+        "{{\n  \"version\": 1,\n  \"waivers\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{Finding, Severity};
+
+    fn waived(rule: &'static str, file: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Error,
+            crate_name: "c".into(),
+            file: file.into(),
+            line: 1,
+            message: "m".into(),
+            waive_reason: Some("r".into()),
+        }
+    }
+
+    fn report_with(waivers: Vec<Finding>) -> Report {
+        Report {
+            waived: waivers,
+            ..Report::default()
+        }
+    }
+
+    fn entry(rule: &str, file: &str) -> BaselineEntry {
+        BaselineEntry {
+            rule: rule.into(),
+            file: file.into(),
+        }
+    }
+
+    #[test]
+    fn subset_passes_and_new_waiver_fails() {
+        let baseline = vec![
+            entry("no-panic-hot-path", "a.rs"),
+            entry("layering", "b.rs"),
+        ];
+        let ok = report_with(vec![waived("no-panic-hot-path", "a.rs")]);
+        assert!(check(&ok, &baseline).is_empty());
+        let bad = report_with(vec![waived("identity-taint", "c.rs")]);
+        let violations = check(&bad, &baseline);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("identity-taint"));
+    }
+
+    #[test]
+    fn multiset_semantics_need_one_entry_per_waiver() {
+        let baseline = vec![entry("no-panic-hot-path", "a.rs")];
+        let two = report_with(vec![
+            waived("no-panic-hot-path", "a.rs"),
+            waived("no-panic-hot-path", "a.rs"),
+        ]);
+        assert_eq!(check(&two, &baseline).len(), 1);
+    }
+
+    #[test]
+    fn render_round_trips_through_load() {
+        let report = report_with(vec![
+            waived("no-panic-hot-path", "a.rs"),
+            waived("audit-before-release", "b.rs"),
+        ]);
+        let doc = render(&report);
+        let dir = std::env::temp_dir().join("css-lint-baseline-test");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join("lint-baseline.json");
+        fs::write(&path, &doc).unwrap();
+        let loaded = load(&path).expect("load");
+        assert_eq!(loaded.len(), 2);
+        assert!(loaded.contains(&entry("no-panic-hot-path", "a.rs")));
+        assert!(check(&report, &loaded).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

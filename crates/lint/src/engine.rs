@@ -1,13 +1,45 @@
 //! Workspace loading and rule execution.
+//!
+//! The engine runs in three phases:
+//!
+//! 1. **File phase** — each source file is parsed once and distilled
+//!    into [`FileFacts`]: file-scoped rule findings (waivers not yet
+//!    applied), the file's waivers, and per-fn summaries. This phase is
+//!    the expensive one and is what the incremental cache skips.
+//! 2. **Project phase** — the facts are assembled into a
+//!    [`Project`] (cross-file call graph) and every rule's
+//!    `check_project` runs over the summaries.
+//! 3. **Workspace phase** — manifest-level rules (`check_workspace`).
+//!
+//! Waivers are applied at assembly time so they cover project-scoped
+//! findings (e.g. a waived `audit-before-release`) exactly like
+//! file-scoped ones.
 
+use std::collections::HashMap;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::time::UNIX_EPOCH;
 
+use crate::cache;
+use crate::callgraph::{extract_fn_summaries, FileFacts, Project};
 use crate::diag::{Finding, Severity};
 use crate::manifest::{expand_members, read_manifest, Manifest};
 use crate::rules::{all_rules, Rule};
 use crate::source::{FileRole, SourceFile};
 use crate::waiver::apply_waivers;
+
+/// Wall-clock and cache statistics for one lint run. Populated by the
+/// CLI, never by the engine, so that two engine runs over identical
+/// sources produce byte-identical reports regardless of timing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timing {
+    /// End-to-end wall time of the run, in milliseconds.
+    pub wall_ms: u64,
+    /// Files whose facts were served from the incremental cache.
+    pub files_reused: usize,
+    /// Files that were read and parsed from disk.
+    pub files_parsed: usize,
+}
 
 /// The lint result for a whole workspace (or a single file).
 #[derive(Debug, Default)]
@@ -19,6 +51,9 @@ pub struct Report {
     /// Findings suppressed by an inline waiver, with the reason.
     pub waived: Vec<Finding>,
     pub files_scanned: usize,
+    /// Run statistics; `None` for engine-produced reports (the CLI
+    /// fills it in, and renderers omit it when absent).
+    pub timing: Option<Timing>,
 }
 
 impl Report {
@@ -46,6 +81,13 @@ impl Report {
     }
 }
 
+/// How many file-phase results came from the cache vs. a fresh parse.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CacheStats {
+    pub reused: usize,
+    pub parsed: usize,
+}
+
 /// Source subdirectories of a crate and the role their files get.
 const SOURCE_DIRS: &[(&str, FileRole)] = &[
     ("src", FileRole::Production),
@@ -69,25 +111,14 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Run one file through every file-scoped rule, honoring waivers.
-/// This is also the fixture-testing entry point.
-pub fn lint_file_source(
-    crate_name: &str,
-    rel_path: &str,
-    role: FileRole,
-    src: &str,
-) -> Vec<Finding> {
-    let rules = all_rules();
-    lint_file_with(&rules, crate_name, rel_path, role, src)
-}
-
-fn lint_file_with(
+/// Phase 1 for one file: parse and distill into cacheable facts.
+fn build_file_facts(
     rules: &[Box<dyn Rule>],
     crate_name: &str,
     rel_path: &str,
     role: FileRole,
     src: &str,
-) -> Vec<Finding> {
+) -> FileFacts {
     let file = SourceFile::parse(crate_name, rel_path, role, src);
     let mut findings = file.load_findings.clone();
     for rule in rules {
@@ -98,12 +129,98 @@ fn lint_file_with(
             f.crate_name = crate_name.to_string();
         }
     }
-    apply_waivers(findings, &file.waivers)
+    let fns = extract_fn_summaries(&file);
+    FileFacts {
+        crate_name: crate_name.to_string(),
+        path: rel_path.to_string(),
+        role,
+        findings,
+        waivers: file.waivers,
+        fns,
+    }
+}
+
+/// Phases 2–3: build the project, run project + workspace rules, apply
+/// each file's waivers to every finding that lands in it. Returns the
+/// facts back out so callers can persist them to the cache.
+fn assemble(
+    root: String,
+    facts: Vec<FileFacts>,
+    manifests: &[Manifest],
+    rules: &[Box<dyn Rule>],
+) -> (Report, Vec<FileFacts>) {
+    let files_scanned = facts.len();
+    let project = Project::new(facts);
+
+    let mut all: Vec<Finding> = Vec::new();
+    for file in &project.files {
+        all.extend(file.findings.iter().cloned());
+    }
+    for rule in rules {
+        rule.check_project(&project, &mut all);
+    }
+    for rule in rules {
+        rule.check_workspace(manifests, &mut all);
+    }
+
+    let mut by_file: HashMap<&str, &FileFacts> = HashMap::new();
+    for file in &project.files {
+        by_file.insert(file.path.as_str(), file);
+    }
+
+    let mut report = Report {
+        root,
+        files_scanned,
+        ..Report::default()
+    };
+    for finding in all {
+        let resolved = match by_file.get(finding.file.as_str()) {
+            Some(file) if !file.waivers.is_empty() => {
+                apply_waivers(vec![finding], &file.waivers).remove(0)
+            }
+            _ => finding,
+        };
+        if resolved.is_waived() {
+            report.waived.push(resolved);
+        } else {
+            report.findings.push(resolved);
+        }
+    }
+    (report, project.files)
+}
+
+/// Run one file through every file-scoped *and* project-scoped rule
+/// (over a single-file project), honoring waivers. This is the
+/// fixture-testing entry point: returned findings include waived ones
+/// (with `waive_reason` set) so fixtures can assert all three states.
+pub fn lint_file_source(
+    crate_name: &str,
+    rel_path: &str,
+    role: FileRole,
+    src: &str,
+) -> Vec<Finding> {
+    let rules = all_rules();
+    let facts = build_file_facts(&rules, crate_name, rel_path, role, src);
+    let (report, _) = assemble(String::new(), vec![facts], &[], &rules);
+    let mut out = report.findings;
+    out.extend(report.waived);
+    out
 }
 
 /// Lint the workspace rooted at `root`: every member crate's sources
-/// plus the manifest dependency graph.
+/// plus the manifest dependency graph. No incremental cache.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    lint_workspace_with_cache(root, None).map(|(report, _)| report)
+}
+
+/// Lint the workspace, optionally reusing and refreshing the
+/// incremental facts cache at `cache_path`. A cached entry is reused
+/// when its (mtime, size) stat, crate name, and role all match; the
+/// cache file itself is versioned by a fingerprint of the rule set.
+pub fn lint_workspace_with_cache(
+    root: &Path,
+    cache_path: Option<&Path>,
+) -> std::io::Result<(Report, CacheStats)> {
     let rules = all_rules();
     let root_manifest = read_manifest(root, ".")?;
     let mut manifests: Vec<Manifest> = Vec::new();
@@ -117,11 +234,11 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
         }
     }
 
-    let mut report = Report {
-        root: root.display().to_string(),
-        ..Report::default()
-    };
-    let mut all_findings: Vec<Finding> = Vec::new();
+    let cached = cache_path.map(cache::load).unwrap_or_default();
+    let mut stats = CacheStats::default();
+    let mut facts: Vec<FileFacts> = Vec::new();
+    // (path, mtime_ns, size) per linted file, for the refreshed cache.
+    let mut stat_keys: Vec<(String, u128, u64)> = Vec::new();
 
     for manifest in &manifests {
         if manifest.name.is_empty() {
@@ -136,32 +253,59 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
             let mut files = Vec::new();
             collect_rs_files(&crate_dir.join(sub), &mut files);
             for path in files {
-                let Ok(src) = fs::read_to_string(&path) else {
+                let Ok(meta) = fs::metadata(&path) else {
                     continue;
                 };
+                let mtime_ns = meta
+                    .modified()
+                    .ok()
+                    .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
+                    .map(|d| d.as_nanos())
+                    .unwrap_or(0);
+                let size = meta.len();
                 let rel = path
                     .strip_prefix(root)
                     .unwrap_or(&path)
                     .display()
                     .to_string();
-                report.files_scanned += 1;
-                all_findings.extend(lint_file_with(&rules, &manifest.name, &rel, *role, &src));
+
+                let hit = cached.get(&rel).filter(|c| {
+                    c.mtime_ns == mtime_ns
+                        && c.size == size
+                        && c.facts.crate_name == manifest.name
+                        && c.facts.role == *role
+                });
+                let file_facts = match hit {
+                    Some(c) => {
+                        stats.reused += 1;
+                        c.facts.clone()
+                    }
+                    None => {
+                        let Ok(src) = fs::read_to_string(&path) else {
+                            continue;
+                        };
+                        stats.parsed += 1;
+                        build_file_facts(&rules, &manifest.name, &rel, *role, &src)
+                    }
+                };
+                stat_keys.push((rel, mtime_ns, size));
+                facts.push(file_facts);
             }
         }
     }
 
-    for rule in &rules {
-        rule.check_workspace(&manifests, &mut all_findings);
+    let (report, facts) = assemble(root.display().to_string(), facts, &manifests, &rules);
+
+    if let Some(path) = cache_path {
+        let entries: Vec<(String, u128, u64, &FileFacts)> = stat_keys
+            .iter()
+            .zip(facts.iter())
+            .map(|((p, m, s), f)| (p.clone(), *m, *s, f))
+            .collect();
+        cache::store(path, &entries);
     }
 
-    for f in all_findings {
-        if f.is_waived() {
-            report.waived.push(f);
-        } else {
-            report.findings.push(f);
-        }
-    }
-    Ok(report)
+    Ok((report, stats))
 }
 
 /// Render the human-readable report.
@@ -178,5 +322,11 @@ pub fn render_text(report: &Report) -> String {
         report.warnings(),
         report.waived.len()
     ));
+    if let Some(t) = &report.timing {
+        out.push_str(&format!(
+            "css-lint: {} ms wall, {} file(s) from cache, {} parsed\n",
+            t.wall_ms, t.files_reused, t.files_parsed
+        ));
+    }
     out
 }

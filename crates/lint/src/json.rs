@@ -1,16 +1,21 @@
-//! Hand-rolled JSON rendering for `--format json` (schema version 1).
+//! Hand-rolled JSON rendering for `--format json` (schema version 2).
 //!
 //! Shape:
 //! ```json
 //! {
-//!   "version": 1,
+//!   "version": 2,
 //!   "root": "...",
 //!   "rules": [{"id": "...", "severity": "...", "description": "..."}],
 //!   "findings": [{"rule","severity","crate","file","line","message"}],
 //!   "waived":   [... same fields plus "reason"],
-//!   "summary": {"errors","warnings","waived","files_scanned"}
+//!   "summary": {"errors","warnings","waived","files_scanned"},
+//!   "timing": {"wall_ms","files_reused","files_parsed"}   // CLI runs only
 //! }
 //! ```
+//!
+//! v2 adds the three project-phase rules to `rules`, and the optional
+//! `timing` object — present only when the CLI measured a run (engine-
+//! produced reports omit it, keeping cold/warm reports byte-identical).
 
 use crate::diag::Finding;
 use crate::engine::Report;
@@ -65,9 +70,16 @@ pub fn render_json(report: &Report) -> String {
         .collect();
     let findings: Vec<String> = report.findings.iter().map(finding_json).collect();
     let waived: Vec<String> = report.waived.iter().map(finding_json).collect();
+    let timing = match &report.timing {
+        Some(t) => format!(
+            ",\"timing\":{{\"wall_ms\":{},\"files_reused\":{},\"files_parsed\":{}}}",
+            t.wall_ms, t.files_reused, t.files_parsed
+        ),
+        None => String::new(),
+    };
     format!(
-        "{{\"version\":1,\"root\":\"{}\",\"rules\":[{}],\"findings\":[{}],\"waived\":[{}],\
-         \"summary\":{{\"errors\":{},\"warnings\":{},\"waived\":{},\"files_scanned\":{}}}}}\n",
+        "{{\"version\":2,\"root\":\"{}\",\"rules\":[{}],\"findings\":[{}],\"waived\":[{}],\
+         \"summary\":{{\"errors\":{},\"warnings\":{},\"waived\":{},\"files_scanned\":{}}}{}}}\n",
         escape(&report.root),
         rules.join(","),
         findings.join(","),
@@ -76,6 +88,7 @@ pub fn render_json(report: &Report) -> String {
         report.warnings(),
         report.waived.len(),
         report.files_scanned,
+        timing,
     )
 }
 

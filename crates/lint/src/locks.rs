@@ -1,0 +1,390 @@
+//! Shard lock-acquisition ordering.
+//!
+//! PR 7's scatter-gather deadlock-freedom argument rests on a single
+//! discipline: a thread holding one shard's lock never acquires another
+//! shard's lock unless the indices are *strictly ascending*. Two
+//! threads locking shards in opposite orders deadlock; ascending order
+//! makes the wait-for graph acyclic. This pass pins the argument: it
+//! tracks shard-guard bindings inside each fn body (the same
+//! statement-tail idiom the lock-across-io rule uses) and reports any
+//! overlapping acquisition whose order it cannot prove ascending.
+//!
+//! Recognized acquisition shapes:
+//! - `.shard(IDX)` — the `IndexShards::shard(i)` helper (returns a guard)
+//! - `.shards[IDX].lock()` / `.read()` / `.write()` — direct slot lock
+//! - `<ident containing "shard">.lock()` — a loop variable over shards
+//!
+//! Index comparison: two numeric literals compare numerically (must be
+//! strictly ascending); identical symbolic index expressions are a
+//! re-acquisition (self-deadlock with `Mutex`); anything else is
+//! *unprovable* and reported — restructure to one-guard-at-a-time
+//! iteration (the idiom every production cross-shard path uses) or
+//! ascending literals.
+
+use crate::diag::{Finding, Severity};
+use crate::source::{matching_brace, matching_bracket, matching_paren, FnBody, SourceFile};
+
+const GUARD_CALLS: &[&str] = &["lock", "read", "write"];
+
+/// A shard index expression, as far as the token stream can tell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ShardIndex {
+    Lit(u64),
+    Sym(String),
+}
+
+impl ShardIndex {
+    fn parse(file: &SourceFile, a: usize, b: usize) -> ShardIndex {
+        let toks = &file.tokens;
+        if a == b {
+            if let Ok(n) = toks[a].text.parse::<u64>() {
+                return ShardIndex::Lit(n);
+            }
+        }
+        let mut text = String::new();
+        for t in toks.iter().take(b + 1).skip(a) {
+            if !text.is_empty()
+                && t.text
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                && text
+                    .chars()
+                    .last()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                text.push(' ');
+            }
+            text.push_str(&t.text);
+        }
+        ShardIndex::Sym(text)
+    }
+
+    fn describe(&self) -> String {
+        match self {
+            ShardIndex::Lit(n) => format!("shard {n}"),
+            ShardIndex::Sym(s) => format!("shard `{s}`"),
+        }
+    }
+}
+
+/// One acquisition site: the index expression plus the token just past
+/// the acquisition (for statement-tail guard detection).
+struct Acquisition {
+    index: ShardIndex,
+    /// Token index of the acquisition's last token (`)` or `]`-chain).
+    end: usize,
+}
+
+struct HeldGuard {
+    name: String,
+    index: ShardIndex,
+    depth: usize,
+    line: u32,
+}
+
+/// Walk one fn body; report overlapping shard-lock acquisitions whose
+/// order is not provably ascending. Nested fns are skipped (checked
+/// through their own bodies).
+pub fn check_fn(file: &SourceFile, body: &FnBody, rule_id: &'static str, out: &mut Vec<Finding>) {
+    if !file.is_prod(body.open) {
+        return;
+    }
+    let toks = &file.tokens;
+    let mut guards: Vec<HeldGuard> = Vec::new();
+    // The binding name of the `let` statement currently being scanned,
+    // plus the last acquisition seen inside it.
+    let mut pending_let: Option<(String, usize)> = None;
+    let mut last_acq: Option<Acquisition> = None;
+    let mut depth = 0usize;
+    let mut i = body.open;
+    while i <= body.close {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            guards.retain(|g| g.depth <= depth);
+        } else if t.is_ident("fn") && i > body.open {
+            if let Some(open) = nested_fn_open(file, i, body.close) {
+                i = matching_brace(toks, open);
+                continue;
+            }
+        } else if t.is_ident("let") {
+            let mut n = i + 1;
+            if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                n += 1;
+            }
+            pending_let = file.ident(n).map(|name| (name.to_string(), depth));
+            last_acq = None;
+        } else if t.is_punct(';') {
+            // Statement end: a `let` whose tail was an acquisition binds
+            // a guard; a temporary (anything else) died here.
+            if let (Some((name, let_depth)), Some(acq)) = (&pending_let, &last_acq) {
+                if acq.end + 1 == i {
+                    guards.push(HeldGuard {
+                        name: name.clone(),
+                        index: acq.index.clone(),
+                        depth: *let_depth,
+                        line: toks[i].line,
+                    });
+                }
+            }
+            pending_let = None;
+            last_acq = None;
+        } else if t.is_ident("drop") && toks.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+            if let Some(name) = file.ident(i + 2) {
+                if toks.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                    guards.retain(|g| g.name != name);
+                }
+            }
+        }
+
+        if let Some(acq) = acquisition_at(file, i) {
+            if file.is_prod(i) {
+                for held in &guards {
+                    if let Some(problem) = order_violation(&held.index, &acq.index) {
+                        out.push(Finding {
+                            rule: rule_id,
+                            severity: Severity::Error,
+                            crate_name: file.crate_name.clone(),
+                            file: file.path.clone(),
+                            line: t.line,
+                            message: format!(
+                                "fn `{}` acquires {} while holding {} (guard `{}`, line {}): {}",
+                                body.name,
+                                acq.index.describe(),
+                                held.index.describe(),
+                                held.name,
+                                held.line,
+                                problem
+                            ),
+                            waive_reason: None,
+                        });
+                    }
+                }
+            }
+            let end = acq.end;
+            last_acq = Some(acq);
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Why acquiring `new` while holding `held` is (or may be) a deadlock.
+fn order_violation(held: &ShardIndex, new: &ShardIndex) -> Option<&'static str> {
+    match (held, new) {
+        (ShardIndex::Lit(a), ShardIndex::Lit(b)) => {
+            if b > a {
+                None // strictly ascending: safe
+            } else if b == a {
+                Some("re-acquiring the same shard self-deadlocks")
+            } else {
+                Some(
+                    "shard locks must be acquired in strictly ascending index order \
+                     to keep the scatter-gather wait-for graph acyclic",
+                )
+            }
+        }
+        (ShardIndex::Sym(a), ShardIndex::Sym(b)) if a == b => {
+            Some("re-acquiring the same shard self-deadlocks")
+        }
+        _ => Some(
+            "the acquisition order cannot be proven ascending — iterate shards \
+             one guard at a time or use ascending literal indices",
+        ),
+    }
+}
+
+/// Detect a shard-lock acquisition starting at token `i`.
+fn acquisition_at(file: &SourceFile, i: usize) -> Option<Acquisition> {
+    let toks = &file.tokens;
+    let t = toks.get(i)?;
+    // `.shard(IDX)` — the guard-returning helper.
+    if t.is_punct('.')
+        && toks.get(i + 1).is_some_and(|t| t.is_ident("shard"))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+    {
+        let close = matching_paren(toks, i + 2);
+        if close >= i + 3 {
+            let index = ShardIndex::parse(file, i + 3, close.saturating_sub(1));
+            return Some(Acquisition { index, end: close });
+        }
+    }
+    // `.shards[IDX].lock()` / `.read()` / `.write()`.
+    if t.is_punct('.')
+        && toks.get(i + 1).is_some_and(|t| t.is_ident("shards"))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct('['))
+    {
+        let close_br = matching_bracket(toks, i + 2);
+        if toks.get(close_br + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(close_br + 2)
+                .is_some_and(|t| GUARD_CALLS.iter().any(|g| t.is_ident(g)))
+            && toks.get(close_br + 3).is_some_and(|t| t.is_punct('('))
+        {
+            let close = matching_paren(toks, close_br + 3);
+            let index = ShardIndex::parse(file, i + 3, close_br.saturating_sub(1));
+            return Some(Acquisition { index, end: close });
+        }
+    }
+    // `<shard-ish ident>.lock()` — e.g. a loop variable over the shard
+    // vector. Only `lock` here: `.read()`/`.write()` on a shard-named
+    // ident would double-count the `.shards[..]` form's chain.
+    if t.kind == crate::scanner::TokenKind::Ident
+        && t.text.to_ascii_lowercase().contains("shard")
+        && !t.is_ident("shards")
+        && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+        && toks.get(i + 2).is_some_and(|t| t.is_ident("lock"))
+        && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+    {
+        let close = matching_paren(toks, i + 3);
+        return Some(Acquisition {
+            index: ShardIndex::Sym(t.text.clone()),
+            end: close,
+        });
+    }
+    None
+}
+
+fn nested_fn_open(file: &SourceFile, at: usize, limit: usize) -> Option<usize> {
+    let toks = &file.tokens;
+    let mut paren = 0isize;
+    let mut k = at + 1;
+    while k <= limit {
+        let t = &toks[k];
+        if t.is_punct('(') {
+            paren += 1;
+        } else if t.is_punct(')') {
+            paren -= 1;
+        } else if paren == 0 {
+            if t.is_punct(';') {
+                return None;
+            }
+            if t.is_punct('{') {
+                return Some(k);
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FileRole;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("css-controller", "src/x.rs", FileRole::Production, src);
+        let mut out = Vec::new();
+        for body in &file.fns {
+            check_fn(&file, body, "shard-lock-order", &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn descending_literals_fire() {
+        let hits = findings(
+            "fn f(&self) {\n\
+                 let a = self.shard(2);\n\
+                 let b = self.shard(1);\n\
+             }",
+        );
+        assert_eq!(hits.len(), 1, "{hits:#?}");
+        assert!(hits[0].message.contains("ascending"));
+    }
+
+    #[test]
+    fn ascending_literals_pass() {
+        let hits = findings(
+            "fn f(&self) {\n\
+                 let a = self.shard(0);\n\
+                 let b = self.shard(1);\n\
+                 let c = self.shards[2].lock();\n\
+             }",
+        );
+        assert!(hits.is_empty(), "{hits:#?}");
+    }
+
+    #[test]
+    fn same_index_is_self_deadlock() {
+        let hits = findings(
+            "fn f(&self, i: usize) {\n\
+                 let a = self.shards[i].lock();\n\
+                 let b = self.shards[i].lock();\n\
+             }",
+        );
+        assert_eq!(hits.len(), 1, "{hits:#?}");
+        assert!(hits[0].message.contains("self-deadlocks"));
+    }
+
+    #[test]
+    fn symbolic_overlap_is_unprovable() {
+        let hits = findings(
+            "fn f(&self, i: usize, j: usize) {\n\
+                 let a = self.shard(i);\n\
+                 let b = self.shard(j);\n\
+             }",
+        );
+        assert_eq!(hits.len(), 1, "{hits:#?}");
+        assert!(hits[0].message.contains("cannot be proven"));
+    }
+
+    #[test]
+    fn drop_releases_the_guard() {
+        let hits = findings(
+            "fn f(&self) {\n\
+                 let a = self.shard(3);\n\
+                 drop(a);\n\
+                 let b = self.shard(0);\n\
+             }",
+        );
+        assert!(hits.is_empty(), "{hits:#?}");
+    }
+
+    #[test]
+    fn loop_one_guard_at_a_time_passes() {
+        let hits = findings(
+            "fn f(&self) {\n\
+                 for i in 0..self.shards.len() {\n\
+                     let shard = self.shard(i);\n\
+                     shard.sync();\n\
+                 }\n\
+                 for shard in &self.shards {\n\
+                     let shard = shard.lock();\n\
+                     shard.verify();\n\
+                 }\n\
+             }",
+        );
+        assert!(hits.is_empty(), "{hits:#?}");
+    }
+
+    #[test]
+    fn temporary_acquisition_while_held_fires() {
+        let hits = findings(
+            "fn f(&self) {\n\
+                 let a = self.shard(1);\n\
+                 let n = self.shard(0).len();\n\
+             }",
+        );
+        assert_eq!(hits.len(), 1, "temporaries overlap too: {hits:#?}");
+    }
+
+    #[test]
+    fn block_scoped_guard_releases_at_brace() {
+        let hits = findings(
+            "fn f(&self) {\n\
+                 {\n\
+                     let a = self.shard(5);\n\
+                     a.len();\n\
+                 }\n\
+                 let b = self.shard(0);\n\
+             }",
+        );
+        assert!(hits.is_empty(), "{hits:#?}");
+    }
+}

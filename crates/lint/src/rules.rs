@@ -5,9 +5,11 @@
 //! manifests of the whole workspace. See `DESIGN.md` §9 for the mapping
 //! from each rule to the paper mechanism it encodes.
 
+use crate::callgraph::{Project, FILING_CALLS, RELEASE_CALLS};
 use crate::diag::{Finding, Severity};
 use crate::manifest::Manifest;
 use crate::source::{matching_brace, FnBody, SourceFile};
+use crate::{flow, locks};
 
 /// A named invariant check.
 pub trait Rule {
@@ -15,8 +17,12 @@ pub trait Rule {
     fn severity(&self) -> Severity;
     /// One-line description for `--list-rules` and the JSON report.
     fn description(&self) -> &'static str;
-    /// Check one source file (no-op for workspace-scoped rules).
+    /// Check one source file (no-op for project/workspace rules).
     fn check_file(&self, _file: &SourceFile, _out: &mut Vec<Finding>) {}
+    /// Check the summarized project (call-graph scope; no-op for file
+    /// rules). Runs over [`FnSummary`](crate::callgraph::FnSummary)
+    /// facts, so it reruns cheaply from the incremental cache.
+    fn check_project(&self, _project: &Project, _out: &mut Vec<Finding>) {}
     /// Check the workspace dependency graph (no-op for file rules).
     fn check_workspace(&self, _manifests: &[Manifest], _out: &mut Vec<Finding>) {}
 }
@@ -27,8 +33,11 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(DetailConfinement),
         Box::new(PermitProvenance),
         Box::new(AuditBeforeRelease),
+        Box::new(IdentityTaint),
         Box::new(NoPanicHotPath),
         Box::new(LockAcrossIo),
+        Box::new(ShardLockOrder),
+        Box::new(UncheckedBackpressure),
         Box::new(TraceHygiene),
         Box::new(Layering),
     ]
@@ -199,15 +208,11 @@ fn is_permit_pattern(file: &SourceFile, _open: usize, close: usize) -> bool {
 /// The Privacy Requirements Analysis requires every release to be
 /// traceable: any function that rebuilds an identity-bearing
 /// notification or pulls filtered details from a gateway must also
-/// append an audit record in the same body.
+/// append an audit record — in its own body or (v2, call-graph
+/// transitive) in a same-crate helper it calls, so refactoring the
+/// append into `log_release()` cannot silently lose the obligation.
 pub struct AuditBeforeRelease;
 
-/// Calls that constitute a release of protected data.
-const RELEASE_CALLS: &[&str] = &[
-    "decrypt_notification",
-    "get_response",
-    "get_response_traced",
-];
 /// Crates where releases happen and the audit obligation applies.
 const RELEASE_CRATES: &[&str] = &["css-controller", "css-gateway"];
 
@@ -219,82 +224,77 @@ impl Rule for AuditBeforeRelease {
         Severity::Error
     }
     fn description(&self) -> &'static str {
-        "functions releasing notification identities or gateway details must append an audit record"
+        "functions releasing notification identities or gateway details must append an audit record (directly or via a same-crate callee)"
     }
-    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
-        if !RELEASE_CRATES.contains(&file.crate_name.as_str()) {
-            return;
-        }
-        for body in &file.fns {
-            // A forwarding impl or the defining method itself (e.g. a
-            // `get_response` trait impl delegating inward) is the narrow
-            // interface, not a release site.
-            if RELEASE_CALLS.contains(&body.name.as_str()) {
+    fn check_project(&self, project: &Project, out: &mut Vec<Finding>) {
+        for (fi, file) in project.files.iter().enumerate() {
+            if !RELEASE_CRATES.contains(&file.crate_name.as_str()) {
                 continue;
             }
-            if !file.is_prod(body.open) {
-                continue;
+            for (gi, f) in file.fns.iter().enumerate() {
+                // A forwarding impl or the defining method itself (e.g.
+                // a `get_response` trait impl delegating inward) is the
+                // narrow interface, not a release site.
+                if !f.is_prod
+                    || RELEASE_CALLS.contains(&f.name.as_str())
+                    || f.release_calls.is_empty()
+                {
+                    continue;
+                }
+                if project.appends_audit_transitively((fi, gi)) {
+                    continue;
+                }
+                let site = &f.release_calls[0];
+                out.push(Finding {
+                    rule: self.id(),
+                    severity: self.severity(),
+                    crate_name: file.crate_name.clone(),
+                    file: file.path.clone(),
+                    line: site.line,
+                    message: format!(
+                        "fn `{}` calls `.{}(..)` but neither it nor any same-crate \
+                         callee appends an audit record: every release must be \
+                         traceable (PRA)",
+                        f.name, site.callee
+                    ),
+                    waive_reason: None,
+                });
             }
-            let Some(call_at) = find_release_call(file, body) else {
-                continue;
-            };
-            if body_appends_audit(file, body) {
-                continue;
-            }
-            out.push(finding(
-                self.id(),
-                self.severity(),
-                file,
-                call_at,
-                format!(
-                    "fn `{}` calls `.{}(..)` but never appends an audit record: \
-                     every release must be traceable (PRA)",
-                    body.name,
-                    file.ident(call_at + 1).unwrap_or("?")
-                ),
-            ));
         }
     }
-}
-
-/// First `.decrypt_notification(` / `.get_response(` call in the body.
-fn find_release_call(file: &SourceFile, body: &FnBody) -> Option<usize> {
-    let toks = &file.tokens;
-    (body.open..body.close).find(|&i| {
-        toks[i].is_punct('.')
-            && toks
-                .get(i + 1)
-                .is_some_and(|t| RELEASE_CALLS.iter().any(|c| t.is_ident(c)))
-            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
-            && file.is_prod(i)
-    })
-}
-
-/// Does the body contain an `audit ... .append(` / `.append_batch(` call
-/// (in either order of discovery — `self.audit.append(..)` et al)?
-fn body_appends_audit(file: &SourceFile, body: &FnBody) -> bool {
-    let toks = &file.tokens;
-    let mut saw_audit = false;
-    let mut saw_append = false;
-    for i in body.open..body.close {
-        let t = &toks[i];
-        if t.kind == crate::scanner::TokenKind::Ident && t.text.contains("audit") {
-            saw_audit = true;
-        }
-        if t.is_punct('.')
-            && toks
-                .get(i + 1)
-                .is_some_and(|t| t.is_ident("append") || t.is_ident("append_batch"))
-            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
-        {
-            saw_append = true;
-        }
-    }
-    saw_audit && saw_append
 }
 
 // ---------------------------------------------------------------------------
-// Rule 4: no-panic-hot-path
+// Rule 4: identity-taint
+// ---------------------------------------------------------------------------
+
+/// Detail confinement bans the *types*; this bans the *values*: an
+/// identity-derived expression (fiscal code, person name fields,
+/// decrypted notification material) must never flow into the trace,
+/// metrics, broker, or ops planes — the brokers-can't-read-identities
+/// guarantee the confidentiality-preserving pub/sub literature demands.
+/// The dataflow engine lives in [`crate::flow`].
+pub struct IdentityTaint;
+
+impl Rule for IdentityTaint {
+    fn id(&self) -> &'static str {
+        "identity-taint"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "identity-derived values must not reach span attrs, metric names, bus publishes, or ops responses"
+    }
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for body in &file.fns {
+            flow::check_fn(file, body, self.id(), out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 5: no-panic-hot-path
 // ---------------------------------------------------------------------------
 
 /// A panic in the enforcement or storage path takes down the platform
@@ -379,7 +379,7 @@ impl Rule for NoPanicHotPath {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 5: lock-across-io
+// Rule 6: lock-across-io
 // ---------------------------------------------------------------------------
 
 /// Holding a `parking_lot` guard across a storage-backend write stalls
@@ -553,7 +553,94 @@ fn chain_root(file: &SourceFile, dot: usize) -> Option<String> {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 6: trace-hygiene
+// Rule 7: shard-lock-order
+// ---------------------------------------------------------------------------
+
+/// The sharded data plane (PR 7) is deadlock-free because every
+/// cross-shard path acquires one guard at a time or walks indices in
+/// ascending order. This rule pins that argument mechanically; the
+/// acquisition tracker lives in [`crate::locks`].
+pub struct ShardLockOrder;
+
+impl Rule for ShardLockOrder {
+    fn id(&self) -> &'static str {
+        "shard-lock-order"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Error
+    }
+    fn description(&self) -> &'static str {
+        "a held shard guard must not acquire another shard's lock except in ascending index order"
+    }
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        for body in &file.fns {
+            locks::check_fn(file, body, self.id(), out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: unchecked-backpressure
+// ---------------------------------------------------------------------------
+
+/// The pending-access queue is bounded (PR 7): `PendingQueue::file` and
+/// its `request_access` forwarders return `CssError::Backpressure` at
+/// the high-water mark. A production caller that neither matches that
+/// variant nor propagates to a caller that does silently drops the
+/// queue-full signal — the backlog becomes invisible exactly when it
+/// matters. Boundary APIs (the filing call propagated outward, with no
+/// production caller yet) are exempt: their obligation transfers to
+/// whoever calls them.
+pub struct UncheckedBackpressure;
+
+impl Rule for UncheckedBackpressure {
+    fn id(&self) -> &'static str {
+        "unchecked-backpressure"
+    }
+    fn severity(&self) -> Severity {
+        Severity::Warn
+    }
+    fn description(&self) -> &'static str {
+        "pending-queue filings must handle or propagate `CssError::Backpressure`"
+    }
+    fn check_project(&self, project: &Project, out: &mut Vec<Finding>) {
+        for file in &project.files {
+            for f in &file.fns {
+                if !f.is_prod
+                    || FILING_CALLS.contains(&f.name.as_str())
+                    || f.filing_calls.is_empty()
+                    || f.mentions_backpressure
+                    || project.any_transitive_caller(&f.name, |c| c.mentions_backpressure)
+                {
+                    continue;
+                }
+                for site in &f.filing_calls {
+                    if site.propagated && !project.has_prod_caller(&f.name) {
+                        continue; // boundary API: the obligation transfers
+                    }
+                    out.push(Finding {
+                        rule: self.id(),
+                        severity: self.severity(),
+                        crate_name: file.crate_name.clone(),
+                        file: file.path.clone(),
+                        line: site.line,
+                        message: format!(
+                            "fn `{}` files into the bounded pending queue via `.{}(..)` \
+                             but neither it nor any production caller matches \
+                             `CssError::Backpressure`: handle queue-full or propagate \
+                             it to a caller that does",
+                            f.name, site.callee
+                        ),
+                        waive_reason: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 9: trace-hygiene
 // ---------------------------------------------------------------------------
 
 /// Spans travel to exporters and dashboards, so their attributes must
@@ -634,7 +721,7 @@ impl Rule for TraceHygiene {
 }
 
 // ---------------------------------------------------------------------------
-// Rule 7: layering
+// Rule 10: layering
 // ---------------------------------------------------------------------------
 
 /// The crate DAG is the privacy architecture: types at the bottom,

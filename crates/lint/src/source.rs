@@ -84,12 +84,26 @@ impl SourceFile {
 /// Returns `tokens.len() - 1` on unbalanced input (tolerant: the lint
 /// must never panic on odd source).
 pub fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    matching_delim(tokens, open, '{', '}')
+}
+
+/// Find the token index of the `)` matching the `(` at `open`.
+pub fn matching_paren(tokens: &[Token], open: usize) -> usize {
+    matching_delim(tokens, open, '(', ')')
+}
+
+/// Find the token index of the `]` matching the `[` at `open`.
+pub fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    matching_delim(tokens, open, '[', ']')
+}
+
+fn matching_delim(tokens: &[Token], open: usize, oc: char, cc: char) -> usize {
     let mut depth = 0usize;
     for (i, t) in tokens.iter().enumerate().skip(open) {
-        if t.is_punct('{') {
+        if t.is_punct(oc) {
             depth += 1;
-        } else if t.is_punct('}') {
-            depth -= 1;
+        } else if t.is_punct(cc) {
+            depth = depth.saturating_sub(1);
             if depth == 0 {
                 return i;
             }

@@ -266,3 +266,163 @@ fn malformed_waiver_is_itself_a_finding() {
         .iter()
         .any(|f| f.rule == "no-panic-hot-path" && !f.is_waived()));
 }
+
+#[test]
+fn identity_taint_fires_on_span_metric_and_publish() {
+    let hits = fire("css-controller", "identity_taint/fire.rs", "identity-taint");
+    assert_eq!(hits.len(), 3, "span + metric + publish: {hits:#?}");
+    assert!(hits.iter().all(|f| f.severity == Severity::Error));
+    assert!(
+        hits[0].message.contains("SpanAttr::actor"),
+        "first hit names the span sink: {hits:#?}"
+    );
+    assert!(
+        hits[1].message.contains("metric name"),
+        "second hit names the metric sink: {hits:#?}"
+    );
+    assert!(
+        hits[2].message.contains("bus publish"),
+        "third hit names the publish sink: {hits:#?}"
+    );
+
+    let clean = fire(
+        "css-controller",
+        "identity_taint/clean.rs",
+        "identity-taint",
+    );
+    assert!(clean.is_empty(), "sanitized flows flagged: {clean:#?}");
+}
+
+#[test]
+fn identity_taint_waiver_moves_finding_to_waived() {
+    let src = fixture("identity_taint/waived.rs");
+    let all = lint_file_source(
+        "css-controller",
+        "identity_taint/waived.rs",
+        FileRole::Production,
+        &src,
+    );
+    let (waived, active): (Vec<_>, Vec<_>) = all.into_iter().partition(|f| f.is_waived());
+    assert!(
+        active.iter().all(|f| f.rule != "identity-taint"),
+        "{active:#?}"
+    );
+    assert_eq!(waived.len(), 1, "{waived:#?}");
+    assert!(waived[0]
+        .waive_reason
+        .as_deref()
+        .unwrap_or("")
+        .contains("sealed enclave"));
+}
+
+#[test]
+fn shard_lock_order_fires_and_clean_passes() {
+    let hits = fire(
+        "css-controller",
+        "shard_lock_order/fire.rs",
+        "shard-lock-order",
+    );
+    assert_eq!(hits.len(), 2, "descending + same-index: {hits:#?}");
+    assert!(hits.iter().all(|f| f.severity == Severity::Error));
+    assert!(
+        hits[0].message.contains("descending") || hits[0].message.contains("order"),
+        "{hits:#?}"
+    );
+
+    let clean = fire(
+        "css-controller",
+        "shard_lock_order/clean.rs",
+        "shard-lock-order",
+    );
+    assert!(clean.is_empty(), "allowed shapes flagged: {clean:#?}");
+}
+
+#[test]
+fn shard_lock_order_waiver_moves_finding_to_waived() {
+    let src = fixture("shard_lock_order/waived.rs");
+    let all = lint_file_source(
+        "css-controller",
+        "shard_lock_order/waived.rs",
+        FileRole::Production,
+        &src,
+    );
+    let (waived, active): (Vec<_>, Vec<_>) = all.into_iter().partition(|f| f.is_waived());
+    assert!(
+        active.iter().all(|f| f.rule != "shard-lock-order"),
+        "{active:#?}"
+    );
+    assert_eq!(waived.len(), 1, "{waived:#?}");
+    assert!(waived[0]
+        .waive_reason
+        .as_deref()
+        .unwrap_or("")
+        .contains("quiesce"));
+}
+
+#[test]
+fn unchecked_backpressure_fires_and_clean_passes() {
+    let hits = fire("css-core", "backpressure/fire.rs", "unchecked-backpressure");
+    assert_eq!(hits.len(), 2, "swallowed + unhandled-caller: {hits:#?}");
+    assert!(hits.iter().all(|f| f.severity == Severity::Warn));
+    assert!(hits.iter().all(|f| f.message.contains("Backpressure")));
+
+    let clean = fire(
+        "css-core",
+        "backpressure/clean.rs",
+        "unchecked-backpressure",
+    );
+    assert!(
+        clean.is_empty(),
+        "handled/boundary filings flagged: {clean:#?}"
+    );
+}
+
+#[test]
+fn unchecked_backpressure_waiver_moves_finding_to_waived() {
+    let src = fixture("backpressure/waived.rs");
+    let all = lint_file_source(
+        "css-core",
+        "backpressure/waived.rs",
+        FileRole::Production,
+        &src,
+    );
+    let (waived, active): (Vec<_>, Vec<_>) = all.into_iter().partition(|f| f.is_waived());
+    assert!(
+        active.iter().all(|f| f.rule != "unchecked-backpressure"),
+        "{active:#?}"
+    );
+    assert_eq!(waived.len(), 1, "{waived:#?}");
+    assert!(waived[0]
+        .waive_reason
+        .as_deref()
+        .unwrap_or("")
+        .contains("telemetry"));
+}
+
+#[test]
+fn audit_before_release_is_call_graph_transitive() {
+    let hits = fire(
+        "css-controller",
+        "audit_release/transitive.rs",
+        "audit-before-release",
+    );
+    assert_eq!(hits.len(), 1, "only the unaudited chain fires: {hits:#?}");
+    assert!(
+        hits[0].message.contains("hand_off"),
+        "fires on the unaudited fn, not the audited one: {hits:#?}"
+    );
+}
+
+#[test]
+fn new_rule_fire_fixtures_are_exempt_in_test_role() {
+    for (krate, name) in [
+        ("css-controller", "identity_taint/fire.rs"),
+        ("css-controller", "shard_lock_order/fire.rs"),
+        ("css-core", "backpressure/fire.rs"),
+        ("css-controller", "audit_release/transitive.rs"),
+    ] {
+        let src = fixture(name);
+        let hits = lint_file_source(krate, name, FileRole::Test, &src);
+        assert!(hits.is_empty(), "{name} fired with Test role: {hits:#?}");
+    }
+}

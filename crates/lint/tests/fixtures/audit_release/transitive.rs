@@ -1,0 +1,27 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): the v2
+//! call-graph-transitive audit obligation. `deliver` audits through a
+//! same-crate callee and must not fire; `hand_off` delegates to a
+//! callee that never reaches an audit append and must fire once.
+
+impl Controller {
+    pub fn deliver(&self, envelope: &Envelope) -> CssResult<Notification> {
+        let notice = self.crypto.decrypt_notification(envelope)?;
+        self.log_release(&notice)?;
+        Ok(notice)
+    }
+
+    fn log_release(&self, notice: &Notification) -> CssResult<()> {
+        self.audit.append(AuditRecord::release(notice))
+    }
+
+    pub fn hand_off(&self, envelope: &Envelope) -> CssResult<Notification> {
+        let notice = self.crypto.decrypt_notification(envelope)?;
+        self.log_delivery(&notice)?;
+        Ok(notice)
+    }
+
+    fn log_delivery(&self, _notice: &Notification) -> CssResult<()> {
+        self.metrics.counter("controller.deliveries", 1);
+        Ok(())
+    }
+}

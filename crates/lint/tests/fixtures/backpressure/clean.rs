@@ -1,0 +1,32 @@
+//! FIXTURE (linted as crate `css-core`, role Production): the allowed
+//! shapes — matching the variant locally, handling it one call up the
+//! graph, and the boundary-API forwarder whose obligation transfers to
+//! its (absent) callers. Must not fire.
+
+impl Intake {
+    pub fn enqueue(&self, req: PendingRequest) -> CssResult<()> {
+        match self.queue.file(req) {
+            Ok(_) => Ok(()),
+            Err(CssError::Backpressure { depth }) => {
+                self.metrics.counter("core.backpressure_drops", 1);
+                Err(CssError::Backpressure { depth })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn stage(&self, req: PendingRequest) -> CssResult<u64> {
+        self.queue.file(req)
+    }
+
+    pub fn admit(&self, req: PendingRequest) -> CssResult<u64> {
+        match self.stage(req) {
+            Err(CssError::Backpressure { depth }) => Err(CssError::Backpressure { depth }),
+            other => other,
+        }
+    }
+
+    pub fn request_access(&self, req: PendingRequest) -> CssResult<u64> {
+        self.queue.file(req)
+    }
+}

@@ -1,0 +1,18 @@
+//! FIXTURE (linted as crate `css-core`, role Production): pending-queue
+//! filings whose `CssError::Backpressure` signal is dropped. Must fire
+//! `unchecked-backpressure` twice: a swallowed result, and a propagating
+//! filer whose only production caller also ignores the error.
+
+impl Intake {
+    pub fn enqueue(&self, req: PendingRequest) {
+        let _ = self.queue.file(req);
+    }
+
+    pub fn forward(&self, req: PendingRequest) -> CssResult<u64> {
+        self.queue.file(req)
+    }
+
+    pub fn drive(&self, req: PendingRequest) {
+        let _ = self.forward(req);
+    }
+}

@@ -1,0 +1,9 @@
+//! FIXTURE (linted as crate `css-core`, role Production): a deliberate
+//! fire-and-forget filing, waived inline.
+
+impl Intake {
+    pub fn ping(&self, req: PendingRequest) {
+        // css-lint: allow(unchecked-backpressure): shedding telemetry pings is the correct overload response
+        let _ = self.queue.file(req);
+    }
+}

@@ -1,0 +1,24 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): the
+//! same observability calls fed only sanitized values — a keyed person
+//! tag, a cardinality, and a non-person `.name` field. Must not fire.
+
+impl Monitor {
+    pub fn record(&self, p: &PersonIdentity, span: &mut Span) {
+        let tag = person_tag(&self.key, &p.fiscal_code);
+        span.attr(SpanAttr::actor(tag));
+        self.metrics
+            .counter("controller.persons_seen", p.fiscal_code.len() as u64);
+    }
+
+    pub fn label(&self, doc: &Document) {
+        // `.name` on a non-person receiver is not identity material.
+        self.metrics.gauge(doc.name.as_str(), 1);
+    }
+
+    pub fn rebind(&self, p: &PersonIdentity, span: &mut Span) {
+        // A clean rebind shadows the tainted binding.
+        let code = p.fiscal_code.clone();
+        let code = code.len();
+        span.attr(SpanAttr::actor(code));
+    }
+}

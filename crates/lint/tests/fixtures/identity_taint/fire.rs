@@ -1,0 +1,18 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): three
+//! plaintext identity flows into observability sinks. Must fire
+//! `identity-taint` once per sink: a span attribute, a metric label,
+//! and a bus publish of a decrypted notification.
+
+impl Monitor {
+    pub fn record(&self, p: &PersonIdentity, span: &mut Span) {
+        let code = p.fiscal_code.clone();
+        span.attr(SpanAttr::actor(code));
+        self.metrics.counter(p.fiscal_code.as_str(), 1);
+    }
+
+    pub fn announce(&self, envelope: &Envelope) -> CssResult<()> {
+        let notice = self.crypto.decrypt_notification(envelope)?;
+        self.bus.publish(notice)?;
+        Ok(())
+    }
+}

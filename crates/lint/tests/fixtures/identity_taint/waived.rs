@@ -1,0 +1,10 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): a
+//! deliberate identity flow into a span attribute, waived inline. The
+//! finding must land in `waived`, not `findings`.
+
+impl Monitor {
+    pub fn forensic_span(&self, p: &PersonIdentity, span: &mut Span) {
+        // css-lint: allow(identity-taint): E14 forensic replay runs inside the sealed enclave only
+        span.attr(SpanAttr::actor(p.fiscal_code.clone()));
+    }
+}

@@ -1,0 +1,28 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): the
+//! allowed shapes — ascending pairs, one-at-a-time loops (both live
+//! idioms), and release-before-reacquire. Must not fire.
+
+impl IndexShards {
+    pub fn merge_up(&self) -> usize {
+        let low = self.shards[1].lock();
+        let high = self.shards[3].lock();
+        low.len() + high.len()
+    }
+
+    pub fn scatter_gather(&self) -> usize {
+        let mut total = 0;
+        for i in 0..self.shards.len() {
+            let guard = self.shards[i].lock();
+            total += guard.len();
+        }
+        total
+    }
+
+    pub fn reacquire(&self) -> usize {
+        let first = self.shards[4].lock();
+        let n = first.len();
+        drop(first);
+        let second = self.shards[0].lock();
+        n + second.len()
+    }
+}

@@ -1,0 +1,17 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): shard
+//! guards acquired out of order. Must fire `shard-lock-order` twice:
+//! a descending pair (3 then 1) and a same-index self-deadlock.
+
+impl IndexShards {
+    pub fn merge_down(&self) -> usize {
+        let high = self.shards[3].lock();
+        let low = self.shards[1].lock();
+        high.len() + low.len()
+    }
+
+    pub fn double_acquire(&self) -> usize {
+        let first = self.shards[2].lock();
+        let again = self.shards[2].lock();
+        first.len() + again.len()
+    }
+}

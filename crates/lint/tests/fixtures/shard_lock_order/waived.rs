@@ -1,0 +1,11 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): a
+//! descending acquisition under an external quiesce, waived inline.
+
+impl AuditShards {
+    pub fn rebalance(&self) -> usize {
+        let donor = self.shards[5].lock();
+        // css-lint: allow(shard-lock-order): rebalance runs under the global quiesce; no concurrent acquirers
+        let target = self.shards[2].lock();
+        donor.len() + target.len()
+    }
+}

@@ -1,0 +1,111 @@
+//! Self-check for the incremental facts cache: a warm run over an
+//! unchanged workspace must reuse every file's facts and render a
+//! byte-identical report; editing a file invalidates exactly that file.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use css_lint::{lint_workspace_with_cache, render_json};
+
+/// Build a throwaway two-crate workspace under a unique temp dir.
+fn scratch_workspace(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("css-lint-incr-{tag}"));
+    let _ = fs::remove_dir_all(&root);
+    let write = |rel: &str, body: &str| {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, body).unwrap();
+    };
+    write(
+        "Cargo.toml",
+        "[workspace]\nmembers = [\"crates/core\", \"crates/controller\"]\n",
+    );
+    write(
+        "crates/core/Cargo.toml",
+        "[package]\nname = \"css-core\"\nversion = \"0.0.0\"\n\n[dependencies]\n",
+    );
+    write(
+        "crates/controller/Cargo.toml",
+        "[package]\nname = \"css-controller\"\nversion = \"0.0.0\"\n\n\
+         [dependencies]\ncss-core = { path = \"../core\" }\n",
+    );
+    write(
+        "crates/core/src/lib.rs",
+        "pub fn admit(q: &Queue, req: Request) -> CssResult<u64> {\n    q.file(req)\n}\n",
+    );
+    write(
+        "crates/controller/src/lib.rs",
+        "impl Controller {\n\
+         \x20   pub fn tick(&self, p: &PersonIdentity, span: &mut Span) {\n\
+         \x20       // css-lint: allow(identity-taint): scratch fixture exercising the waiver path\n\
+         \x20       span.attr(SpanAttr::actor(p.fiscal_code.clone()));\n\
+         \x20   }\n\
+         }\n",
+    );
+    root
+}
+
+fn run(root: &Path, cache: &Path) -> (String, usize, usize) {
+    let (report, stats) = lint_workspace_with_cache(root, Some(cache)).expect("lint");
+    (render_json(&report), stats.reused, stats.parsed)
+}
+
+#[test]
+fn warm_run_reuses_every_file_and_is_byte_identical() {
+    let root = scratch_workspace("warm");
+    let cache = root.join("target/css-lint-cache.json");
+
+    let (cold_json, cold_reused, cold_parsed) = run(&root, &cache);
+    assert_eq!(cold_reused, 0, "first run must be fully cold");
+    assert_eq!(cold_parsed, 2);
+
+    let (warm_json, warm_reused, warm_parsed) = run(&root, &cache);
+    assert_eq!(warm_reused, 2, "unchanged files must come from the cache");
+    assert_eq!(warm_parsed, 0);
+    assert_eq!(
+        cold_json, warm_json,
+        "cold and warm reports must be byte-identical"
+    );
+    // The waived identity-taint finding survives the cache round-trip.
+    assert!(warm_json.contains("\"reason\":\"scratch fixture exercising the waiver path\""));
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn editing_a_file_invalidates_only_that_file() {
+    let root = scratch_workspace("edit");
+    let cache = root.join("target/css-lint-cache.json");
+    run(&root, &cache);
+
+    // Rewrite one file with different content (and different size, so
+    // the stat key changes even on coarse-mtime filesystems).
+    let edited = root.join("crates/core/src/lib.rs");
+    fs::write(
+        &edited,
+        "pub fn admit(q: &Queue, req: Request) -> CssResult<u64> {\n    q.file(req)\n}\n\
+         pub fn noop() {}\n",
+    )
+    .unwrap();
+
+    let (_, reused, parsed) = run(&root, &cache);
+    assert_eq!(reused, 1, "the untouched file stays cached");
+    assert_eq!(parsed, 1, "the edited file re-parses");
+
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupt_cache_degrades_to_a_cold_run() {
+    let root = scratch_workspace("corrupt");
+    let cache = root.join("target/css-lint-cache.json");
+    let (cold_json, ..) = run(&root, &cache);
+
+    fs::write(&cache, "{not json at all").unwrap();
+    let (json, reused, parsed) = run(&root, &cache);
+    assert_eq!(reused, 0);
+    assert_eq!(parsed, 2);
+    assert_eq!(cold_json, json);
+
+    let _ = fs::remove_dir_all(&root);
+}

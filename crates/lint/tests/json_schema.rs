@@ -1,9 +1,11 @@
-//! Structural checks on the `--format json` output (schema version 1).
-//! No JSON parser exists offline, so these assert on the exact
-//! serialized shape — which is itself the compatibility contract for
-//! downstream consumers of `LINT_REPORT.json`.
+//! Structural checks on the `--format json` output (schema version 2).
+//! These assert on the exact serialized shape — which is itself the
+//! compatibility contract for downstream consumers of
+//! `LINT_REPORT.json` — and then re-parse the document with the crate's
+//! own JSON value parser as a well-formedness check.
 
-use css_lint::{render_json, Finding, Report, Severity};
+use css_lint::cache::parse_json;
+use css_lint::{render_json, Finding, Report, Severity, Timing};
 
 fn sample_report() -> Report {
     Report {
@@ -27,29 +29,34 @@ fn sample_report() -> Report {
             waive_reason: Some("E12 demo path".into()),
         }],
         files_scanned: 2,
+        timing: None,
     }
 }
 
 #[test]
 fn json_has_versioned_envelope_and_summary() {
     let json = render_json(&sample_report());
-    assert!(json.starts_with("{\"version\":1,\"root\":\"/tmp/ws\""));
+    assert!(json.starts_with("{\"version\":2,\"root\":\"/tmp/ws\""));
     assert!(json.contains("\"rules\":["));
     assert!(
         json.contains("\"summary\":{\"errors\":1,\"warnings\":0,\"waived\":1,\"files_scanned\":2}")
     );
     assert!(json.ends_with("}\n"));
+    assert!(parse_json(&json).is_some(), "report must be well-formed");
 }
 
 #[test]
-fn json_lists_all_seven_rules_with_severities() {
+fn json_lists_all_ten_rules_with_severities() {
     let json = render_json(&Report::default());
     for rule in [
         "detail-confinement",
         "permit-provenance",
         "audit-before-release",
+        "identity-taint",
         "no-panic-hot-path",
         "lock-across-io",
+        "shard-lock-order",
+        "unchecked-backpressure",
         "trace-hygiene",
         "layering",
     ] {
@@ -59,6 +66,9 @@ fn json_lists_all_seven_rules_with_severities() {
         );
     }
     assert!(json.contains("\"id\":\"lock-across-io\",\"severity\":\"warn\""));
+    assert!(json.contains("\"id\":\"unchecked-backpressure\",\"severity\":\"warn\""));
+    assert!(json.contains("\"id\":\"identity-taint\",\"severity\":\"error\""));
+    assert!(json.contains("\"id\":\"shard-lock-order\",\"severity\":\"error\""));
     assert!(json.contains("\"id\":\"layering\",\"severity\":\"error\""));
 }
 
@@ -93,4 +103,18 @@ fn finding_fields_appear_in_contract_order() {
         assert!(at > last, "{key} out of order");
         last = at;
     }
+}
+
+#[test]
+fn timing_is_absent_by_default_and_rendered_when_set() {
+    let mut report = sample_report();
+    assert!(!render_json(&report).contains("\"timing\""));
+    report.timing = Some(Timing {
+        wall_ms: 123,
+        files_reused: 40,
+        files_parsed: 2,
+    });
+    let json = render_json(&report);
+    assert!(json.contains("\"timing\":{\"wall_ms\":123,\"files_reused\":40,\"files_parsed\":2}"));
+    assert!(parse_json(&json).is_some());
 }

@@ -10,7 +10,7 @@ cargo fmt --all --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== css-lint: privacy-invariant pass"
+echo "== css-lint: privacy-invariant pass (waiver budget vs lint-baseline.json)"
 scripts/lint.sh
 
 echo "== tracing: unit + end-to-end suite"
