@@ -1,0 +1,137 @@
+//! Observation frames: what the ring remembers between incidents.
+//!
+//! Frames are plain data. The health/SLO variants deliberately mirror
+//! `css-health`'s states as tiny local enums instead of importing them:
+//! both crates live at layer 3 of the lint-enforced DAG, so neither may
+//! depend on the other — the platform (`css-core`) adapts one to the
+//! other when it wires the sampler's observer.
+
+/// One entry in the flight-recorder ring.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Periodic telemetry sample: counter deltas since the previous
+    /// sample plus summary stats for every histogram.
+    Telemetry(TelemetryFrame),
+    /// Periodic SLO burn-rate sample (the whole alert table).
+    Slo { at_ms: u64, samples: Vec<SloSample> },
+    /// A component health transition (recorded on change only).
+    Health {
+        at_ms: u64,
+        component: String,
+        from: ComponentState,
+        to: ComponentState,
+        reason: Option<String>,
+    },
+    /// A recently finished root span (one whole request/publish pass).
+    SpanRoot(SpanRootFrame),
+}
+
+impl Frame {
+    /// The frame's discriminator as it appears in bundle JSON.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Frame::Telemetry(_) => "telemetry",
+            Frame::Slo { .. } => "slo",
+            Frame::Health { .. } => "health",
+            Frame::SpanRoot(_) => "span_root",
+        }
+    }
+
+    /// Sample time (platform clock, milliseconds).
+    pub fn at_ms(&self) -> u64 {
+        match self {
+            Frame::Telemetry(f) => f.at_ms,
+            Frame::Slo { at_ms, .. } => *at_ms,
+            Frame::Health { at_ms, .. } => *at_ms,
+            Frame::SpanRoot(f) => f.at_ms,
+        }
+    }
+}
+
+/// Counter deltas and histogram summaries for one sampler tick.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryFrame {
+    pub at_ms: u64,
+    /// `(name, increase since the previous telemetry frame)` — zero
+    /// deltas are omitted, so an idle platform records tiny frames.
+    pub counter_deltas: Vec<(String, u64)>,
+    /// Cumulative summary per histogram at this tick.
+    pub histograms: Vec<HistogramStat>,
+}
+
+/// The summary a frame keeps per histogram (cumulative, not delta).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramStat {
+    pub name: String,
+    pub count: u64,
+    pub p50_ns: u64,
+    pub p99_ns: u64,
+    pub max_ns: u64,
+}
+
+/// One SLO's burn rates at a sample, with the alert level it produced.
+#[derive(Debug, Clone)]
+pub struct SloSample {
+    pub name: String,
+    pub fast_burn: f64,
+    pub slow_burn: f64,
+    pub severity: Severity,
+}
+
+/// Alert severity, mirroring `css-health`'s `AlertLevel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Ok,
+    Warning,
+    Critical,
+}
+
+impl Severity {
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Ok => "ok",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// Component health, mirroring `css-health`'s `HealthStatus` (the
+/// reason travels separately in the frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ComponentState {
+    Healthy,
+    Degraded,
+    Unhealthy,
+}
+
+impl ComponentState {
+    pub fn label(self) -> &'static str {
+        match self {
+            ComponentState::Healthy => "healthy",
+            ComponentState::Degraded => "degraded",
+            ComponentState::Unhealthy => "unhealthy",
+        }
+    }
+}
+
+/// One component's state and reason at a sample (input to
+/// [`FlightRecorder::observe_health`](crate::FlightRecorder::observe_health)).
+#[derive(Debug, Clone)]
+pub struct HealthSample {
+    pub component: String,
+    pub state: ComponentState,
+    pub reason: Option<String>,
+}
+
+/// A finished root span: the whole-pass summary the ring keeps so a
+/// bundle shows what traffic looked like just before the trigger.
+#[derive(Debug, Clone)]
+pub struct SpanRootFrame {
+    pub at_ms: u64,
+    pub trace_id: u64,
+    pub name: String,
+    pub duration_ns: u64,
+    /// `SpanStatus::code()`: "ok" / "denied" / "error".
+    pub status: &'static str,
+}

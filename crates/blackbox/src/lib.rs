@@ -1,0 +1,41 @@
+//! # css-blackbox — the incident flight recorder
+//!
+//! Audit records prove *what* the platform released; this crate
+//! captures *why* it behaved the way it did when something regressed.
+//! A [`FlightRecorder`] runs continuously next to the ops sampler,
+//! keeping a bounded drop-oldest ring of observation [`Frame`]s —
+//! telemetry snapshot deltas, health-state transitions, SLO burn-rate
+//! samples, and recent span-tree roots. When a trigger fires (an SLO
+//! burn reaches Critical, a health check goes Unhealthy, or an operator
+//! POSTs `/debug/capture`), the ring is frozen into a serialized
+//! **incident bundle**: trigger, frame history, exemplar trace trees,
+//! the health/SLO timeline, and `stage.*`/`shard.*` percentiles,
+//! written under `target/incidents/` and served from the ops server.
+//!
+//! The bundle joins metrics to traces through **histogram exemplars**
+//! (`css_telemetry::Exemplar`): each log₂ bucket retains the most
+//! recent `(trace_id, timestamp)` recorded into it, so the p99 outlier
+//! in `stage.total` links directly to the span tree that caused it.
+//!
+//! ## Redaction argument
+//!
+//! Everything in a bundle is an aggregate number, a privacy-safe span
+//! attribute, or a health-check reason string — never an event payload,
+//! fiscal code, or person name. That is enforced structurally, not by
+//! convention: this crate sits at layer 3 of the lint-checked DAG (it
+//! can name `css-types`/`css-telemetry`/`css-trace` only), the
+//! `detail-confinement` rule makes payload types unnameable here, span
+//! attributes come from the closed `SpanAttr` constructor set, and the
+//! identity-taint rule treats [`FlightRecorder::capture`] as a sink so
+//! an identifying value cannot flow into a bundle unsanitized.
+
+mod bundle;
+mod frame;
+mod recorder;
+
+pub use bundle::exemplars_json;
+pub use frame::{
+    ComponentState, Frame, HealthSample, HistogramStat, Severity, SloSample, SpanRootFrame,
+    TelemetryFrame,
+};
+pub use recorder::{CaptureOutcome, FlightRecorder, IncidentRef, Trigger};

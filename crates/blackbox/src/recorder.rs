@@ -1,0 +1,528 @@
+//! The flight recorder: bounded ring, trigger model, incident capture.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+use css_telemetry::{Counter, Gauge, MetricsRegistry, TelemetrySnapshot};
+use css_trace::Span;
+
+use crate::bundle;
+use crate::frame::{
+    ComponentState, Frame, HealthSample, HistogramStat, Severity, SloSample, SpanRootFrame,
+    TelemetryFrame,
+};
+
+/// Root spans recorded per observation (newest win; a busy tick does
+/// not flood the ring with one frame per request).
+const ROOTS_PER_TICK: usize = 16;
+/// Incident references retained for `/debug/incidents`.
+const INCIDENTS_RETAINED: usize = 32;
+
+/// Why a capture happened. SLO/health triggers fire on the *transition
+/// into* the bad state — a burn that stays Critical for twenty ticks
+/// produces one bundle, not twenty; it can fire again only after the
+/// state recovers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trigger {
+    /// An SLO's alert level reached Critical.
+    SloCritical { slo: String, fast_burn: f64 },
+    /// A health check transitioned to Unhealthy.
+    Unhealthy { component: String, reason: String },
+    /// An operator or test asked for a capture explicitly.
+    Manual { reason: String },
+}
+
+impl Trigger {
+    /// Stable discriminator used in bundle JSON and incident lists.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Trigger::SloCritical { .. } => "slo_critical",
+            Trigger::Unhealthy { .. } => "unhealthy",
+            Trigger::Manual { .. } => "manual",
+        }
+    }
+
+    /// One-line human summary (also privacy-safe: SLO names, component
+    /// names, and check reasons are aggregates by construction).
+    pub fn detail(&self) -> String {
+        match self {
+            Trigger::SloCritical { slo, fast_burn } => {
+                format!("slo {slo} critical (fast burn {fast_burn:.1})")
+            }
+            Trigger::Unhealthy { component, reason } => format!("{component} unhealthy: {reason}"),
+            Trigger::Manual { reason } => reason.clone(),
+        }
+    }
+}
+
+/// A retained pointer to a written incident bundle.
+#[derive(Debug, Clone)]
+pub struct IncidentRef {
+    pub seq: u64,
+    pub at_ms: u64,
+    pub kind: &'static str,
+    pub detail: String,
+    /// Where the bundle landed, if the write succeeded.
+    pub path: Option<PathBuf>,
+    pub bytes: usize,
+}
+
+/// The result of freezing the ring.
+pub struct CaptureOutcome {
+    pub seq: u64,
+    /// The full bundle document (what `POST /debug/capture` returns).
+    pub json: String,
+    /// Where it was written, unless the filesystem refused.
+    pub path: Option<PathBuf>,
+}
+
+struct RecorderState {
+    ring: VecDeque<Frame>,
+    /// Last seen counter totals, for delta frames.
+    last_counters: BTreeMap<String, u64>,
+    /// SLOs currently at Critical (trigger edge detection).
+    critical: BTreeMap<String, ()>,
+    /// Last seen state per health component (transition detection).
+    health: BTreeMap<String, ComponentState>,
+    /// High-water span id, so each tick records only new roots.
+    last_span_id: u64,
+    incidents: VecDeque<IncidentRef>,
+    seq: u64,
+}
+
+/// The continuously-running incident flight recorder. `&self`
+/// everywhere — share it behind an `Arc` between the sampler observer,
+/// the ops endpoints, and the platform handle.
+pub struct FlightRecorder {
+    capacity: usize,
+    incident_dir: PathBuf,
+    state: Mutex<RecorderState>,
+    frames_recorded: Counter,
+    frames_dropped: Counter,
+    occupancy: Gauge,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` frames, writing bundles
+    /// under `incident_dir`, and reporting itself through `registry`
+    /// (`blackbox.frames_recorded`, `blackbox.frames_dropped`,
+    /// `blackbox.ring_occupancy`).
+    pub fn new(
+        capacity: usize,
+        incident_dir: impl Into<PathBuf>,
+        registry: &MetricsRegistry,
+    ) -> FlightRecorder {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            incident_dir: incident_dir.into(),
+            state: Mutex::new(RecorderState {
+                ring: VecDeque::new(),
+                last_counters: BTreeMap::new(),
+                critical: BTreeMap::new(),
+                health: BTreeMap::new(),
+                last_span_id: 0,
+                incidents: VecDeque::new(),
+                seq: 0,
+            }),
+            frames_recorded: registry.counter("blackbox.frames_recorded"),
+            frames_dropped: registry.counter("blackbox.frames_dropped"),
+            occupancy: registry.gauge("blackbox.ring_occupancy"),
+        }
+    }
+
+    /// Where bundles are written.
+    pub fn incident_dir(&self) -> &Path {
+        &self.incident_dir
+    }
+
+    /// Frames currently in the ring.
+    pub fn occupancy(&self) -> usize {
+        self.lock().ring.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RecorderState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn push(&self, state: &mut RecorderState, frame: Frame) {
+        if state.ring.len() >= self.capacity {
+            state.ring.pop_front();
+            self.frames_dropped.inc();
+        }
+        state.ring.push_back(frame);
+        self.frames_recorded.inc();
+        self.occupancy.set(state.ring.len() as i64);
+    }
+
+    /// Record a telemetry frame: counter deltas since the previous
+    /// observation plus per-histogram summaries.
+    pub fn observe_telemetry(&self, snapshot: &TelemetrySnapshot, at_ms: u64) {
+        let mut state = self.lock();
+        let counter_deltas: Vec<(String, u64)> = snapshot
+            .counters
+            .iter()
+            .filter_map(|(name, total)| {
+                let delta =
+                    total.saturating_sub(state.last_counters.get(name).copied().unwrap_or(0));
+                (delta > 0).then(|| (name.clone(), delta))
+            })
+            .collect();
+        state.last_counters = snapshot.counters.clone();
+        let histograms = snapshot
+            .histograms
+            .iter()
+            .map(|(name, h)| HistogramStat {
+                name: name.clone(),
+                count: h.count,
+                p50_ns: h.p50_ns,
+                p99_ns: h.p99_ns,
+                max_ns: h.max_ns,
+            })
+            .collect();
+        self.push(
+            &mut state,
+            Frame::Telemetry(TelemetryFrame {
+                at_ms,
+                counter_deltas,
+                histograms,
+            }),
+        );
+    }
+
+    /// Record an SLO burn-rate frame and return a trigger for every SLO
+    /// that *entered* Critical at this sample.
+    pub fn observe_slos(&self, samples: &[SloSample], at_ms: u64) -> Vec<Trigger> {
+        let mut state = self.lock();
+        let mut triggers = Vec::new();
+        for s in samples {
+            if s.severity == Severity::Critical {
+                if !state.critical.contains_key(&s.name) {
+                    state.critical.insert(s.name.clone(), ());
+                    triggers.push(Trigger::SloCritical {
+                        slo: s.name.clone(),
+                        fast_burn: s.fast_burn,
+                    });
+                }
+            } else {
+                state.critical.remove(&s.name);
+            }
+        }
+        self.push(
+            &mut state,
+            Frame::Slo {
+                at_ms,
+                samples: samples.to_vec(),
+            },
+        );
+        triggers
+    }
+
+    /// Record health transitions (state changes only) and return a
+    /// trigger for every component that *became* Unhealthy.
+    pub fn observe_health(&self, samples: &[HealthSample], at_ms: u64) -> Vec<Trigger> {
+        let mut state = self.lock();
+        let mut triggers = Vec::new();
+        for s in samples {
+            let prev = state
+                .health
+                .insert(s.component.clone(), s.state)
+                .unwrap_or(ComponentState::Healthy);
+            if prev == s.state {
+                continue;
+            }
+            self.push(
+                &mut state,
+                Frame::Health {
+                    at_ms,
+                    component: s.component.clone(),
+                    from: prev,
+                    to: s.state,
+                    reason: s.reason.clone(),
+                },
+            );
+            if s.state == ComponentState::Unhealthy {
+                triggers.push(Trigger::Unhealthy {
+                    component: s.component.clone(),
+                    reason: s.reason.clone().unwrap_or_default(),
+                });
+            }
+        }
+        triggers
+    }
+
+    /// Record root spans finished since the last observation (`spans`
+    /// is the tracer's full retained window, oldest first).
+    pub fn observe_spans(&self, spans: &[Span], at_ms: u64) {
+        let mut state = self.lock();
+        let new_roots: Vec<&Span> = spans
+            .iter()
+            .filter(|s| s.id.0 > state.last_span_id && s.parent.is_none())
+            .collect();
+        state.last_span_id = spans
+            .iter()
+            .map(|s| s.id.0)
+            .max()
+            .unwrap_or(state.last_span_id)
+            .max(state.last_span_id);
+        let skip = new_roots.len().saturating_sub(ROOTS_PER_TICK);
+        for span in new_roots.into_iter().skip(skip) {
+            self.push(
+                &mut state,
+                Frame::SpanRoot(SpanRootFrame {
+                    at_ms,
+                    trace_id: span.trace.0,
+                    name: span.name.to_string(),
+                    duration_ns: span.duration_ns(),
+                    status: span.status.code(),
+                }),
+            );
+        }
+    }
+
+    /// Freeze the ring into an incident bundle: serialize it with the
+    /// trigger, current exemplars, the span trees those exemplars point
+    /// at, and `stage.*`/`shard.*` percentiles; write it under
+    /// [`incident_dir`](FlightRecorder::incident_dir); remember it for
+    /// `/debug/incidents`. Never panics: a filesystem failure yields
+    /// `path: None` with the JSON still returned.
+    pub fn capture(
+        &self,
+        trigger: Trigger,
+        snapshot: &TelemetrySnapshot,
+        spans: &[Span],
+        at_ms: u64,
+    ) -> CaptureOutcome {
+        let (seq, frames) = {
+            let mut state = self.lock();
+            state.seq += 1;
+            (state.seq, state.ring.iter().cloned().collect::<Vec<_>>())
+        };
+        let json = bundle::bundle_json(seq, at_ms, &trigger, &frames, snapshot, spans);
+        let path = self.write_bundle(seq, at_ms, &json);
+        let mut state = self.lock();
+        if state.incidents.len() >= INCIDENTS_RETAINED {
+            state.incidents.pop_front();
+        }
+        state.incidents.push_back(IncidentRef {
+            seq,
+            at_ms,
+            kind: trigger.kind(),
+            detail: trigger.detail(),
+            path: path.clone(),
+            bytes: json.len(),
+        });
+        CaptureOutcome { seq, json, path }
+    }
+
+    /// Convenience: an explicit manual capture (`dump`).
+    pub fn dump(
+        &self,
+        reason: &str,
+        snapshot: &TelemetrySnapshot,
+        spans: &[Span],
+        at_ms: u64,
+    ) -> CaptureOutcome {
+        self.capture(
+            Trigger::Manual {
+                reason: reason.to_string(),
+            },
+            snapshot,
+            spans,
+            at_ms,
+        )
+    }
+
+    fn write_bundle(&self, seq: u64, at_ms: u64, json: &str) -> Option<PathBuf> {
+        std::fs::create_dir_all(&self.incident_dir).ok()?;
+        let path = self
+            .incident_dir
+            .join(format!("incident-{seq:04}-{at_ms}.json"));
+        std::fs::write(&path, json).ok()?;
+        Some(path)
+    }
+
+    /// The `/debug/incidents` document: recently captured bundles,
+    /// oldest first.
+    pub fn incidents_json(&self) -> String {
+        bundle::incidents_json(self.lock().incidents.iter())
+    }
+
+    /// Recent incident references (oldest first).
+    pub fn incidents(&self) -> Vec<IncidentRef> {
+        self.lock().incidents.iter().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recorder(capacity: usize, registry: &MetricsRegistry) -> FlightRecorder {
+        let dir = std::env::temp_dir().join(format!(
+            "css-blackbox-test-{}-{capacity}",
+            std::process::id()
+        ));
+        FlightRecorder::new(capacity, dir, registry)
+    }
+
+    fn slo(name: &str, severity: Severity) -> SloSample {
+        SloSample {
+            name: name.to_string(),
+            fast_burn: if severity == Severity::Critical {
+                25.0
+            } else {
+                0.1
+            },
+            slow_burn: 0.1,
+            severity,
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_it() {
+        let registry = MetricsRegistry::new();
+        let rec = recorder(3, &registry);
+        for i in 0..5 {
+            rec.observe_slos(&[slo("lat", Severity::Ok)], i);
+        }
+        assert_eq!(rec.occupancy(), 3);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["blackbox.frames_recorded"], 5);
+        assert_eq!(snap.counters["blackbox.frames_dropped"], 2);
+        assert_eq!(snap.gauges["blackbox.ring_occupancy"], 3);
+        // The survivors are the newest frames.
+        let out = rec.capture(
+            Trigger::Manual {
+                reason: "test".into(),
+            },
+            &snap,
+            &[],
+            99,
+        );
+        assert!(out.json.contains(r#""at_ms":4"#), "{}", out.json);
+        assert!(!out.json.contains(r#""at_ms":0"#), "{}", out.json);
+    }
+
+    #[test]
+    fn slo_trigger_fires_on_the_transition_only() {
+        let registry = MetricsRegistry::new();
+        let rec = recorder(16, &registry);
+        assert!(rec.observe_slos(&[slo("lat", Severity::Ok)], 1).is_empty());
+        let t = rec.observe_slos(&[slo("lat", Severity::Critical)], 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].kind(), "slo_critical");
+        // Still critical: no re-trigger.
+        assert!(rec
+            .observe_slos(&[slo("lat", Severity::Critical)], 3)
+            .is_empty());
+        // Recovered, then critical again: fires again.
+        assert!(rec.observe_slos(&[slo("lat", Severity::Ok)], 4).is_empty());
+        assert_eq!(
+            rec.observe_slos(&[slo("lat", Severity::Critical)], 5).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn health_records_transitions_and_triggers_on_unhealthy() {
+        let registry = MetricsRegistry::new();
+        let rec = recorder(16, &registry);
+        let healthy = HealthSample {
+            component: "storage".to_string(),
+            state: ComponentState::Healthy,
+            reason: None,
+        };
+        let unhealthy = HealthSample {
+            component: "storage".to_string(),
+            state: ComponentState::Unhealthy,
+            reason: Some("probe read mismatch".to_string()),
+        };
+        // Initial Healthy is the implied baseline: no frame, no trigger.
+        assert!(rec
+            .observe_health(std::slice::from_ref(&healthy), 1)
+            .is_empty());
+        assert_eq!(rec.occupancy(), 0);
+        let t = rec.observe_health(std::slice::from_ref(&unhealthy), 2);
+        assert_eq!(t.len(), 1);
+        assert!(matches!(&t[0], Trigger::Unhealthy { component, .. } if component == "storage"));
+        assert_eq!(rec.occupancy(), 1);
+        // Unchanged state: no new frame, no re-trigger.
+        assert!(rec.observe_health(&[unhealthy], 3).is_empty());
+        assert_eq!(rec.occupancy(), 1);
+        // Recovery is a recorded transition but not a trigger.
+        assert!(rec.observe_health(&[healthy], 4).is_empty());
+        assert_eq!(rec.occupancy(), 2);
+    }
+
+    #[test]
+    fn telemetry_frames_carry_counter_deltas() {
+        let registry = MetricsRegistry::new();
+        let rec = recorder(16, &registry);
+        let work = MetricsRegistry::new();
+        work.counter("controller.published").add(10);
+        rec.observe_telemetry(&work.snapshot(), 1);
+        work.counter("controller.published").add(5);
+        rec.observe_telemetry(&work.snapshot(), 2);
+        let out = rec.dump("t", &work.snapshot(), &[], 3);
+        // First frame sees the full total, second only the increase.
+        assert!(
+            out.json.contains(r#"["controller.published",10]"#),
+            "{}",
+            out.json
+        );
+        assert!(
+            out.json.contains(r#"["controller.published",5]"#),
+            "{}",
+            out.json
+        );
+    }
+
+    #[test]
+    fn ring_overrun_degrades_the_drop_rate_check() {
+        use css_health::{DropRateCheck, HealthCheck, HealthStatus};
+        let registry = MetricsRegistry::new();
+        let rec = recorder(4, &registry);
+        let check = DropRateCheck::new(
+            "blackbox",
+            "blackbox.frames_dropped",
+            "blackbox.frames_recorded",
+            0.25,
+            1_000,
+        );
+        // Under the minimum sample count the check withholds judgment.
+        for i in 0..100 {
+            rec.observe_slos(&[slo("lat", Severity::Ok)], i);
+        }
+        assert_eq!(check.check(&registry.snapshot()), HealthStatus::Healthy);
+        // Force a sustained overrun: far more frames than the ring
+        // holds, so most recorded frames have been dropped.
+        for i in 100..2_000 {
+            rec.observe_slos(&[slo("lat", Severity::Ok)], i);
+        }
+        let status = check.check(&registry.snapshot());
+        assert!(
+            matches!(status, HealthStatus::Degraded { .. }),
+            "overrun must degrade the ring: {status:?}"
+        );
+    }
+
+    #[test]
+    fn capture_writes_the_bundle_and_lists_it() {
+        let registry = MetricsRegistry::new();
+        let dir = std::env::temp_dir().join(format!("css-blackbox-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = FlightRecorder::new(8, &dir, &registry);
+        rec.observe_slos(&[slo("lat", Severity::Ok)], 1);
+        let out = rec.dump("operator test", &registry.snapshot(), &[], 2);
+        let path = out.path.expect("bundle written");
+        let on_disk = std::fs::read_to_string(&path).expect("readable");
+        assert_eq!(on_disk, out.json);
+        assert!(out.json.starts_with(r#"{"schema":"css-blackbox/1""#));
+        assert!(out.json.contains(r#""kind":"manual""#));
+        let list = rec.incidents_json();
+        assert!(list.contains(r#""seq":1"#), "{list}");
+        assert!(list.contains("operator test"), "{list}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

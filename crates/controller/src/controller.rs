@@ -545,6 +545,10 @@ impl<B: LogBackend> DataController<B> {
         span.attr(SpanAttr::actor(producer));
         span.attr(SpanAttr::event_type(&event_type));
         let trace_id = span.trace_id();
+        if let Some(t) = trace_id {
+            // Exemplar: link this pass's publish.* buckets to its trace.
+            timer.exemplar(t.value(), now.0);
+        }
         // Consent gate at the source.
         if !self.consent.read().allows(person.id, producer, &event_type) {
             timer.stage("consent_gate");

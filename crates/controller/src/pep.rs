@@ -77,6 +77,11 @@ impl<'a, B: LogBackend> PolicyEnforcementPoint<'a, B> {
         let denies = self.telemetry.counter("controller.detail_denies");
         let mut timer = StageTimer::start(self.telemetry, "stage");
         let trace_id = self.trace.trace_id();
+        if let Some(t) = trace_id {
+            // Exemplar: whichever bucket this pass lands in keeps the
+            // trace id, so a p99 outlier joins back to its span tree.
+            timer.exemplar(t.value(), self.now.0);
+        }
         let audit_base = || {
             AuditRecord::new(self.now, request.actor, AuditAction::DetailRequest)
                 .event(request.event_id)

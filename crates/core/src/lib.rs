@@ -63,6 +63,8 @@ pub use platform::{default_shard_count, CssPlatform, CssPlatformBuilder, Platfor
 pub use producer::ProducerHandle;
 pub use provider::{BackendProvider, DirProvider, MemoryProvider};
 
+pub use css_blackbox::{CaptureOutcome, FlightRecorder, IncidentRef};
+
 /// Commonly used items across the whole platform.
 pub mod prelude {
     pub use crate::{

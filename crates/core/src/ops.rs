@@ -11,19 +11,21 @@
 //! it that way.
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex as StdMutex, PoisonError};
 use std::time::Duration as StdDuration;
 
+use css_blackbox::{ComponentState, FlightRecorder, HealthSample, Severity, SloSample};
 use css_health::{
-    DropRateCheck, FnCheck, GaugeThresholdCheck, HealthCheck, HealthRegistry, HealthStatus,
-    JsonBuf, LatencyCheck, OpsHandle, OpsServer, OpsState, RatioFloorCheck, Sampler, Slo,
-    SloEngine, SloStatus,
+    AlertLevel, DropRateCheck, FnCheck, GaugeThresholdCheck, HealthCheck, HealthRegistry,
+    HealthStatus, JsonBuf, LatencyCheck, OpsHandle, OpsServer, OpsState, RatioFloorCheck, Sampler,
+    Slo, SloEngine, SloStatus,
 };
 use css_monitor::{Kpis, ProcessMonitor};
 use css_storage::LogBackend;
-use css_telemetry::MetricsRegistry;
+use css_telemetry::{MetricsRegistry, TelemetrySnapshot};
 use css_trace::{render_chrome_trace, Tracer};
-use css_types::{Clock, CssResult};
+use css_types::{Clock, CssResult, Timestamp};
 
 use crate::platform::{refresh_platform_gauges, SharedController, SharedPending};
 use crate::provider::BackendProvider;
@@ -63,6 +65,15 @@ const DETAIL_P99_TARGET_NS: u64 = 200_000;
 /// Publish error budget: at most 0.1 % of publishes denied.
 const PUBLISH_ERROR_BUDGET: f64 = 0.001;
 
+/// Frame drop rate past which the flight-recorder ring is undersized
+/// for the incident window it is supposed to preserve (same convention
+/// as the trace ring: lifetime ratio, judged only after warmup).
+const BLACKBOX_DROP_CEILING: f64 = 0.25;
+/// Frames before the blackbox drop-rate check starts judging.
+const BLACKBOX_MIN_FRAMES: u64 = 1_000;
+/// Where incident bundles land unless `.incident_dir()` overrides it.
+const DEFAULT_INCIDENT_DIR: &str = "target/incidents";
+
 /// Ops-plane knobs accumulated by the builder.
 pub(crate) struct OpsConfig {
     pub addr: String,
@@ -70,6 +81,10 @@ pub(crate) struct OpsConfig {
     pub checks: Vec<Box<dyn HealthCheck>>,
     pub slos: Vec<Slo>,
     pub monitor: Option<Arc<parking_lot::Mutex<ProcessMonitor>>>,
+    /// Flight-recorder ring capacity; `None` leaves the recorder off.
+    pub blackbox: Option<usize>,
+    /// Incident bundle directory (default `target/incidents`).
+    pub incident_dir: Option<PathBuf>,
 }
 
 /// The running ops plane: exposition server + background sampler +
@@ -78,6 +93,7 @@ pub(crate) struct OpsConfig {
 pub struct OpsPlane {
     handle: OpsHandle,
     engine: Arc<StdMutex<SloEngine>>,
+    recorder: Option<Arc<FlightRecorder>>,
     _sampler: Sampler,
 }
 
@@ -100,6 +116,48 @@ impl OpsPlane {
             .unwrap_or_else(PoisonError::into_inner)
             .table()
     }
+
+    /// The incident flight recorder, when
+    /// [`blackbox`](crate::CssPlatformBuilder::blackbox) enabled it.
+    pub fn blackbox(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
+    }
+}
+
+/// Adapt the SLO engine's alert table to the recorder's plain samples
+/// (css-health and css-blackbox sit side by side at layer 3 of the
+/// lint DAG, so the platform translates between them).
+fn slo_samples(table: &[SloStatus]) -> Vec<SloSample> {
+    table
+        .iter()
+        .map(|s| SloSample {
+            name: s.name.clone(),
+            fast_burn: s.fast_burn,
+            slow_burn: s.slow_burn,
+            severity: match s.alert {
+                AlertLevel::Ok => Severity::Ok,
+                AlertLevel::Warning => Severity::Warning,
+                AlertLevel::Critical => Severity::Critical,
+            },
+        })
+        .collect()
+}
+
+/// Adapt a health report to the recorder's plain samples.
+fn health_samples(report: &css_health::HealthReport) -> Vec<HealthSample> {
+    report
+        .components
+        .iter()
+        .map(|c| HealthSample {
+            component: c.component.clone(),
+            state: match &c.status {
+                HealthStatus::Healthy => ComponentState::Healthy,
+                HealthStatus::Degraded { .. } => ComponentState::Degraded,
+                HealthStatus::Unhealthy { .. } => ComponentState::Unhealthy,
+            },
+            reason: c.status.reason().map(str::to_string),
+        })
+        .collect()
 }
 
 /// Append a probe marker, read it back, and truncate it away again —
@@ -221,11 +279,27 @@ pub(crate) fn start_ops<P: BackendProvider>(
         checks,
         slos,
         monitor,
+        blackbox,
+        incident_dir,
     } = config;
+
+    let recorder = blackbox.map(|capacity| {
+        let dir = incident_dir.unwrap_or_else(|| PathBuf::from(DEFAULT_INCIDENT_DIR));
+        Arc::new(FlightRecorder::new(capacity, dir, registry))
+    });
 
     let mut health = HealthRegistry::new();
     for check in default_checks(provider.backend("health-probe")?) {
         health.register(check);
+    }
+    if recorder.is_some() {
+        health.register(Box::new(DropRateCheck::new(
+            "blackbox",
+            "blackbox.frames_dropped",
+            "blackbox.frames_recorded",
+            BLACKBOX_DROP_CEILING,
+            BLACKBOX_MIN_FRAMES,
+        )));
     }
     for check in checks {
         health.register(check);
@@ -279,11 +353,70 @@ pub(crate) fn start_ops<P: BackendProvider>(
         state = state.with_monitor(move || kpis_json(&monitor.lock().kpis()));
     }
 
-    let sampler = Sampler::spawn(registry.clone(), clock.clone(), engine.clone(), interval);
+    let sampler = match &recorder {
+        None => Sampler::spawn(registry.clone(), clock.clone(), engine.clone(), interval),
+        Some(recorder) => {
+            state = state
+                .with_incidents({
+                    let recorder = recorder.clone();
+                    move || recorder.incidents_json()
+                })
+                .with_exemplars({
+                    let snapshot_fn = snapshot_fn.clone();
+                    move || css_blackbox::exemplars_json(&snapshot_fn())
+                })
+                .with_capture({
+                    let recorder = recorder.clone();
+                    let snapshot_fn = snapshot_fn.clone();
+                    let tracer = tracer.clone();
+                    let clock = clock.clone();
+                    move || {
+                        let snapshot = snapshot_fn();
+                        let spans = tracer.finished_spans();
+                        recorder
+                            .dump("POST /debug/capture", &snapshot, &spans, clock.now().0)
+                            .json
+                    }
+                });
+
+            // The recorder rides the sampler: every tick it sees the
+            // same snapshot the SLO engine just consumed, plus the
+            // post-tick alert table and the health report, and fires a
+            // capture on each transition into Critical/Unhealthy.
+            let observer = {
+                let recorder = recorder.clone();
+                let tracer = tracer.clone();
+                let health = health.clone();
+                move |snapshot: &TelemetrySnapshot, now: Timestamp, table: &[SloStatus]| {
+                    let at_ms = now.0;
+                    recorder.observe_telemetry(snapshot, at_ms);
+                    let spans = tracer.finished_spans();
+                    recorder.observe_spans(&spans, at_ms);
+                    let mut triggers = recorder.observe_slos(&slo_samples(table), at_ms);
+                    let report = health.report(snapshot);
+                    triggers.extend(recorder.observe_health(&health_samples(&report), at_ms));
+                    for trigger in triggers {
+                        recorder.capture(trigger, snapshot, &spans, at_ms);
+                    }
+                }
+            };
+            Sampler::spawn_observed(
+                {
+                    let snapshot_fn = snapshot_fn.clone();
+                    move || snapshot_fn()
+                },
+                clock.clone(),
+                engine.clone(),
+                interval,
+                observer,
+            )
+        }
+    };
     let handle = OpsServer::bind(addr.as_str(), state)?;
     Ok(OpsPlane {
         handle,
         engine,
+        recorder,
         _sampler: sampler,
     })
 }

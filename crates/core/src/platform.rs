@@ -78,6 +78,8 @@ pub struct CssPlatformBuilder<P: BackendProvider = MemoryProvider> {
     ops_slos: Vec<css_health::Slo>,
     ops_monitor: Option<Arc<Mutex<css_monitor::ProcessMonitor>>>,
     bus_driver: Option<Arc<dyn BusDriver<NotificationMessage>>>,
+    blackbox_capacity: Option<usize>,
+    incident_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for CssPlatformBuilder<MemoryProvider> {
@@ -104,6 +106,8 @@ impl CssPlatformBuilder<MemoryProvider> {
             ops_slos: Vec::new(),
             ops_monitor: None,
             bus_driver: None,
+            blackbox_capacity: None,
+            incident_dir: None,
         }
     }
 }
@@ -137,6 +141,8 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             ops_slos: self.ops_slos,
             ops_monitor: self.ops_monitor,
             bus_driver: self.bus_driver,
+            blackbox_capacity: self.blackbox_capacity,
+            incident_dir: self.incident_dir,
         }
     }
 
@@ -235,6 +241,25 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
         self
     }
 
+    /// Run the incident flight recorder next to the ops sampler: a
+    /// bounded drop-oldest ring of the most recent `capacity`
+    /// observation frames (telemetry deltas, SLO burn samples, health
+    /// transitions, root spans), frozen into an incident bundle when an
+    /// SLO reaches Critical, a check goes Unhealthy, or
+    /// `POST /debug/capture` asks for one. Requires
+    /// [`ops_server`](CssPlatformBuilder::ops_server); off by default.
+    pub fn blackbox(mut self, capacity: usize) -> Self {
+        self.blackbox_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Where the flight recorder writes incident bundles (default
+    /// `target/incidents`).
+    pub fn incident_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.incident_dir = Some(dir.into());
+        self
+    }
+
     /// Assemble the platform.
     pub fn build(self) -> CssResult<CssPlatform<P>> {
         let CssPlatformBuilder {
@@ -251,6 +276,8 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             ops_slos,
             ops_monitor,
             bus_driver,
+            blackbox_capacity,
+            incident_dir,
         } = self;
         let tracer = match trace_capacity {
             Some(capacity) => Tracer::with_metrics(capacity, &telemetry),
@@ -302,6 +329,8 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
                     checks: ops_checks,
                     slos: ops_slos,
                     monitor: ops_monitor,
+                    blackbox: blackbox_capacity,
+                    incident_dir,
                 },
                 &provider,
                 &telemetry,
@@ -717,6 +746,22 @@ impl<P: BackendProvider> CssPlatform<P> {
     /// [`CssPlatformBuilder::ops_server`].
     pub fn ops_handle(&self) -> Option<&css_health::OpsHandle> {
         self.ops.as_ref().map(OpsPlane::handle)
+    }
+
+    /// The incident flight recorder, when the builder enabled
+    /// [`CssPlatformBuilder::blackbox`].
+    pub fn blackbox(&self) -> Option<&Arc<css_blackbox::FlightRecorder>> {
+        self.ops.as_ref().and_then(OpsPlane::blackbox)
+    }
+
+    /// Freeze the flight recorder's ring into an incident bundle right
+    /// now (the in-process equivalent of `POST /debug/capture`).
+    /// Returns `None` when the recorder is off.
+    pub fn capture_incident(&self, reason: &str) -> Option<css_blackbox::CaptureOutcome> {
+        let recorder = self.blackbox()?;
+        let snapshot = self.telemetry();
+        let spans = self.tracer.finished_spans();
+        Some(recorder.dump(reason, &snapshot, &spans, self.clock.now().0))
     }
 
     /// Operational snapshot: sizes of the platform's core state, the

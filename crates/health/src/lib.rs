@@ -32,7 +32,6 @@
 //! that could leak details are unnameable here by construction.
 
 mod checks;
-mod json;
 mod prometheus;
 mod sampler;
 mod server;
@@ -43,7 +42,7 @@ pub use checks::{
     DropRateCheck, FnCheck, GaugeThresholdCheck, HealthCheck, HealthRegistry, LatencyCheck,
     RatioFloorCheck,
 };
-pub use json::JsonBuf;
+pub use css_telemetry::JsonBuf;
 pub use prometheus::render_prometheus;
 pub use sampler::Sampler;
 pub use server::{OpsHandle, OpsServer, OpsState};

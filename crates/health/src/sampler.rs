@@ -5,10 +5,10 @@ use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use css_telemetry::MetricsRegistry;
-use css_types::Clock;
+use css_telemetry::{MetricsRegistry, TelemetrySnapshot};
+use css_types::{Clock, Timestamp};
 
-use crate::slo::SloEngine;
+use crate::slo::{SloEngine, SloStatus};
 
 struct SamplerShared {
     stop: Mutex<bool>,
@@ -34,6 +34,29 @@ impl Sampler {
         engine: Arc<Mutex<SloEngine>>,
         interval: Duration,
     ) -> Sampler {
+        Sampler::spawn_observed(
+            move || registry.snapshot(),
+            clock,
+            engine,
+            interval,
+            |_, _, _| {},
+        )
+    }
+
+    /// Like [`spawn`](Sampler::spawn), but the snapshot comes from a
+    /// closure (so callers can refresh derived gauges first) and an
+    /// `observer` sees every sample *after* the SLO engine has ticked,
+    /// together with the sample time and the post-tick alert table.
+    /// This is the hook the flight recorder rides: one sampling thread,
+    /// one snapshot per tick, shared by SLO evaluation and incident
+    /// capture. The observer runs outside the engine lock.
+    pub fn spawn_observed(
+        snapshot_fn: impl Fn() -> TelemetrySnapshot + Send + 'static,
+        clock: Arc<dyn Clock>,
+        engine: Arc<Mutex<SloEngine>>,
+        interval: Duration,
+        observer: impl Fn(&TelemetrySnapshot, Timestamp, &[SloStatus]) + Send + 'static,
+    ) -> Sampler {
         let shared = Arc::new(SamplerShared {
             stop: Mutex::new(false),
             wake: Condvar::new(),
@@ -44,9 +67,14 @@ impl Sampler {
             .name("css-ops-sampler".into())
             .spawn(move || loop {
                 {
-                    let snapshot = registry.snapshot();
-                    let mut engine = engine.lock().unwrap_or_else(PoisonError::into_inner);
-                    engine.tick(&snapshot, clock.now());
+                    let snapshot = snapshot_fn();
+                    let now = clock.now();
+                    let table = {
+                        let mut engine = engine.lock().unwrap_or_else(PoisonError::into_inner);
+                        engine.tick(&snapshot, now);
+                        engine.table()
+                    };
+                    observer(&snapshot, now, &table);
                 }
                 thread_shared.ticks.fetch_add(1, Ordering::Relaxed);
                 let stop = thread_shared
@@ -144,6 +172,58 @@ mod tests {
                 .ticks(),
             "no ticks after drop"
         );
+    }
+
+    #[test]
+    fn observer_sees_post_tick_alert_table() {
+        let registry = MetricsRegistry::new();
+        let clock = SimClock::starting_at(Timestamp(5_000));
+        let mut engine = SloEngine::new();
+        engine.register(Slo::latency_p99("lat", "stage.total", 200_000));
+        let engine = Arc::new(Mutex::new(engine));
+
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        let snap_registry = registry.clone();
+        let sampler = Sampler::spawn_observed(
+            move || snap_registry.snapshot(),
+            Arc::new(clock),
+            engine,
+            Duration::from_millis(1),
+            move |snapshot, at, table| {
+                let mut sink = sink.lock().unwrap_or_else(PoisonError::into_inner);
+                sink.push((
+                    snapshot.histogram("stage.total").map(|h| h.count),
+                    at,
+                    table[0].alert,
+                ));
+            },
+        );
+        for _ in 0..100 {
+            registry.histogram("stage.total").record(10_000_000);
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let seen = seen.lock().unwrap_or_else(PoisonError::into_inner);
+                if seen
+                    .iter()
+                    .any(|(_, _, alert)| *alert == crate::AlertLevel::Critical)
+                {
+                    break;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "observer never saw the Critical alert"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(sampler);
+        let seen = seen.lock().unwrap_or_else(PoisonError::into_inner);
+        let (count, at, _) = seen.last().unwrap();
+        assert_eq!(count.unwrap(), 100, "observer got the same snapshot");
+        assert!(at.0 >= 5_000, "observer got the platform clock");
     }
 
     #[test]

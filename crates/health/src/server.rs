@@ -53,6 +53,9 @@ pub struct OpsState {
     slo: JsonFn,
     traces: JsonFn,
     monitor: JsonFn,
+    incidents: JsonFn,
+    exemplars: JsonFn,
+    capture: Option<JsonFn>,
 }
 
 impl OpsState {
@@ -69,6 +72,9 @@ impl OpsState {
             slo: Arc::new(slo),
             traces: Arc::new(|| "[]".to_string()),
             monitor: Arc::new(|| "{}".to_string()),
+            incidents: Arc::new(|| r#"{"incidents":[]}"#.to_string()),
+            exemplars: Arc::new(|| r#"{"exemplars":[]}"#.to_string()),
+            capture: None,
         }
     }
 
@@ -81,6 +87,28 @@ impl OpsState {
     /// Serve `f`'s output (PRM KPI JSON) on `GET /monitor`.
     pub fn with_monitor(mut self, f: impl Fn() -> String + Send + Sync + 'static) -> Self {
         self.monitor = Arc::new(f);
+        self
+    }
+
+    /// Serve `f`'s output (the flight recorder's recent-incident list)
+    /// on `GET /debug/incidents`.
+    pub fn with_incidents(mut self, f: impl Fn() -> String + Send + Sync + 'static) -> Self {
+        self.incidents = Arc::new(f);
+        self
+    }
+
+    /// Serve `f`'s output (current histogram exemplars, trace ids
+    /// only) on `GET /debug/exemplars`.
+    pub fn with_exemplars(mut self, f: impl Fn() -> String + Send + Sync + 'static) -> Self {
+        self.exemplars = Arc::new(f);
+        self
+    }
+
+    /// Run `f` (a manual flight-recorder capture, returning the frozen
+    /// bundle JSON) on `POST /debug/capture`. Until wired, the endpoint
+    /// answers 404.
+    pub fn with_capture(mut self, f: impl Fn() -> String + Send + Sync + 'static) -> Self {
+        self.capture = Some(Arc::new(f));
         self
     }
 }
@@ -206,6 +234,28 @@ fn handle_connection(mut stream: TcpStream, state: &OpsState) {
     let path = parts.next().unwrap_or("");
     // Ignore a query string: `/metrics?ts=1` scrapes are common.
     let path = path.split('?').next().unwrap_or(path);
+    // The one mutating endpoint: a manual flight-recorder capture.
+    // Everything else is read-only and GET.
+    if path == "/debug/capture" {
+        match (method, &state.capture) {
+            ("POST", Some(capture)) => {
+                respond(&mut stream, 200, "application/json", &capture());
+            }
+            ("POST", None) => respond(
+                &mut stream,
+                404,
+                "application/json",
+                r#"{"error":"no flight recorder configured"}"#,
+            ),
+            _ => respond(
+                &mut stream,
+                405,
+                "text/plain",
+                "method not allowed: use POST",
+            ),
+        }
+        return;
+    }
     if method != "GET" {
         respond(&mut stream, 405, "text/plain", "method not allowed");
         return;
@@ -228,11 +278,13 @@ fn handle_connection(mut stream: TcpStream, state: &OpsState) {
         "/slo" => respond(&mut stream, 200, "application/json", &(state.slo)()),
         "/traces" => respond(&mut stream, 200, "application/json", &(state.traces)()),
         "/monitor" => respond(&mut stream, 200, "application/json", &(state.monitor)()),
+        "/debug/incidents" => respond(&mut stream, 200, "application/json", &(state.incidents)()),
+        "/debug/exemplars" => respond(&mut stream, 200, "application/json", &(state.exemplars)()),
         _ => respond(
             &mut stream,
             404,
             "application/json",
-            r#"{"error":"not found","endpoints":["/metrics","/health","/slo","/traces","/monitor"]}"#,
+            r#"{"error":"not found","endpoints":["/metrics","/health","/slo","/traces","/monitor","/debug/incidents","/debug/exemplars","/debug/capture"]}"#,
         ),
     }
 }
@@ -370,6 +422,69 @@ mod tests {
         let (code, body) = get(handle.local_addr(), "/health");
         assert_eq!(code, 503);
         assert!(body.contains(r#""reason":"probe read mismatch""#), "{body}");
+    }
+
+    #[test]
+    fn debug_endpoints_default_to_empty_and_unconfigured() {
+        let registry = MetricsRegistry::new();
+        let handle =
+            OpsServer::bind("127.0.0.1:0", test_state(&registry, true)).expect("bind ephemeral");
+        let addr = handle.local_addr();
+
+        let (code, body) = get(addr, "/debug/incidents");
+        assert_eq!(code, 200);
+        assert_eq!(body, r#"{"incidents":[]}"#);
+
+        let (code, body) = get(addr, "/debug/exemplars");
+        assert_eq!(code, 200);
+        assert_eq!(body, r#"{"exemplars":[]}"#);
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "POST /debug/capture HTTP/1.0\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.0 404"), "{response}");
+        assert!(
+            response.contains("no flight recorder configured"),
+            "{response}"
+        );
+    }
+
+    #[test]
+    fn wired_debug_endpoints_serve_and_capture() {
+        let registry = MetricsRegistry::new();
+        let captures = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let counted = captures.clone();
+        let state = test_state(&registry, true)
+            .with_incidents(|| r#"{"incidents":[{"seq":1}]}"#.to_string())
+            .with_exemplars(|| r#"{"exemplars":[{"trace_id":"00000000000000ff"}]}"#.to_string())
+            .with_capture(move || {
+                counted.fetch_add(1, Ordering::SeqCst);
+                r#"{"trigger":{"kind":"manual"}}"#.to_string()
+            });
+        let handle = OpsServer::bind("127.0.0.1:0", state).expect("bind ephemeral");
+        let addr = handle.local_addr();
+
+        let (code, body) = get(addr, "/debug/incidents");
+        assert_eq!(code, 200);
+        assert!(body.contains(r#""seq":1"#), "{body}");
+
+        let (code, body) = get(addr, "/debug/exemplars");
+        assert_eq!(code, 200);
+        assert!(body.contains("00000000000000ff"), "{body}");
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "POST /debug/capture HTTP/1.0\r\n\r\n").expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+        assert!(response.contains(r#""kind":"manual""#), "{response}");
+        assert_eq!(captures.load(Ordering::SeqCst), 1);
+
+        // Capture mutates: a GET must not trigger it.
+        let (code, _) = get(addr, "/debug/capture");
+        assert_eq!(code, 405);
+        assert_eq!(captures.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::collections::VecDeque;
 use css_telemetry::{HistogramSnapshot, TelemetrySnapshot};
 use css_types::Timestamp;
 
-use crate::json::JsonBuf;
+use css_telemetry::JsonBuf;
 
 /// Samples in the fast (paging) window.
 pub const FAST_WINDOW: usize = 5;

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::json::JsonBuf;
+use css_telemetry::JsonBuf;
 
 /// One component's condition at probe time.
 ///

@@ -60,6 +60,7 @@ const SINK_METHODS: &[(&str, &str)] = &[
     ("publish", "bus publish"),
     ("publish_opts", "bus publish"),
     ("dedup_key", "publish dedup key"),
+    ("capture", "incident bundle capture"),
 ];
 /// Pattern-binding keywords that are not binding names themselves.
 const PATTERN_KEYWORDS: &[&str] = &["mut", "ref", "box"];

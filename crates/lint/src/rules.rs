@@ -77,7 +77,13 @@ const CONFINED_TYPES: &[&str] = &["DetailMessage", "DetailStore"];
 /// Crates that must never name them outside tests. The ops plane
 /// (`css-health`) is confined too: an exposition endpoint that could
 /// name a detail payload could leak it to any scraper.
-const CONFINED_CRATES: &[&str] = &["css-controller", "css-bus", "css-registry", "css-health"];
+const CONFINED_CRATES: &[&str] = &[
+    "css-controller",
+    "css-bus",
+    "css-registry",
+    "css-health",
+    "css-blackbox",
+];
 
 impl Rule for DetailConfinement {
     fn id(&self) -> &'static str {
@@ -746,6 +752,7 @@ const LAYERS: &[(&str, u8)] = &[
     ("css-gateway", 3),
     ("css-monitor", 3),
     ("css-health", 3),
+    ("css-blackbox", 3),
     ("css-controller", 4),
     ("css-core", 5),
     ("css-sim", 6),

@@ -82,6 +82,49 @@ fn detail_confinement_covers_the_ops_plane() {
     assert!(hits.iter().all(|f| f.severity == Severity::Error));
 }
 
+/// The flight recorder is confined too: its bundles are written to
+/// disk and served over HTTP, so css-blackbox must be structurally
+/// unable to name a detail payload.
+#[test]
+fn detail_confinement_covers_the_flight_recorder() {
+    let hits = fire(
+        "css-blackbox",
+        "detail_confinement/fire.rs",
+        "detail-confinement",
+    );
+    assert_eq!(hits.len(), 2, "DetailMessage + DetailStore: {hits:#?}");
+    assert!(hits.iter().all(|f| f.severity == Severity::Error));
+
+    let clean = fire(
+        "css-blackbox",
+        "detail_confinement/clean.rs",
+        "detail-confinement",
+    );
+    assert!(clean.is_empty(), "clean fixture fired: {clean:#?}");
+}
+
+#[test]
+fn detail_confinement_blackbox_waiver_moves_finding_to_waived() {
+    let src = fixture("detail_confinement/blackbox_waived.rs");
+    let all = lint_file_source(
+        "css-blackbox",
+        "detail_confinement/blackbox_waived.rs",
+        FileRole::Production,
+        &src,
+    );
+    let (waived, active): (Vec<_>, Vec<_>) = all.into_iter().partition(|f| f.is_waived());
+    assert!(
+        active.iter().all(|f| f.rule != "detail-confinement"),
+        "{active:#?}"
+    );
+    assert_eq!(waived.len(), 1, "{waived:#?}");
+    assert!(waived[0]
+        .waive_reason
+        .as_deref()
+        .unwrap_or("")
+        .contains("negative assertion"));
+}
+
 #[test]
 fn detail_confinement_ignores_unconfined_crates() {
     // The same source in the gateway crate (where details legitimately
@@ -225,6 +268,19 @@ fn trace_hygiene_fires_and_clean_passes() {
     assert!(clean.is_empty(), "closed constructors flagged: {clean:#?}");
 }
 
+/// Exemplars carry only `(trace_id, timestamp)` and the enforcement
+/// path tags spans through the closed constructor set — the shape the
+/// recorder depends on stays inside the hygiene rule.
+#[test]
+fn trace_hygiene_passes_the_exemplar_stamping_shape() {
+    let clean = fire(
+        "css-controller",
+        "trace_hygiene/exemplar_clean.rs",
+        "trace-hygiene",
+    );
+    assert!(clean.is_empty(), "exemplar path flagged: {clean:#?}");
+}
+
 #[test]
 fn trace_hygiene_exempts_the_trace_crate_itself() {
     let hits = fire("css-trace", "trace_hygiene/fire.rs", "trace-hygiene");
@@ -249,6 +305,31 @@ fn layering_fires_on_upward_dep_and_clean_passes() {
     assert!(
         report.findings.iter().all(|f| f.rule != "layering"),
         "{:#?}",
+        report.findings
+    );
+}
+
+/// css-blackbox sits on layer 3 beside css-health: a production dep on
+/// health must fire, while the lower-layer-only manifest (with health
+/// as a dev-dependency) must pass.
+#[test]
+fn layering_constrains_the_blackbox_crate() {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/layering");
+
+    let report = lint_workspace(&base.join("blackbox_fire")).expect("lint blackbox_fire");
+    let hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "layering")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:#?}", report.findings);
+    assert!(hits[0].message.contains("css-health"), "{hits:#?}");
+    assert!(hits[0].file.contains("blackbox"), "{hits:#?}");
+
+    let report = lint_workspace(&base.join("blackbox_clean")).expect("lint blackbox_clean");
+    assert!(
+        report.findings.iter().all(|f| f.rule != "layering"),
+        "dev-dep on css-health must not fire: {:#?}",
         report.findings
     );
 }
@@ -291,6 +372,29 @@ fn identity_taint_fires_on_span_metric_and_publish() {
         "identity-taint",
     );
     assert!(clean.is_empty(), "sanitized flows flagged: {clean:#?}");
+}
+
+/// Whatever reaches `.capture(..)` is frozen into an on-disk incident
+/// bundle, so the capture reason is a taint sink like a metric name.
+#[test]
+fn identity_taint_fires_on_bundle_capture() {
+    let hits = fire(
+        "css-core",
+        "identity_taint/capture_fire.rs",
+        "identity-taint",
+    );
+    assert_eq!(hits.len(), 1, "{hits:#?}");
+    assert!(
+        hits[0].message.contains("incident bundle capture"),
+        "names the capture sink: {hits:#?}"
+    );
+
+    let clean = fire(
+        "css-core",
+        "identity_taint/capture_clean.rs",
+        "identity-taint",
+    );
+    assert!(clean.is_empty(), "sanitized capture flagged: {clean:#?}");
 }
 
 #[test]

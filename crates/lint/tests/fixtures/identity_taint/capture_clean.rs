@@ -1,0 +1,11 @@
+//! FIXTURE (linted as crate `css-core`, role Production): the same
+//! capture call fed only an operator-authored constant and a
+//! cardinality derived from identity material. Must not fire.
+
+impl OpsPlane {
+    pub fn freeze(&self, p: &PersonIdentity, snapshot: &TelemetrySnapshot) {
+        let pending = p.fiscal_code.len();
+        self.recorder.capture("manual operator capture", snapshot);
+        self.metrics.gauge("ops.pending_captures", pending as u64);
+    }
+}

@@ -1,0 +1,11 @@
+//! FIXTURE (linted as crate `css-core`, role Production): a plaintext
+//! fiscal code flowing into the flight recorder's capture reason —
+//! whatever reaches `capture` is serialized into an incident bundle on
+//! disk. Must fire `identity-taint` once on the capture sink.
+
+impl OpsPlane {
+    pub fn freeze(&self, p: &PersonIdentity, snapshot: &TelemetrySnapshot) {
+        let reason = p.fiscal_code.clone();
+        self.recorder.capture(reason, snapshot);
+    }
+}

@@ -1,0 +1,14 @@
+//! FIXTURE (linted as crate `css-controller`, role Production): the
+//! exemplar-stamping shape of the enforcement path — a stage timer fed
+//! the trace id, spans tagged strictly through the closed `SpanAttr`
+//! constructor set. Exemplars carry only `(trace_id, timestamp)`, so
+//! nothing here needs (or may use) a raw attribute. Must not fire.
+
+pub fn enforce(timer: &mut StageTimer, span: &mut SpanGuard, ctx: &TraceContext, now: Timestamp) {
+    if let Some(t) = ctx.trace_id() {
+        timer.exemplar(t.value(), now.0);
+    }
+    span.attr(SpanAttr::stage("pdp_evaluate"));
+    span.attr(SpanAttr::decision(true));
+    span.attr(SpanAttr::cache_hit(false));
+}

@@ -22,10 +22,12 @@
 //! [`TelemetrySnapshot`]; [`TelemetrySnapshot::to_text`] gives a
 //! stable line-oriented exposition format for logs and debugging.
 
+mod json;
 mod metrics;
 mod registry;
 mod timer;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use json::JsonBuf;
+pub use metrics::{Counter, Exemplar, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricsRegistry, TelemetrySnapshot};
 pub use timer::StageTimer;

@@ -100,6 +100,17 @@ struct HistogramInner {
     count: AtomicU64,
     sum: AtomicU64,
     max: AtomicU64,
+    /// Most recent exemplar per bucket: the trace id (0 = none; trace
+    /// ids are minted from a counter starting at 1, so a real id is
+    /// never 0) and the platform-clock millisecond it was observed.
+    /// Written only by [`Histogram::record_with_exemplar`] — plain
+    /// `record` never touches these, so un-exemplared paths pay
+    /// nothing. The id/timestamp pair is two relaxed stores; a racing
+    /// writer can interleave them, which at worst pairs an exemplar id
+    /// with a timestamp a few microseconds off — fine for a debugging
+    /// breadcrumb.
+    ex_trace: [AtomicU64; BUCKETS],
+    ex_at_ms: [AtomicU64; BUCKETS],
 }
 
 impl Default for Histogram {
@@ -110,6 +121,8 @@ impl Default for Histogram {
                 count: AtomicU64::new(0),
                 sum: AtomicU64::new(0),
                 max: AtomicU64::new(0),
+                ex_trace: [const { AtomicU64::new(0) }; BUCKETS],
+                ex_at_ms: [const { AtomicU64::new(0) }; BUCKETS],
             }),
         }
     }
@@ -150,6 +163,31 @@ impl Histogram {
     /// Record one observation from a [`Duration`].
     pub fn record_duration(&self, d: Duration) {
         self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one observation and remember `(trace_id, at_ms)` as the
+    /// bucket's **exemplar** — the most recent trace that landed there.
+    /// A later snapshot exposes the exemplar next to the bucket, so a
+    /// p99 outlier links straight to the span tree that caused it.
+    ///
+    /// The trace id is a raw `u64` (the value of a `css-trace`
+    /// `TraceId`) because this crate sits below the trace layer; ids of
+    /// 0 are treated as "no exemplar" and recorded as a plain
+    /// observation.
+    pub fn record_with_exemplar(&self, ns: u64, trace_id: u64, at_ms: u64) {
+        self.record(ns);
+        if trace_id == 0 {
+            return;
+        }
+        let idx = bucket_index(ns);
+        self.inner.ex_trace[idx].store(trace_id, Ordering::Relaxed);
+        self.inner.ex_at_ms[idx].store(at_ms, Ordering::Relaxed);
+    }
+
+    /// Record a [`Duration`] with an exemplar; see
+    /// [`record_with_exemplar`](Histogram::record_with_exemplar).
+    pub fn record_duration_with_exemplar(&self, d: Duration, trace_id: u64, at_ms: u64) {
+        self.record_with_exemplar(d.as_nanos().min(u64::MAX as u128) as u64, trace_id, at_ms);
     }
 
     /// Observations recorded so far.
@@ -196,6 +234,16 @@ impl Histogram {
             .filter(|(_, n)| **n > 0)
             .map(|(idx, n)| (bucket_upper_bound(idx), *n))
             .collect();
+        let exemplars = (0..BUCKETS)
+            .filter_map(|idx| {
+                let trace_id = inner.ex_trace[idx].load(Ordering::Relaxed);
+                (trace_id != 0).then(|| Exemplar {
+                    bucket_ns: bucket_upper_bound(idx),
+                    trace_id,
+                    at_ms: inner.ex_at_ms[idx].load(Ordering::Relaxed),
+                })
+            })
+            .collect();
         HistogramSnapshot {
             count,
             sum_ns: inner.sum.load(Ordering::Relaxed),
@@ -204,8 +252,22 @@ impl Histogram {
             p90_ns: quantile(0.90).min(max),
             p99_ns: quantile(0.99).min(max),
             buckets: occupied,
+            exemplars,
         }
     }
+}
+
+/// One bucket's most recent exemplar: which trace last observed a
+/// latency in this bucket, and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// Inclusive upper bound of the bucket the observation landed in,
+    /// nanoseconds (`u64::MAX` for the overflow bucket).
+    pub bucket_ns: u64,
+    /// Raw trace id (a `css-trace` `TraceId` value); never 0.
+    pub trace_id: u64,
+    /// Platform-clock milliseconds when the exemplar was recorded.
+    pub at_ms: u64,
 }
 
 /// Plain-data summary of a [`Histogram`] at one instant.
@@ -226,12 +288,27 @@ pub struct HistogramSnapshot {
     /// Occupied log₂ buckets as `(inclusive upper bound, count)`, in
     /// ascending bound order; empty buckets are omitted.
     pub buckets: Vec<(u64, u64)>,
+    /// Per-bucket most-recent exemplars, in ascending bound order;
+    /// buckets that never saw an exemplared observation are omitted.
+    /// Empty unless the workload records through
+    /// [`Histogram::record_with_exemplar`].
+    pub exemplars: Vec<Exemplar>,
 }
 
 impl HistogramSnapshot {
     /// Arithmetic mean in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> u64 {
         self.sum_ns.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The exemplar of the bucket the p99 estimate falls in (the
+    /// slowest-bucket exemplar at or above `p99_ns`), if any bucket up
+    /// there retained one — the trace to pull when the p99 regresses.
+    pub fn p99_exemplar(&self) -> Option<&Exemplar> {
+        self.exemplars
+            .iter()
+            .rev()
+            .find(|e| e.bucket_ns >= self.p99_ns)
     }
 }
 
@@ -338,6 +415,79 @@ mod tests {
         let h = Histogram::new();
         h.record_duration(Duration::from_micros(3));
         assert_eq!(h.snapshot().sum_ns, 3_000);
+    }
+
+    #[test]
+    fn exemplar_lands_in_the_bucket_of_its_sample() {
+        let h = Histogram::new();
+        h.record_with_exemplar(5, 0xAAAA, 100); // bucket le7
+        h.record_with_exemplar(1_000, 0xBBBB, 200); // bucket le1023
+        let snap = h.snapshot();
+        assert_eq!(
+            snap.exemplars,
+            vec![
+                Exemplar {
+                    bucket_ns: 7,
+                    trace_id: 0xAAAA,
+                    at_ms: 100
+                },
+                Exemplar {
+                    bucket_ns: 1023,
+                    trace_id: 0xBBBB,
+                    at_ms: 200
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn most_recent_exemplar_wins_within_a_bucket() {
+        let h = Histogram::new();
+        h.record_with_exemplar(5, 0xAAAA, 100);
+        h.record_with_exemplar(6, 0xBBBB, 200); // same le7 bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.exemplars.len(), 1);
+        assert_eq!(snap.exemplars[0].trace_id, 0xBBBB);
+        assert_eq!(snap.exemplars[0].at_ms, 200);
+    }
+
+    #[test]
+    fn zero_trace_id_records_the_sample_but_no_exemplar() {
+        let h = Histogram::new();
+        h.record_with_exemplar(5, 0, 100);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.exemplars.is_empty());
+    }
+
+    #[test]
+    fn plain_records_do_not_disturb_exemplars() {
+        let h = Histogram::new();
+        h.record_with_exemplar(5, 0xAAAA, 100);
+        h.record(6); // same bucket, no exemplar: slot must survive
+        let snap = h.snapshot();
+        assert_eq!(snap.exemplars.len(), 1);
+        assert_eq!(snap.exemplars[0].trace_id, 0xAAAA);
+    }
+
+    #[test]
+    fn p99_exemplar_picks_the_slow_bucket() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record_with_exemplar(1_000, 0xFAFA, 1);
+        }
+        for _ in 0..10 {
+            h.record_with_exemplar(1_000_000, 0x5105, 2);
+        }
+        let snap = h.snapshot();
+        let ex = snap.p99_exemplar().expect("slow bucket has an exemplar");
+        assert_eq!(ex.trace_id, 0x5105, "p99 exemplar joins the slow trace");
+        let fast_only = {
+            let h = Histogram::new();
+            h.record_with_exemplar(1_000, 0xFAFA, 1);
+            h.snapshot()
+        };
+        assert_eq!(fast_only.p99_exemplar().unwrap().trace_id, 0xFAFA);
     }
 
     #[test]

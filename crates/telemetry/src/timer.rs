@@ -35,6 +35,7 @@ pub struct StageTimer<'a> {
     started: Instant,
     last: Instant,
     finished: bool,
+    exemplar: Option<(u64, u64)>,
 }
 
 impl<'a> StageTimer<'a> {
@@ -47,6 +48,18 @@ impl<'a> StageTimer<'a> {
             started: now,
             last: now,
             finished: false,
+            exemplar: None,
+        }
+    }
+
+    /// Attach an exemplar `(trace_id, at_ms)` to this pass: every
+    /// stage/total/partial record from here on carries it, so the
+    /// bucket an outlier lands in retains a link back to the span tree
+    /// that produced it. A zero trace id is ignored (0 marks "no
+    /// exemplar" in the histogram slots).
+    pub fn exemplar(&mut self, trace_id: u64, at_ms: u64) {
+        if trace_id != 0 {
+            self.exemplar = Some((trace_id, at_ms));
         }
     }
 
@@ -54,9 +67,15 @@ impl<'a> StageTimer<'a> {
     /// boundary into `"{prefix}.{stage}"` and start the next stage.
     pub fn stage(&mut self, stage: &str) {
         let now = Instant::now();
-        self.registry
-            .histogram(&format!("{}.{stage}", self.prefix))
-            .record_duration(now.duration_since(self.last));
+        let histogram = self.registry.histogram(&format!("{}.{stage}", self.prefix));
+        match self.exemplar {
+            Some((trace_id, at_ms)) => histogram.record_duration_with_exemplar(
+                now.duration_since(self.last),
+                trace_id,
+                at_ms,
+            ),
+            None => histogram.record_duration(now.duration_since(self.last)),
+        }
         self.last = now;
     }
 
@@ -71,9 +90,13 @@ impl<'a> StageTimer<'a> {
     /// and still contributes to `"{prefix}.total"`.
     pub fn finish(mut self) {
         self.finished = true;
-        self.registry
-            .histogram(&format!("{}.total", self.prefix))
-            .record_duration(self.started.elapsed());
+        let histogram = self.registry.histogram(&format!("{}.total", self.prefix));
+        match self.exemplar {
+            Some((trace_id, at_ms)) => {
+                histogram.record_duration_with_exemplar(self.started.elapsed(), trace_id, at_ms)
+            }
+            None => histogram.record_duration(self.started.elapsed()),
+        }
     }
 }
 
@@ -83,12 +106,28 @@ impl Drop for StageTimer<'_> {
             return;
         }
         let now = Instant::now();
-        self.registry
-            .histogram(&format!("{}.partial", self.prefix))
-            .record_duration(now.duration_since(self.last));
-        self.registry
-            .histogram(&format!("{}.total", self.prefix))
-            .record_duration(now.duration_since(self.started));
+        let (partial, total) = (
+            self.registry.histogram(&format!("{}.partial", self.prefix)),
+            self.registry.histogram(&format!("{}.total", self.prefix)),
+        );
+        match self.exemplar {
+            Some((trace_id, at_ms)) => {
+                partial.record_duration_with_exemplar(
+                    now.duration_since(self.last),
+                    trace_id,
+                    at_ms,
+                );
+                total.record_duration_with_exemplar(
+                    now.duration_since(self.started),
+                    trace_id,
+                    at_ms,
+                );
+            }
+            None => {
+                partial.record_duration(now.duration_since(self.last));
+                total.record_duration(now.duration_since(self.started));
+            }
+        }
     }
 }
 
@@ -156,6 +195,34 @@ mod tests {
         let snap = registry.snapshot();
         assert!(snap.histogram("p.partial").is_none());
         assert_eq!(snap.histogram("p.total").unwrap().count, 1);
+    }
+
+    #[test]
+    fn exemplar_rides_every_boundary_of_the_pass() {
+        let registry = MetricsRegistry::new();
+        let mut timer = StageTimer::start(&registry, "p");
+        timer.exemplar(0xBEEF, 42);
+        timer.stage("only");
+        timer.finish();
+
+        let snap = registry.snapshot();
+        for name in ["p.only", "p.total"] {
+            let h = snap.histogram(name).unwrap();
+            assert_eq!(h.exemplars.len(), 1, "{name}");
+            assert_eq!(h.exemplars[0].trace_id, 0xBEEF, "{name}");
+            assert_eq!(h.exemplars[0].at_ms, 42, "{name}");
+        }
+    }
+
+    #[test]
+    fn zero_trace_id_never_becomes_an_exemplar() {
+        let registry = MetricsRegistry::new();
+        let mut timer = StageTimer::start(&registry, "p");
+        timer.exemplar(0, 42);
+        timer.stage("only");
+        timer.finish();
+        let snap = registry.snapshot();
+        assert!(snap.histogram("p.total").unwrap().exemplars.is_empty());
     }
 
     #[test]

@@ -22,7 +22,14 @@ fn main() -> CssResult<()> {
         .tracing(1024)
         .ops_server(addr)
         .ops_sample_interval(Duration::from_millis(250))
-        .ops_monitor(monitor.clone());
+        .ops_monitor(monitor.clone())
+        .blackbox(512);
+    // CSS_OPS_INCIDENT_DIR redirects incident bundles (the obs.sh smoke
+    // captures one and greps it for identifier leaks); unset, they land
+    // under target/incidents/.
+    if let Ok(dir) = std::env::var("CSS_OPS_INCIDENT_DIR") {
+        builder = builder.incident_dir(dir);
+    }
     // CSS_OPS_SHARDS pins the data-plane shard count (the obs.sh smoke
     // sweeps this and checks the per-shard /metrics series); unset, the
     // platform sizes it from the core count.
@@ -63,6 +70,9 @@ fn main() -> CssResult<()> {
     println!("  curl http://{}/slo", ops.local_addr());
     println!("  curl http://{}/traces", ops.local_addr());
     println!("  curl http://{}/monitor", ops.local_addr());
+    println!("  curl http://{}/debug/exemplars", ops.local_addr());
+    println!("  curl http://{}/debug/incidents", ops.local_addr());
+    println!("  curl -X POST http://{}/debug/capture", ops.local_addr());
 
     let secs: u64 = std::env::var("CSS_OPS_DEMO_SECS")
         .ok()

@@ -6,7 +6,8 @@
 # Usage: scripts/bench.sh [bench ...]
 #   (default benches: e4_detail_request e9_encrypted_index
 #    e11_policy_scaling e15_mixed_workload e16_trace_overhead
-#    e17_ops_overhead e18_consumer_groups e19_shard_scaling)
+#    e17_ops_overhead e18_consumer_groups e19_shard_scaling
+#    e21_blackbox_overhead)
 #
 # Environment:
 #   CSS_BENCH_MS    measurement window per benchmark in ms (default 50;
@@ -18,7 +19,7 @@ cd "$(dirname "$0")/.."
 
 BENCHES=("$@")
 if [ ${#BENCHES[@]} -eq 0 ]; then
-  BENCHES=(e4_detail_request e9_encrypted_index e11_policy_scaling e15_mixed_workload e16_trace_overhead e17_ops_overhead e18_consumer_groups e19_shard_scaling)
+  BENCHES=(e4_detail_request e9_encrypted_index e11_policy_scaling e15_mixed_workload e16_trace_overhead e17_ops_overhead e18_consumer_groups e19_shard_scaling e21_blackbox_overhead)
 fi
 : "${CSS_BENCH_MS:=50}"
 export CSS_BENCH_MS
@@ -103,11 +104,11 @@ for bench in "${BENCHES[@]}"; do
       }
       # Overhead benches: the on/off ns-per-op delta, when the bench
       # registered an off and an on series (E16 collector_off/on,
-      # E17 sampler_off/on).
+      # E17 sampler_off/on, E21 recorder_off/on).
       off = -1; on = -1
       for (i = 1; i <= nr; i++) {
-        if (rname[i] ~ /\/(collector|sampler)_off$/) off = rns[i]
-        if (rname[i] ~ /\/(collector|sampler)_on$/) on = rns[i]
+        if (rname[i] ~ /\/(collector|sampler|recorder)_off$/) off = rns[i]
+        if (rname[i] ~ /\/(collector|sampler|recorder)_on$/) on = rns[i]
       }
       if (off >= 0 && on >= 0) {
         dropped = 0

@@ -10,11 +10,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 log=$(mktemp)
+incident_dir=$(mktemp -d)
 demo_pid=""
 cleanup() {
     [ -n "$demo_pid" ] && kill "$demo_pid" 2>/dev/null || true
     [ -n "$demo_pid" ] && wait "$demo_pid" 2>/dev/null || true
     rm -f "$log"
+    rm -rf "$incident_dir"
 }
 trap cleanup EXIT
 
@@ -41,6 +43,24 @@ fetch() { # fetch PATH -> body on stdout, fails on non-200
     fi
 }
 
+post_capture() { # POST /debug/capture -> bundle body on stdout
+    if [ -z "${CSS_OBS_NO_CURL:-}" ] && command -v curl > /dev/null 2>&1; then
+        curl -sf -X POST "http://$addr/debug/capture"
+    else
+        local host=${addr%:*} port=${addr##*:} resp status
+        exec 3<> "/dev/tcp/$host/$port"
+        printf 'POST /debug/capture HTTP/1.0\r\n\r\n' >&3
+        resp=$(cat <&3)
+        exec 3<&- 3>&-
+        status=$(printf '%s\n' "$resp" | head -n1 | tr -d '\r')
+        case "$status" in *" 200 "*) ;; *)
+            echo "obs: POST /debug/capture -> $status" >&2
+            return 22 ;;
+        esac
+        printf '%s\n' "$resp" | sed '1,/^\r\{0,1\}$/d'
+    fi
+}
+
 check_json() { # check_json NAME BODY REQUIRED_KEY
     local name=$1 body=$2 key=$3
     if command -v python3 > /dev/null 2>&1; then
@@ -57,7 +77,8 @@ check_json() { # check_json NAME BODY REQUIRED_KEY
 run_smoke() { # run_smoke SHARDS
     local shards=$1
     : > "$log"
-    CSS_OPS_DEMO_SECS=60 CSS_OPS_SHARDS=$shards ./target/debug/examples/ops_demo > "$log" &
+    CSS_OPS_DEMO_SECS=60 CSS_OPS_SHARDS=$shards CSS_OPS_INCIDENT_DIR=$incident_dir \
+        ./target/debug/examples/ops_demo > "$log" &
     demo_pid=$!
 
     # The demo prints "ops plane listening at http://ADDR" once bound.
@@ -149,6 +170,37 @@ run_smoke() { # run_smoke SHARDS
         exit 1
     fi
     echo "obs: /metrics ok ($(printf '%s\n' "$metrics" | wc -l) lines, $types metrics, $shards shard series)"
+
+    # Flight recorder: force an incident over HTTP, validate the bundle,
+    # and grep it (plus the on-disk copy) for identifier leaks — the
+    # demo publishes FC-coded identities with name "Demo" and surname
+    # "Subject<i>", none of which may survive into a bundle.
+    local exemplars bundle bundle_file incidents
+    exemplars=$(fetch /debug/exemplars)
+    check_json /debug/exemplars "$exemplars" exemplars
+    bundle=$(post_capture)
+    check_json "POST /debug/capture" "$bundle" schema
+    case "$bundle" in
+        *'"schema":"css-blackbox/1"'*) ;;
+        *) echo "obs: bundle missing schema marker: ${bundle:0:200}" >&2; exit 1 ;;
+    esac
+    incidents=$(fetch /debug/incidents)
+    check_json /debug/incidents "$incidents" incidents
+    case "$incidents" in
+        *'"kind":"manual"'*) ;;
+        *) echo "obs: forced incident not listed: $incidents" >&2; exit 1 ;;
+    esac
+    bundle_file=$(ls -t "$incident_dir"/incident-*.json 2>/dev/null | head -n1 || true)
+    if [ -z "$bundle_file" ]; then
+        echo "obs: no incident bundle written under $incident_dir" >&2
+        exit 1
+    fi
+    if cat "$bundle_file" <(printf '%s' "$bundle") | grep -Eq 'FC[0-9]{14}|"Demo"|Subject[0-9]'; then
+        echo "obs: incident bundle leaks a personal identifier:" >&2
+        grep -Eo 'FC[0-9]{14}|"Demo"|Subject[0-9]+' "$bundle_file" | head >&2
+        exit 1
+    fi
+    echo "obs: incident capture ok ($(basename "$bundle_file"), $(wc -c < "$bundle_file") bytes, leak grep clean)"
 
     kill "$demo_pid" 2>/dev/null || true
     wait "$demo_pid" 2>/dev/null || true
