@@ -65,7 +65,10 @@ pub fn incidents_json<'a>(incidents: impl Iterator<Item = &'a IncidentRef>) -> S
     j.finish()
 }
 
-/// Serialize one frozen incident.
+/// Serialize one frozen incident. `history` is an optional
+/// pre-serialized chronicle window (itself aggregate-only) embedded
+/// verbatim as the bundle's `history` section.
+#[allow(clippy::too_many_arguments)]
 pub fn bundle_json(
     seq: u64,
     at_ms: u64,
@@ -73,6 +76,7 @@ pub fn bundle_json(
     frames: &[Frame],
     snapshot: &TelemetrySnapshot,
     spans: &[Span],
+    history: Option<&str>,
 ) -> String {
     let mut j = JsonBuf::new();
     j.begin_object();
@@ -92,11 +96,24 @@ pub fn bundle_json(
             j.key("component").string(component);
             j.key("reason").string(reason);
         }
+        Trigger::Anomaly {
+            metric,
+            value,
+            expected,
+        } => {
+            j.key("metric").string(metric);
+            j.key("value").f64(*value);
+            j.key("expected").f64(*expected);
+        }
         Trigger::Manual { reason } => {
             j.key("reason").string(reason);
         }
     }
     j.end_object();
+
+    if let Some(history) = history {
+        j.key("history").raw(history);
+    }
 
     j.key("frames").begin_array();
     for frame in frames {
@@ -292,6 +309,7 @@ mod tests {
             &[],
             &registry.snapshot(),
             &spans,
+            None,
         );
         let hex = format!("{trace_id}");
         assert!(json.contains(&format!(r#""trace_id":"{hex}""#)), "{json}");
@@ -299,6 +317,37 @@ mod tests {
         assert!(json.contains(r#""name":"detail_request""#), "{json}");
         assert!(
             json.contains(r#""percentiles":[{"histogram":"stage.total""#),
+            "{json}"
+        );
+        // No history passed: the section is absent entirely.
+        assert!(!json.contains(r#""history""#), "{json}");
+    }
+
+    #[test]
+    fn anomaly_trigger_embeds_the_history_window() {
+        let registry = MetricsRegistry::new();
+        let history = r#"{"from_ms":0,"to_ms":9,"series":[{"metric":"stage.total"}]}"#;
+        let json = bundle_json(
+            2,
+            9,
+            &Trigger::Anomaly {
+                metric: "stage.total".to_string(),
+                value: 5_000_000.0,
+                expected: 52_000.0,
+            },
+            &[],
+            &registry.snapshot(),
+            &[],
+            Some(history),
+        );
+        assert!(json.contains(r#""kind":"anomaly""#), "{json}");
+        assert!(json.contains(r#""metric":"stage.total""#), "{json}");
+        assert!(
+            json.contains(r#""history":{"from_ms":0,"to_ms":9"#),
+            "{json}"
+        );
+        assert!(
+            json.contains("anomalous: 5000000 vs expected 52000"),
             "{json}"
         );
     }

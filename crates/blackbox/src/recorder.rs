@@ -29,6 +29,13 @@ pub enum Trigger {
     SloCritical { slo: String, fast_burn: f64 },
     /// A health check transitioned to Unhealthy.
     Unhealthy { component: String, reason: String },
+    /// A chronicle anomaly detector saw a metric leave its learned
+    /// band (the rising edge of the anomalous state).
+    Anomaly {
+        metric: String,
+        value: f64,
+        expected: f64,
+    },
     /// An operator or test asked for a capture explicitly.
     Manual { reason: String },
 }
@@ -39,6 +46,7 @@ impl Trigger {
         match self {
             Trigger::SloCritical { .. } => "slo_critical",
             Trigger::Unhealthy { .. } => "unhealthy",
+            Trigger::Anomaly { .. } => "anomaly",
             Trigger::Manual { .. } => "manual",
         }
     }
@@ -51,6 +59,11 @@ impl Trigger {
                 format!("slo {slo} critical (fast burn {fast_burn:.1})")
             }
             Trigger::Unhealthy { component, reason } => format!("{component} unhealthy: {reason}"),
+            Trigger::Anomaly {
+                metric,
+                value,
+                expected,
+            } => format!("{metric} anomalous: {value:.0} vs expected {expected:.0}"),
             Trigger::Manual { reason } => reason.clone(),
         }
     }
@@ -293,12 +306,27 @@ impl FlightRecorder {
         spans: &[Span],
         at_ms: u64,
     ) -> CaptureOutcome {
+        self.capture_with_history(trigger, snapshot, spans, at_ms, None)
+    }
+
+    /// [`capture`](FlightRecorder::capture) with a pre-serialized
+    /// metrics-history window (a chronicle document) embedded as the
+    /// bundle's `history` section. The platform passes the window
+    /// around the anomaly that triggered the capture.
+    pub fn capture_with_history(
+        &self,
+        trigger: Trigger,
+        snapshot: &TelemetrySnapshot,
+        spans: &[Span],
+        at_ms: u64,
+        history: Option<&str>,
+    ) -> CaptureOutcome {
         let (seq, frames) = {
             let mut state = self.lock();
             state.seq += 1;
             (state.seq, state.ring.iter().cloned().collect::<Vec<_>>())
         };
-        let json = bundle::bundle_json(seq, at_ms, &trigger, &frames, snapshot, spans);
+        let json = bundle::bundle_json(seq, at_ms, &trigger, &frames, snapshot, spans, history);
         let path = self.write_bundle(seq, at_ms, &json);
         let mut state = self.lock();
         if state.incidents.len() >= INCIDENTS_RETAINED {

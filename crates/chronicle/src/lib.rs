@@ -1,0 +1,91 @@
+//! # css-chronicle — long-horizon metrics history
+//!
+//! Every other observability surface in the platform is instantaneous:
+//! `/metrics` is the current snapshot, the blackbox ring holds minutes,
+//! SLO burn rates see at most 60 samples. This crate is the memory: an
+//! embedded time-series store fed one [`TelemetrySnapshot`] per sampler
+//! tick, answering "what did `stage.total` p99 look like over the last
+//! hour, and is it drifting?"
+//!
+//! ## Ring of rings
+//!
+//! Each metric keeps three bounded tiers ([`Retention`]): raw per-tick
+//! points, 1-minute slots, and 1-hour slots. Every append folds into
+//! the aligned minute/hour slot in place, so downsampling costs O(1)
+//! per tick and the store's footprint is fixed. Histogram points are
+//! per-tick **deltas** of the cumulative log₂ buckets — merging any
+//! window of them reconstructs the latency distribution over exactly
+//! that window, which is what makes [`Chronicle::quantile_over_time`]
+//! honest at every resolution.
+//!
+//! ## Confinement
+//!
+//! The store ingests only [`TelemetrySnapshot`] aggregates — counts,
+//! gauges, bucket counts. No event payload, citizen identifier, or
+//! policy input exists anywhere in this crate, so the query surface
+//! ([`query_json`], [`range_json`]) and the incident history embed
+//! ([`history_json`]) are leak-free by construction. css-lint enforces
+//! this: the crate sits in the detail-confinement set at layer 3.
+//!
+//! ## Drift detection
+//!
+//! [`AnomalyDetector`] watches one value per tick with EWMA + MAD
+//! baselines that freeze while anomalous (an outage must not become
+//! the new normal). css-core registers it as a health check (drift →
+//! `Degraded`) and captures a blackbox incident — with the relevant
+//! history window embedded — on the rising edge.
+//!
+//! [`TelemetrySnapshot`]: css_telemetry::TelemetrySnapshot
+
+mod anomaly;
+mod query;
+mod store;
+
+pub use anomaly::{AnomalyConfig, AnomalyDetector, AnomalyStatus, AnomalyVerdict};
+pub use query::{history_json, query_json, range_json};
+pub use store::{Aggregate, Chronicle, MetricKind, Resolution, Retention};
+
+#[cfg(test)]
+mod health_wiring {
+    use super::*;
+    use css_health::{FnCheck, HealthCheck, HealthStatus};
+    use css_telemetry::MetricsRegistry;
+    use std::sync::Arc;
+
+    /// The detector drives a real `FnCheck` the way css-core wires it:
+    /// drift reports `Degraded`, recovery reports `Healthy`.
+    #[test]
+    fn detector_backs_a_health_check() {
+        let snapshot = MetricsRegistry::new().snapshot();
+        let detector = Arc::new(AnomalyDetector::new(AnomalyConfig::new("stage.total")));
+        let check = {
+            let detector = Arc::clone(&detector);
+            FnCheck::new("chronicle-anomaly", move || {
+                let s = detector.status();
+                if s.anomalous {
+                    HealthStatus::degraded(format!(
+                        "{} drifting: {:.0} vs expected {:.0}",
+                        s.metric, s.value, s.expected
+                    ))
+                } else {
+                    HealthStatus::Healthy
+                }
+            })
+        };
+        for _ in 0..20 {
+            detector.observe(50_000.0);
+        }
+        assert_eq!(check.check(&snapshot), HealthStatus::Healthy);
+        detector.observe(5_000_000.0);
+        match check.check(&snapshot) {
+            HealthStatus::Degraded { reason } => {
+                assert!(reason.contains("stage.total"), "{reason}")
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        for _ in 0..5 {
+            detector.observe(50_000.0);
+        }
+        assert_eq!(check.check(&snapshot), HealthStatus::Healthy);
+    }
+}

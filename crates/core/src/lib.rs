@@ -64,6 +64,7 @@ pub use producer::ProducerHandle;
 pub use provider::{BackendProvider, DirProvider, MemoryProvider};
 
 pub use css_blackbox::{CaptureOutcome, FlightRecorder, IncidentRef};
+pub use css_chronicle::{AnomalyStatus, Chronicle, Resolution, Retention};
 
 /// Commonly used items across the whole platform.
 pub mod prelude {

@@ -15,7 +15,8 @@ use std::path::PathBuf;
 use std::sync::{Arc, Mutex as StdMutex, PoisonError};
 use std::time::Duration as StdDuration;
 
-use css_blackbox::{ComponentState, FlightRecorder, HealthSample, Severity, SloSample};
+use css_blackbox::{ComponentState, FlightRecorder, HealthSample, Severity, SloSample, Trigger};
+use css_chronicle::{AnomalyConfig, AnomalyDetector, AnomalyStatus, Chronicle, Retention};
 use css_health::{
     AlertLevel, DropRateCheck, FnCheck, GaugeThresholdCheck, HealthCheck, HealthRegistry,
     HealthStatus, JsonBuf, LatencyCheck, OpsHandle, OpsServer, OpsState, RatioFloorCheck, Sampler,
@@ -74,6 +75,11 @@ const BLACKBOX_MIN_FRAMES: u64 = 1_000;
 /// Where incident bundles land unless `.incident_dir()` overrides it.
 const DEFAULT_INCIDENT_DIR: &str = "target/incidents";
 
+/// The metric the chronicle's anomaly detector watches (per-tick p99).
+const ANOMALY_METRIC: &str = "stage.total";
+/// How much raw history an anomaly-triggered bundle embeds (5 min).
+const ANOMALY_HISTORY_WINDOW_MS: u64 = 300_000;
+
 /// Ops-plane knobs accumulated by the builder.
 pub(crate) struct OpsConfig {
     pub addr: String,
@@ -85,6 +91,10 @@ pub(crate) struct OpsConfig {
     pub blackbox: Option<usize>,
     /// Incident bundle directory (default `target/incidents`).
     pub incident_dir: Option<PathBuf>,
+    /// Metrics-history retention; `None` leaves the chronicle off.
+    pub chronicle: Option<Retention>,
+    /// When the platform was built (uptime zero point).
+    pub boot: Timestamp,
 }
 
 /// The running ops plane: exposition server + background sampler +
@@ -94,6 +104,8 @@ pub struct OpsPlane {
     handle: OpsHandle,
     engine: Arc<StdMutex<SloEngine>>,
     recorder: Option<Arc<FlightRecorder>>,
+    chronicle: Option<Arc<Chronicle>>,
+    anomaly: Option<Arc<AnomalyDetector>>,
     _sampler: Sampler,
 }
 
@@ -121,6 +133,17 @@ impl OpsPlane {
     /// [`blackbox`](crate::CssPlatformBuilder::blackbox) enabled it.
     pub fn blackbox(&self) -> Option<&Arc<FlightRecorder>> {
         self.recorder.as_ref()
+    }
+
+    /// The metrics history, when
+    /// [`chronicle`](crate::CssPlatformBuilder::chronicle) enabled it.
+    pub fn chronicle(&self) -> Option<&Arc<Chronicle>> {
+        self.chronicle.as_ref()
+    }
+
+    /// The anomaly detector's current state, when the chronicle is on.
+    pub fn anomaly_status(&self) -> Option<AnomalyStatus> {
+        self.anomaly.as_ref().map(|d| d.status())
     }
 }
 
@@ -281,12 +304,18 @@ pub(crate) fn start_ops<P: BackendProvider>(
         monitor,
         blackbox,
         incident_dir,
+        chronicle,
+        boot,
     } = config;
 
     let recorder = blackbox.map(|capacity| {
         let dir = incident_dir.unwrap_or_else(|| PathBuf::from(DEFAULT_INCIDENT_DIR));
         Arc::new(FlightRecorder::new(capacity, dir, registry))
     });
+    let chronicle = chronicle.map(|retention| Arc::new(Chronicle::new(retention, registry)));
+    let anomaly = chronicle
+        .as_ref()
+        .map(|_| Arc::new(AnomalyDetector::new(AnomalyConfig::new(ANOMALY_METRIC))));
 
     let mut health = HealthRegistry::new();
     for check in default_checks(provider.backend("health-probe")?) {
@@ -300,6 +329,23 @@ pub(crate) fn start_ops<P: BackendProvider>(
             BLACKBOX_DROP_CEILING,
             BLACKBOX_MIN_FRAMES,
         )));
+    }
+    if let Some(detector) = &anomaly {
+        // Drift is visible on `/health` for as long as it lasts: the
+        // detector freezes its baselines while anomalous, so the check
+        // stays Degraded until the metric actually recovers.
+        let detector = detector.clone();
+        health.register(Box::new(FnCheck::new("chronicle-anomaly", move || {
+            let s = detector.status();
+            if s.anomalous {
+                HealthStatus::degraded(format!(
+                    "{} drifting: {:.0} vs expected {:.0}",
+                    s.metric, s.value, s.expected
+                ))
+            } else {
+                HealthStatus::Healthy
+            }
+        })));
     }
     for check in checks {
         health.register(check);
@@ -322,8 +368,9 @@ pub(crate) fn start_ops<P: BackendProvider>(
         let controller = controller.clone();
         let pending = pending.clone();
         let registry = registry.clone();
+        let clock = clock.clone();
         Arc::new(move || {
-            refresh_platform_gauges(&controller, &pending, &registry);
+            refresh_platform_gauges(&controller, &pending, &registry, clock.as_ref(), boot);
             registry.snapshot()
         })
     };
@@ -352,43 +399,79 @@ pub(crate) fn start_ops<P: BackendProvider>(
     if let Some(monitor) = monitor {
         state = state.with_monitor(move || kpis_json(&monitor.lock().kpis()));
     }
-
-    let sampler = match &recorder {
-        None => Sampler::spawn(registry.clone(), clock.clone(), engine.clone(), interval),
-        Some(recorder) => {
-            state = state
-                .with_incidents({
-                    let recorder = recorder.clone();
-                    move || recorder.incidents_json()
-                })
-                .with_exemplars({
-                    let snapshot_fn = snapshot_fn.clone();
-                    move || css_blackbox::exemplars_json(&snapshot_fn())
-                })
-                .with_capture({
-                    let recorder = recorder.clone();
-                    let snapshot_fn = snapshot_fn.clone();
-                    let tracer = tracer.clone();
-                    let clock = clock.clone();
-                    move || {
-                        let snapshot = snapshot_fn();
-                        let spans = tracer.finished_spans();
-                        recorder
-                            .dump("POST /debug/capture", &snapshot, &spans, clock.now().0)
-                            .json
-                    }
-                });
-
-            // The recorder rides the sampler: every tick it sees the
-            // same snapshot the SLO engine just consumed, plus the
-            // post-tick alert table and the health report, and fires a
-            // capture on each transition into Critical/Unhealthy.
-            let observer = {
+    if let Some(chronicle) = &chronicle {
+        let query = chronicle.clone();
+        let range = chronicle.clone();
+        state = state
+            .with_query(move |raw| css_chronicle::query_json(&query, raw))
+            .with_range(move |raw| css_chronicle::range_json(&range, raw));
+    }
+    if let Some(recorder) = &recorder {
+        state = state
+            .with_incidents({
                 let recorder = recorder.clone();
+                move || recorder.incidents_json()
+            })
+            .with_exemplars({
+                let snapshot_fn = snapshot_fn.clone();
+                move || css_blackbox::exemplars_json(&snapshot_fn())
+            })
+            .with_capture({
+                let recorder = recorder.clone();
+                let snapshot_fn = snapshot_fn.clone();
                 let tracer = tracer.clone();
-                let health = health.clone();
-                move |snapshot: &TelemetrySnapshot, now: Timestamp, table: &[SloStatus]| {
-                    let at_ms = now.0;
+                let clock = clock.clone();
+                move || {
+                    let snapshot = snapshot_fn();
+                    let spans = tracer.finished_spans();
+                    recorder
+                        .dump("POST /debug/capture", &snapshot, &spans, clock.now().0)
+                        .json
+                }
+            });
+    }
+
+    let sampler = if recorder.is_none() && chronicle.is_none() {
+        Sampler::spawn(registry.clone(), clock.clone(), engine.clone(), interval)
+    } else {
+        // The chronicle and the recorder ride the sampler: every tick
+        // they see the same snapshot the SLO engine just consumed,
+        // plus the post-tick alert table and the health report. The
+        // recorder fires a capture on each transition into
+        // Critical/Unhealthy; the anomaly detector's rising edge fires
+        // one with the relevant history window embedded.
+        let observer = {
+            let recorder = recorder.clone();
+            let chronicle = chronicle.clone();
+            let anomaly = anomaly.clone();
+            let tracer = tracer.clone();
+            let health = health.clone();
+            move |snapshot: &TelemetrySnapshot, now: Timestamp, table: &[SloStatus]| {
+                let at_ms = now.0;
+                // History first, so this tick's point is queryable by
+                // the detector and embedded in any capture below.
+                let mut anomaly_trigger = None;
+                if let Some(chronicle) = &chronicle {
+                    chronicle.append(snapshot, now);
+                    if let Some(detector) = &anomaly {
+                        if let Some(point) = chronicle.latest(detector.metric()) {
+                            // Judge only ticks that recorded fresh
+                            // observations — an idle platform is not a
+                            // latency recovery.
+                            if point.to_ms == at_ms {
+                                let v = detector.observe(point.last);
+                                if v.edge {
+                                    anomaly_trigger = Some(Trigger::Anomaly {
+                                        metric: detector.metric().to_string(),
+                                        value: v.value,
+                                        expected: v.expected,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(recorder) = &recorder {
                     recorder.observe_telemetry(snapshot, at_ms);
                     let spans = tracer.finished_spans();
                     recorder.observe_spans(&spans, at_ms);
@@ -398,25 +481,45 @@ pub(crate) fn start_ops<P: BackendProvider>(
                     for trigger in triggers {
                         recorder.capture(trigger, snapshot, &spans, at_ms);
                     }
+                    if let Some(trigger) = anomaly_trigger {
+                        let history = chronicle.as_ref().map(|c| {
+                            css_chronicle::history_json(
+                                c,
+                                &[ANOMALY_METRIC],
+                                anomaly.as_deref(),
+                                at_ms.saturating_sub(ANOMALY_HISTORY_WINDOW_MS),
+                                at_ms,
+                            )
+                        });
+                        recorder.capture_with_history(
+                            trigger,
+                            snapshot,
+                            &spans,
+                            at_ms,
+                            history.as_deref(),
+                        );
+                    }
                 }
-            };
-            Sampler::spawn_observed(
-                {
-                    let snapshot_fn = snapshot_fn.clone();
-                    move || snapshot_fn()
-                },
-                clock.clone(),
-                engine.clone(),
-                interval,
-                observer,
-            )
-        }
+            }
+        };
+        Sampler::spawn_observed(
+            {
+                let snapshot_fn = snapshot_fn.clone();
+                move || snapshot_fn()
+            },
+            clock.clone(),
+            engine.clone(),
+            interval,
+            observer,
+        )
     };
     let handle = OpsServer::bind(addr.as_str(), state)?;
     Ok(OpsPlane {
         handle,
         engine,
         recorder,
+        chronicle,
+        anomaly,
         _sampler: sampler,
     })
 }

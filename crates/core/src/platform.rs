@@ -17,7 +17,9 @@ use css_policy::PolicyRepository;
 use css_storage::InstrumentedBackend;
 use css_telemetry::{MetricsRegistry, TelemetrySnapshot};
 use css_trace::Tracer;
-use css_types::{Actor, ActorId, Clock, CssError, CssResult, IdGenerator, PersonId, SystemClock};
+use css_types::{
+    Actor, ActorId, Clock, CssError, CssResult, IdGenerator, PersonId, SystemClock, Timestamp,
+};
 
 use crate::citizen::CitizenHandle;
 use crate::consumer::ConsumerHandle;
@@ -80,6 +82,7 @@ pub struct CssPlatformBuilder<P: BackendProvider = MemoryProvider> {
     bus_driver: Option<Arc<dyn BusDriver<NotificationMessage>>>,
     blackbox_capacity: Option<usize>,
     incident_dir: Option<std::path::PathBuf>,
+    chronicle: Option<css_chronicle::Retention>,
 }
 
 impl Default for CssPlatformBuilder<MemoryProvider> {
@@ -108,6 +111,7 @@ impl CssPlatformBuilder<MemoryProvider> {
             bus_driver: None,
             blackbox_capacity: None,
             incident_dir: None,
+            chronicle: None,
         }
     }
 }
@@ -143,6 +147,7 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             bus_driver: self.bus_driver,
             blackbox_capacity: self.blackbox_capacity,
             incident_dir: self.incident_dir,
+            chronicle: self.chronicle,
         }
     }
 
@@ -260,6 +265,20 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
         self
     }
 
+    /// Keep a long-horizon metrics history next to the ops sampler: a
+    /// per-metric ring of rings (raw ticks → 1-minute → 1-hour
+    /// aggregates with merged histogram buckets) served as
+    /// `GET /query` and `GET /range`, plus an EWMA+MAD anomaly
+    /// detector over `stage.total` p99 that reports drift as a
+    /// `Degraded` health check and — with
+    /// [`blackbox`](CssPlatformBuilder::blackbox) on — freezes an
+    /// incident bundle with the history window embedded. Requires
+    /// [`ops_server`](CssPlatformBuilder::ops_server); off by default.
+    pub fn chronicle(mut self, retention: css_chronicle::Retention) -> Self {
+        self.chronicle = Some(retention);
+        self
+    }
+
     /// Assemble the platform.
     pub fn build(self) -> CssResult<CssPlatform<P>> {
         let CssPlatformBuilder {
@@ -278,7 +297,14 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             bus_driver,
             blackbox_capacity,
             incident_dir,
+            chronicle,
         } = self;
+        // Builder time is the platform's birth: `css_uptime_seconds`
+        // counts from here, and the build-info metric is pinned once.
+        let boot = clock.now();
+        telemetry
+            .gauge(&format!("build_info.{}", env!("CARGO_PKG_VERSION")))
+            .set(1);
         let tracer = match trace_capacity {
             Some(capacity) => Tracer::with_metrics(capacity, &telemetry),
             None => Tracer::disabled(),
@@ -331,6 +357,8 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
                     monitor: ops_monitor,
                     blackbox: blackbox_capacity,
                     incident_dir,
+                    chronicle,
+                    boot,
                 },
                 &provider,
                 &telemetry,
@@ -354,6 +382,7 @@ impl<P: BackendProvider> CssPlatformBuilder<P> {
             tracer,
             provider,
             clock,
+            boot,
             ops,
         })
     }
@@ -375,6 +404,7 @@ pub struct CssPlatform<P: BackendProvider = MemoryProvider> {
     tracer: Tracer,
     provider: P,
     clock: Arc<dyn Clock>,
+    boot: Timestamp,
     ops: Option<OpsPlane>,
 }
 
@@ -397,7 +427,11 @@ pub(crate) fn refresh_platform_gauges<B: css_storage::LogBackend>(
     controller: &DataController<B>,
     pending: &PendingQueue,
     r: &MetricsRegistry,
+    clock: &dyn Clock,
+    boot: Timestamp,
 ) {
+    r.gauge("uptime_seconds")
+        .set((clock.now().0.saturating_sub(boot.0) / 1_000) as i64);
     r.gauge("platform.indexed_events")
         .set(controller.index_len() as i64);
     r.gauge("platform.audit_records")
@@ -715,7 +749,13 @@ impl<P: BackendProvider> CssPlatform<P> {
     /// This subsumes [`CssPlatform::stats`], which remains as a
     /// compatibility shim over the same underlying counters.
     pub fn telemetry(&self) -> TelemetrySnapshot {
-        refresh_platform_gauges(&self.controller, &self.pending, &self.registry);
+        refresh_platform_gauges(
+            &self.controller,
+            &self.pending,
+            &self.registry,
+            self.clock.as_ref(),
+            self.boot,
+        );
         self.registry.snapshot()
     }
 
@@ -752,6 +792,12 @@ impl<P: BackendProvider> CssPlatform<P> {
     /// [`CssPlatformBuilder::blackbox`].
     pub fn blackbox(&self) -> Option<&Arc<css_blackbox::FlightRecorder>> {
         self.ops.as_ref().and_then(OpsPlane::blackbox)
+    }
+
+    /// The long-horizon metrics history, when the builder enabled
+    /// [`CssPlatformBuilder::chronicle`].
+    pub fn chronicle(&self) -> Option<&Arc<css_chronicle::Chronicle>> {
+        self.ops.as_ref().and_then(OpsPlane::chronicle)
     }
 
     /// Freeze the flight recorder's ring into an incident bundle right

@@ -30,22 +30,65 @@ fn metric_name(name: &str) -> String {
     out
 }
 
+/// One-line `# HELP` text, phrased from the instrument's subsystem
+/// prefix. Deterministic (pure function of the name) so the exposition
+/// stays byte-reproducible.
+fn help_text(name: &str) -> String {
+    if name == "uptime_seconds" {
+        return "Seconds since the platform was assembled.".to_string();
+    }
+    let subsystem = match name.split('.').next().unwrap_or(name) {
+        "bus" => "service bus",
+        "storage" => "storage layer",
+        "gateway" => "producer gateway",
+        "publish" => "publish pipeline",
+        "stage" => "enforcement stage",
+        "shard" => "sharded data plane",
+        "platform" => "platform state",
+        "pdp" => "policy decision point",
+        "trace" => "trace ring",
+        "blackbox" => "flight recorder",
+        "chronicle" => "metrics history",
+        "controller" => "data controller",
+        _ => "platform",
+    };
+    format!("CSS {subsystem} metric {name} (aggregate only).")
+}
+
 /// Render the snapshot in Prometheus text format, ready for
 /// `GET /metrics`.
 pub fn render_prometheus(snapshot: &TelemetrySnapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let metric = metric_name(name);
+        let _ = writeln!(out, "# HELP {metric}_total {}", help_text(name));
         let _ = writeln!(out, "# TYPE {metric}_total counter");
         let _ = writeln!(out, "{metric}_total {value}");
     }
     for (name, value) in &snapshot.gauges {
+        // The build-info convention: an internal gauge named
+        // `build_info.<version>` renders as the info-style metric
+        // `css_build_info{version="..."} 1`.
+        if let Some(version) = name.strip_prefix("build_info.") {
+            let _ = writeln!(
+                out,
+                "# HELP css_build_info Build metadata; the value is always 1."
+            );
+            let _ = writeln!(out, "# TYPE css_build_info gauge");
+            let _ = writeln!(out, "css_build_info{{version=\"{version}\"}} {value}");
+            continue;
+        }
         let metric = metric_name(name);
+        let _ = writeln!(out, "# HELP {metric} {}", help_text(name));
         let _ = writeln!(out, "# TYPE {metric} gauge");
         let _ = writeln!(out, "{metric} {value}");
     }
     for (name, h) in &snapshot.histograms {
         let metric = format!("{}_ns", metric_name(name));
+        let _ = writeln!(
+            out,
+            "# HELP {metric} CSS latency histogram {name} (nanoseconds)."
+        );
         let _ = writeln!(out, "# TYPE {metric} histogram");
         let mut cumulative = 0u64;
         for (bound, n) in &h.buckets {
@@ -86,16 +129,41 @@ mod tests {
         h.record(900); // bucket le1023
         assert_eq!(
             render_prometheus(&reg.snapshot()),
-            "# TYPE css_bus_published_total counter\n\
+            "# HELP css_bus_published_total CSS service bus metric bus.published (aggregate only).\n\
+             # TYPE css_bus_published_total counter\n\
              css_bus_published_total 42\n\
+             # HELP css_bus_queue_depth CSS service bus metric bus.queue_depth (aggregate only).\n\
              # TYPE css_bus_queue_depth gauge\n\
              css_bus_queue_depth 3\n\
+             # HELP css_stage_consent_ns CSS latency histogram stage.consent (nanoseconds).\n\
              # TYPE css_stage_consent_ns histogram\n\
              css_stage_consent_ns_bucket{le=\"511\"} 2\n\
              css_stage_consent_ns_bucket{le=\"1023\"} 3\n\
              css_stage_consent_ns_bucket{le=\"+Inf\"} 3\n\
              css_stage_consent_ns_sum 1900\n\
              css_stage_consent_ns_count 3\n"
+        );
+    }
+
+    #[test]
+    fn build_info_and_uptime_render_as_conventional_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("build_info.0.1.0").set(1);
+        reg.gauge("uptime_seconds").set(7);
+        let text = render_prometheus(&reg.snapshot());
+        assert!(
+            text.contains("css_build_info{version=\"0.1.0\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# HELP css_build_info Build metadata; the value is always 1."),
+            "{text}"
+        );
+        assert!(!text.contains("css_build_info_0_1_0"), "{text}");
+        assert!(text.contains("css_uptime_seconds 7"), "{text}");
+        assert!(
+            text.contains("# HELP css_uptime_seconds Seconds since the platform was assembled."),
+            "{text}"
         );
     }
 

@@ -226,6 +226,86 @@ mod tests {
         assert!(at.0 >= 5_000, "observer got the platform clock");
     }
 
+    /// A deliberately broken platform clock that runs *backwards* one
+    /// millisecond per read — the pathological case for any delta/rate
+    /// math keyed on sample timestamps.
+    struct ReversingClock(AtomicU64);
+
+    impl Clock for ReversingClock {
+        fn now(&self) -> Timestamp {
+            Timestamp(self.0.fetch_sub(1, Ordering::Relaxed))
+        }
+    }
+
+    fn wait_for_ticks(sampler: &Sampler, n: u64) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while sampler.ticks() < n {
+            assert!(std::time::Instant::now() < deadline, "sampler stalled");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn stalled_clock_produces_zero_width_ticks_without_panic() {
+        let registry = MetricsRegistry::new();
+        // Never advanced: every tick carries the identical timestamp.
+        let clock = SimClock::starting_at(Timestamp(9_000));
+        let mut engine = SloEngine::new();
+        engine.register(Slo::latency_p99("lat", "stage.total", 200_000));
+        let engine = Arc::new(Mutex::new(engine));
+        let sampler = Sampler::spawn(
+            registry.clone(),
+            Arc::new(clock),
+            engine.clone(),
+            Duration::from_millis(1),
+        );
+        for _ in 0..100 {
+            registry.histogram("stage.total").record(10_000_000);
+        }
+        wait_for_ticks(&sampler, 5);
+        drop(sampler); // joins: the thread must still be alive to join
+        let json = engine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .to_json();
+        // Burn math is count-based, so zero elapsed time must not leak
+        // NaN/inf into the report (JsonBuf renders those as null).
+        assert!(!json.contains("null"), "{json}");
+        assert!(json.contains("\"last_sample_at_ms\":9000"), "{json}");
+    }
+
+    #[test]
+    fn non_monotonic_clock_keeps_sampler_and_observer_alive() {
+        let registry = MetricsRegistry::new();
+        let mut engine = SloEngine::new();
+        engine.register(Slo::latency_p99("lat", "stage.total", 200_000));
+        let engine = Arc::new(Mutex::new(engine));
+        let observed = Arc::new(AtomicU64::new(0));
+        let sink = observed.clone();
+        let snap_registry = registry.clone();
+        let sampler = Sampler::spawn_observed(
+            move || snap_registry.snapshot(),
+            Arc::new(ReversingClock(AtomicU64::new(1_000_000))),
+            engine.clone(),
+            Duration::from_millis(1),
+            move |_, at, _| {
+                assert!(at.0 > 0, "clock reached zero mid-test");
+                sink.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        registry.histogram("stage.total").record(10_000_000);
+        wait_for_ticks(&sampler, 5);
+        drop(sampler);
+        // Every tick reached the observer despite time flowing backwards
+        // — rate math downstream guards zero-width windows itself.
+        assert!(observed.load(Ordering::Relaxed) >= 5);
+        let json = engine
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .to_json();
+        assert!(!json.contains("null"), "{json}");
+    }
+
     #[test]
     fn samples_carry_the_platform_clock() {
         let registry = MetricsRegistry::new();

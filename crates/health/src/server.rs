@@ -41,6 +41,7 @@ const READ_TIMEOUT: Duration = Duration::from_secs(2);
 type SnapshotFn = Arc<dyn Fn() -> TelemetrySnapshot + Send + Sync>;
 type ReportFn = Arc<dyn Fn() -> HealthReport + Send + Sync>;
 type JsonFn = Arc<dyn Fn() -> String + Send + Sync>;
+type QueryFn = Arc<dyn Fn(&str) -> String + Send + Sync>;
 
 /// The read models behind each endpoint, injected as closures so this
 /// crate stays independent of the crates that own them (the platform
@@ -56,6 +57,8 @@ pub struct OpsState {
     incidents: JsonFn,
     exemplars: JsonFn,
     capture: Option<JsonFn>,
+    query: Option<QueryFn>,
+    range: Option<QueryFn>,
 }
 
 impl OpsState {
@@ -75,6 +78,8 @@ impl OpsState {
             incidents: Arc::new(|| r#"{"incidents":[]}"#.to_string()),
             exemplars: Arc::new(|| r#"{"exemplars":[]}"#.to_string()),
             capture: None,
+            query: None,
+            range: None,
         }
     }
 
@@ -109,6 +114,21 @@ impl OpsState {
     /// answers 404.
     pub fn with_capture(mut self, f: impl Fn() -> String + Send + Sync + 'static) -> Self {
         self.capture = Some(Arc::new(f));
+        self
+    }
+
+    /// Serve `f(raw_query)` (a chronicle instant/function evaluation)
+    /// on `GET /query?metric=...`. Until wired, the endpoint answers
+    /// 404.
+    pub fn with_query(mut self, f: impl Fn(&str) -> String + Send + Sync + 'static) -> Self {
+        self.query = Some(Arc::new(f));
+        self
+    }
+
+    /// Serve `f(raw_query)` (a chronicle range dump) on
+    /// `GET /range?metric=...`. Until wired, the endpoint answers 404.
+    pub fn with_range(mut self, f: impl Fn(&str) -> String + Send + Sync + 'static) -> Self {
+        self.range = Some(Arc::new(f));
         self
     }
 }
@@ -232,8 +252,12 @@ fn handle_connection(mut stream: TcpStream, state: &OpsState) {
     let mut parts = request.split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    // Ignore a query string: `/metrics?ts=1` scrapes are common.
-    let path = path.split('?').next().unwrap_or(path);
+    // Split off the query string; `/query` and `/range` read it, the
+    // rest ignore it (`/metrics?ts=1` scrapes are common).
+    let (path, raw_query) = match path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (path, ""),
+    };
     // The one mutating endpoint: a manual flight-recorder capture.
     // Everything else is read-only and GET.
     if path == "/debug/capture" {
@@ -280,11 +304,27 @@ fn handle_connection(mut stream: TcpStream, state: &OpsState) {
         "/monitor" => respond(&mut stream, 200, "application/json", &(state.monitor)()),
         "/debug/incidents" => respond(&mut stream, 200, "application/json", &(state.incidents)()),
         "/debug/exemplars" => respond(&mut stream, 200, "application/json", &(state.exemplars)()),
+        "/query" | "/range" => {
+            let f = if path == "/query" {
+                &state.query
+            } else {
+                &state.range
+            };
+            match f {
+                Some(f) => respond(&mut stream, 200, "application/json", &f(raw_query)),
+                None => respond(
+                    &mut stream,
+                    404,
+                    "application/json",
+                    r#"{"error":"no chronicle configured"}"#,
+                ),
+            }
+        }
         _ => respond(
             &mut stream,
             404,
             "application/json",
-            r#"{"error":"not found","endpoints":["/metrics","/health","/slo","/traces","/monitor","/debug/incidents","/debug/exemplars","/debug/capture"]}"#,
+            r#"{"error":"not found","endpoints":["/metrics","/health","/slo","/query","/range","/traces","/monitor","/debug/incidents","/debug/exemplars","/debug/capture"]}"#,
         ),
     }
 }
@@ -485,6 +525,41 @@ mod tests {
         let (code, _) = get(addr, "/debug/capture");
         assert_eq!(code, 405);
         assert_eq!(captures.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn query_endpoints_receive_the_query_string() {
+        let registry = MetricsRegistry::new();
+        let state = test_state(&registry, true)
+            .with_query(|q| format!(r#"{{"echo":"{q}"}}"#))
+            .with_range(|q| format!(r#"{{"range":"{q}"}}"#));
+        let handle = OpsServer::bind("127.0.0.1:0", state).expect("bind ephemeral");
+        let addr = handle.local_addr();
+
+        let (code, body) = get(addr, "/query?metric=stage.total&fn=p99");
+        assert_eq!(code, 200);
+        assert_eq!(body, r#"{"echo":"metric=stage.total&fn=p99"}"#);
+
+        let (code, body) = get(addr, "/range?metric=bus.published");
+        assert_eq!(code, 200);
+        assert_eq!(body, r#"{"range":"metric=bus.published"}"#);
+
+        // No query string at all still reaches the closure.
+        let (code, body) = get(addr, "/query");
+        assert_eq!(code, 200);
+        assert_eq!(body, r#"{"echo":""}"#);
+    }
+
+    #[test]
+    fn query_endpoints_unwired_answer_404() {
+        let registry = MetricsRegistry::new();
+        let handle =
+            OpsServer::bind("127.0.0.1:0", test_state(&registry, true)).expect("bind ephemeral");
+        let (code, body) = get(handle.local_addr(), "/query?metric=x");
+        assert_eq!(code, 404);
+        assert!(body.contains("no chronicle configured"), "{body}");
+        let (code, _) = get(handle.local_addr(), "/range");
+        assert_eq!(code, 404);
     }
 
     #[test]

@@ -83,6 +83,7 @@ const CONFINED_CRATES: &[&str] = &[
     "css-registry",
     "css-health",
     "css-blackbox",
+    "css-chronicle",
 ];
 
 impl Rule for DetailConfinement {
@@ -753,6 +754,7 @@ const LAYERS: &[(&str, u8)] = &[
     ("css-monitor", 3),
     ("css-health", 3),
     ("css-blackbox", 3),
+    ("css-chronicle", 3),
     ("css-controller", 4),
     ("css-core", 5),
     ("css-sim", 6),

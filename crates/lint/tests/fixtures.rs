@@ -103,6 +103,49 @@ fn detail_confinement_covers_the_flight_recorder() {
     assert!(clean.is_empty(), "clean fixture fired: {clean:#?}");
 }
 
+/// The history store is confined as well: its ring buffers outlive any
+/// single request and are served over `/query`, so css-chronicle must
+/// be structurally unable to name a detail payload.
+#[test]
+fn detail_confinement_covers_the_chronicle() {
+    let hits = fire(
+        "css-chronicle",
+        "detail_confinement/fire.rs",
+        "detail-confinement",
+    );
+    assert_eq!(hits.len(), 2, "DetailMessage + DetailStore: {hits:#?}");
+    assert!(hits.iter().all(|f| f.severity == Severity::Error));
+
+    let clean = fire(
+        "css-chronicle",
+        "detail_confinement/clean.rs",
+        "detail-confinement",
+    );
+    assert!(clean.is_empty(), "clean fixture fired: {clean:#?}");
+}
+
+#[test]
+fn detail_confinement_chronicle_waiver_moves_finding_to_waived() {
+    let src = fixture("detail_confinement/chronicle_waived.rs");
+    let all = lint_file_source(
+        "css-chronicle",
+        "detail_confinement/chronicle_waived.rs",
+        FileRole::Production,
+        &src,
+    );
+    let (waived, active): (Vec<_>, Vec<_>) = all.into_iter().partition(|f| f.is_waived());
+    assert!(
+        active.iter().all(|f| f.rule != "detail-confinement"),
+        "{active:#?}"
+    );
+    assert_eq!(waived.len(), 1, "{waived:#?}");
+    assert!(waived[0]
+        .waive_reason
+        .as_deref()
+        .unwrap_or("")
+        .contains("negative assertion"));
+}
+
 #[test]
 fn detail_confinement_blackbox_waiver_moves_finding_to_waived() {
     let src = fixture("detail_confinement/blackbox_waived.rs");
@@ -327,6 +370,31 @@ fn layering_constrains_the_blackbox_crate() {
     assert!(hits[0].file.contains("blackbox"), "{hits:#?}");
 
     let report = lint_workspace(&base.join("blackbox_clean")).expect("lint blackbox_clean");
+    assert!(
+        report.findings.iter().all(|f| f.rule != "layering"),
+        "dev-dep on css-health must not fire: {:#?}",
+        report.findings
+    );
+}
+
+/// css-chronicle joins layer 3 beside css-health and css-blackbox: a
+/// production dep on health must fire, while the lower-layer-only
+/// manifest (with health as a dev-dependency) must pass.
+#[test]
+fn layering_constrains_the_chronicle_crate() {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/layering");
+
+    let report = lint_workspace(&base.join("chronicle_fire")).expect("lint chronicle_fire");
+    let hits: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "layering")
+        .collect();
+    assert_eq!(hits.len(), 1, "{:#?}", report.findings);
+    assert!(hits[0].message.contains("css-health"), "{hits:#?}");
+    assert!(hits[0].file.contains("chronicle"), "{hits:#?}");
+
+    let report = lint_workspace(&base.join("chronicle_clean")).expect("lint chronicle_clean");
     assert!(
         report.findings.iter().all(|f| f.rule != "layering"),
         "dev-dep on css-health must not fire: {:#?}",

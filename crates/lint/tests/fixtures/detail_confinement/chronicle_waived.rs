@@ -1,0 +1,9 @@
+//! FIXTURE (linted as crate `css-chronicle`, role Production): the
+//! history store deliberately naming a confined detail-payload type,
+//! waived inline. The finding must land in `waived`, not `findings`.
+
+pub fn history_cannot_carry_details(point: &Aggregate) -> bool {
+    // css-lint: allow(detail-confinement): compile-time negative assertion — proves Aggregate has no detail-payload field
+    let witness: Option<DetailMessage> = None;
+    witness.is_none() && point.count > 0
+}

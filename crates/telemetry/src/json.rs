@@ -112,6 +112,16 @@ impl JsonBuf {
         self
     }
 
+    /// Embed an already-serialized JSON value verbatim (for nesting a
+    /// document another subsystem rendered — e.g. a chronicle history
+    /// window inside an incident bundle). The caller owns its validity;
+    /// no escaping is applied.
+    pub fn raw(&mut self, json: &str) -> &mut Self {
+        self.elem();
+        self.out.push_str(json);
+        self
+    }
+
     fn escaped(&mut self, s: &str) {
         self.out.push('"');
         for c in s.chars() {
@@ -175,6 +185,27 @@ mod tests {
         j.f64(1.5).f64(f64::NAN).f64(f64::INFINITY);
         j.end_array();
         assert_eq!(j.finish(), "[1.5000,null,null]");
+    }
+
+    #[test]
+    fn raw_embeds_a_prebuilt_value() {
+        let inner = {
+            let mut j = JsonBuf::new();
+            j.begin_object();
+            j.key("points").begin_array().u64(1).u64(2).end_array();
+            j.end_object();
+            j.finish()
+        };
+        let mut j = JsonBuf::new();
+        j.begin_object();
+        j.key("seq").u64(9);
+        j.key("history").raw(&inner);
+        j.key("after").bool(true);
+        j.end_object();
+        assert_eq!(
+            j.finish(),
+            r#"{"seq":9,"history":{"points":[1,2]},"after":true}"#
+        );
     }
 
     #[test]

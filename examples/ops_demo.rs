@@ -23,6 +23,7 @@ fn main() -> CssResult<()> {
         .ops_server(addr)
         .ops_sample_interval(Duration::from_millis(250))
         .ops_monitor(monitor.clone())
+        .chronicle(css::core::Retention::default())
         .blackbox(512);
     // CSS_OPS_INCIDENT_DIR redirects incident bundles (the obs.sh smoke
     // captures one and greps it for identifier leaks); unset, they land
@@ -68,6 +69,14 @@ fn main() -> CssResult<()> {
     println!("  curl http://{}/metrics", ops.local_addr());
     println!("  curl http://{}/health", ops.local_addr());
     println!("  curl http://{}/slo", ops.local_addr());
+    println!(
+        "  curl 'http://{}/query?metric=stage.total&fn=p99'",
+        ops.local_addr()
+    );
+    println!(
+        "  curl 'http://{}/range?metric=stage.total&res=minute'",
+        ops.local_addr()
+    );
     println!("  curl http://{}/traces", ops.local_addr());
     println!("  curl http://{}/monitor", ops.local_addr());
     println!("  curl http://{}/debug/exemplars", ops.local_addr());

@@ -3,11 +3,22 @@
 # BENCH_<name>.json files: per-benchmark ns/op + iteration counts, and
 # the stage.* telemetry percentiles the benches print (p50/p99).
 #
-# Usage: scripts/bench.sh [bench ...]
+# Usage: scripts/bench.sh [--ratchet] [bench ...]
 #   (default benches: e4_detail_request e9_encrypted_index
 #    e11_policy_scaling e15_mixed_workload e16_trace_overhead
 #    e17_ops_overhead e18_consumer_groups e19_shard_scaling
-#    e21_blackbox_overhead)
+#    e21_blackbox_overhead e22_chronicle_overhead)
+#
+# --ratchet: before overwriting each BENCH_<name>.json, keep the
+#   committed copy and compare fresh ns_per_iter per benchmark id
+#   against it — a perf-regression ratchet. At matching CSS_BENCH_MS a
+#   series >15% slower than committed warns and >40% fails the run
+#   (exit 1); when the scales differ (smoke run vs full-scale
+#   baseline) the bars relax to 40/100 because tiny measurement
+#   windows carry ±50% noise on this single-core box. New series (no
+#   committed counterpart) pass silently, and concurrent series
+#   (threads_N / shards_N, N>1) are warn-only — on one core their
+#   timings measure scheduler contention, not the code under test.
 #
 # Environment:
 #   CSS_BENCH_MS    measurement window per benchmark in ms (default 50;
@@ -17,15 +28,26 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+RATCHET=0
+if [ "${1:-}" = "--ratchet" ]; then
+  RATCHET=1
+  shift
+fi
 BENCHES=("$@")
 if [ ${#BENCHES[@]} -eq 0 ]; then
-  BENCHES=(e4_detail_request e9_encrypted_index e11_policy_scaling e15_mixed_workload e16_trace_overhead e17_ops_overhead e18_consumer_groups e19_shard_scaling e21_blackbox_overhead)
+  BENCHES=(e4_detail_request e9_encrypted_index e11_policy_scaling e15_mixed_workload e16_trace_overhead e17_ops_overhead e18_consumer_groups e19_shard_scaling e21_blackbox_overhead e22_chronicle_overhead)
 fi
 : "${CSS_BENCH_MS:=50}"
 export CSS_BENCH_MS
 
+ratchet_failed=0
 for bench in "${BENCHES[@]}"; do
   out=$(mktemp)
+  committed=""
+  if [ "$RATCHET" -eq 1 ] && [ -f "BENCH_${bench}.json" ]; then
+    committed=$(mktemp)
+    cp "BENCH_${bench}.json" "$committed"
+  fi
   echo "== $bench (CSS_BENCH_MS=${CSS_BENCH_MS})"
   cargo bench -q -p css-bench --bench "$bench" 2>&1 | tee "$out"
   awk -v bench="$bench" -v ms="$CSS_BENCH_MS" '
@@ -104,11 +126,11 @@ for bench in "${BENCHES[@]}"; do
       }
       # Overhead benches: the on/off ns-per-op delta, when the bench
       # registered an off and an on series (E16 collector_off/on,
-      # E17 sampler_off/on, E21 recorder_off/on).
+      # E17 sampler_off/on, E21 recorder_off/on, E22 chronicle_off/on).
       off = -1; on = -1
       for (i = 1; i <= nr; i++) {
-        if (rname[i] ~ /\/(collector|sampler|recorder)_off$/) off = rns[i]
-        if (rname[i] ~ /\/(collector|sampler|recorder)_on$/) on = rns[i]
+        if (rname[i] ~ /\/(collector|sampler|recorder|chronicle)_off$/) off = rns[i]
+        if (rname[i] ~ /\/(collector|sampler|recorder|chronicle)_on$/) on = rns[i]
       }
       if (off >= 0 && on >= 0) {
         dropped = 0
@@ -120,4 +142,55 @@ for bench in "${BENCHES[@]}"; do
   ' "$out" > "BENCH_${bench}.json"
   rm -f "$out"
   echo "-- wrote BENCH_${bench}.json"
+
+  # The ratchet: fresh ns_per_iter vs the committed copy, per series.
+  # Like-for-like runs (same bench_ms) get the tight 15/40 bars; a
+  # smoke run compared against a full-scale baseline only trips on a
+  # >2× blowup, because tiny windows carry ±50% noise on this box.
+  if [ -n "$committed" ]; then
+    while read -r verdict bar name old new pct; do
+      case "$verdict" in
+        FAIL)
+          echo "-- ratchet FAIL: $name ${old}ns -> ${new}ns (${pct}%, bar +${bar}%)" >&2
+          ratchet_failed=1
+          ;;
+        warn)
+          echo "-- ratchet warn: $name ${old}ns -> ${new}ns (${pct}%, bar +${bar}%)"
+          ;;
+        *)
+          echo "-- ratchet ok:   $name ${old}ns -> ${new}ns (${pct}%)"
+          ;;
+      esac
+    done < <(awk '
+      FNR == 1 { file++ }
+      /"bench_ms": / {
+        v = $0; sub(/.*"bench_ms": /, "", v); sub(/,.*/, "", v)
+        ms[file] = v + 0
+      }
+      /"name": "/ && /"ns_per_iter": / {
+        name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+        v = $0; sub(/.*"ns_per_iter": /, "", v); sub(/,.*/, "", v)
+        if (file == 1) old[name] = v + 0
+        else if (name in old) {
+          warn_bar = 15; fail_bar = 40
+          if (ms[1] != ms[2]) { warn_bar = 40; fail_bar = 100 }
+          pct = (old[name] > 0) ? 100.0 * (v - old[name]) / old[name] : 0
+          verdict = "ok"; bar = fail_bar
+          if (pct > fail_bar) verdict = "FAIL"
+          else if (pct > warn_bar) { verdict = "warn"; bar = warn_bar }
+          # Concurrent series never hard-fail: on a single-core box
+          # multi-thread (and multi-shard scatter-gather) timings
+          # measure scheduler contention, not the code under test.
+          if (verdict == "FAIL" && name ~ /(shards|threads)_([2-9]|[0-9][0-9])/) verdict = "warn"
+          printf "%s %d %s %.3f %.3f %+.1f\n", verdict, bar, name, old[name], v, pct
+        }
+      }
+    ' "$committed" "BENCH_${bench}.json")
+    rm -f "$committed"
+  fi
 done
+
+if [ "$ratchet_failed" -ne 0 ]; then
+  echo "bench: perf-regression ratchet failed (ns_per_iter over the committed fail bar)" >&2
+  exit 1
+fi

@@ -24,8 +24,12 @@ cargo test -q
 echo "== ops plane: live scrape smoke"
 scripts/obs.sh
 
-echo "== benches: build + smoke run"
+echo "== benches: build + smoke run + perf-regression ratchet"
 cargo build --benches
 # Smoke sizes only — a real BENCH_*.json refresh is a plain
 # `scripts/bench.sh` (e19 then builds its full-scale sim world).
-CSS_BENCH_MS=5 CSS_E19_EVENTS=20000 CSS_E19_PERSONS=500 scripts/bench.sh
+# --ratchet compares the fresh ns_per_iter against the committed
+# BENCH_*.json values (warn >15%, fail >40%); after a green check,
+# regenerate the JSONs at full scale with `scripts/bench.sh` so the
+# committed baseline stays a full-scale run.
+CSS_BENCH_MS=5 CSS_E19_EVENTS=20000 CSS_E19_PERSONS=500 scripts/bench.sh --ratchet

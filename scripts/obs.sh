@@ -171,6 +171,34 @@ run_smoke() { # run_smoke SHARDS
     fi
     echo "obs: /metrics ok ($(printf '%s\n' "$metrics" | wc -l) lines, $types metrics, $shards shard series)"
 
+    # Metrics history: the chronicle answers /query and /range with
+    # aggregates only. Poll until the first stage.total tick has been
+    # retained, then grep both documents for identifier leaks.
+    local query="" range
+    for _ in $(seq 1 150); do
+        query=$(fetch '/query?metric=stage.total&fn=p99' || true)
+        case "$query" in *'"metric":"stage.total"'*) break ;; esac
+        sleep 0.1
+    done
+    check_json "/query" "$query" metric
+    case "$query" in
+        *'"metric":"stage.total"'*) ;;
+        *) echo "obs: /query never retained stage.total: ${query:0:200}" >&2; exit 1 ;;
+    esac
+    case "$query" in
+        *'"fn":"quantile_over_time"'*) ;;
+        *) echo "obs: /query p99 shorthand broken: ${query:0:200}" >&2; exit 1 ;;
+    esac
+    range=$(fetch '/range?metric=stage.total&res=raw')
+    check_json "/range" "$range" points
+    if printf '%s\n%s\n' "$query" "$range" | grep -Eq 'FC[0-9]{14}|"Demo"|Subject[0-9]'; then
+        echo "obs: metrics history leaks a personal identifier:" >&2
+        printf '%s\n%s\n' "$query" "$range" \
+            | grep -Eo 'FC[0-9]{14}|"Demo"|Subject[0-9]+' | head >&2
+        exit 1
+    fi
+    echo "obs: /query + /range ok (leak grep clean)"
+
     # Flight recorder: force an incident over HTTP, validate the bundle,
     # and grep it (plus the on-disk copy) for identifier leaks — the
     # demo publishes FC-coded identities with name "Demo" and surname

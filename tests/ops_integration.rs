@@ -103,9 +103,10 @@ fn get(addr: SocketAddr, path: &str) -> (u16, String) {
 // ---- Prometheus text validation ------------------------------------------
 
 /// Minimal format check for exposition text 0.0.4: every line is a
-/// `# TYPE` comment or `name[{le="…"}] value`; every histogram carries
-/// cumulative `_bucket` lines closed by `+Inf`, plus `_sum`/`_count`,
-/// with `+Inf == _count`.
+/// `# HELP`/`# TYPE` comment or `name[{label="…"}] value`; every
+/// `# TYPE` is preceded by a `# HELP` for the same metric; every
+/// histogram carries cumulative `_bucket` lines closed by `+Inf`,
+/// plus `_sum`/`_count`, with `+Inf == _count`.
 fn assert_valid_prometheus(text: &str) {
     fn valid_name(name: &str) -> bool {
         !name.is_empty()
@@ -114,7 +115,17 @@ fn assert_valid_prometheus(text: &str) {
                 .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
     }
     let mut histograms: Vec<String> = Vec::new();
+    let mut helped: Vec<String> = Vec::new();
     for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("HELP without text: {line}"));
+            assert!(valid_name(name), "bad metric name in {line:?}");
+            assert!(!help.trim().is_empty(), "empty help text: {line}");
+            helped.push(name.to_string());
+            continue;
+        }
         if let Some(rest) = line.strip_prefix("# TYPE ") {
             let mut parts = rest.split_whitespace();
             let name = parts.next().expect("typed metric name");
@@ -122,6 +133,10 @@ fn assert_valid_prometheus(text: &str) {
             assert!(
                 matches!(kind, "counter" | "gauge" | "histogram"),
                 "unknown kind: {line}"
+            );
+            assert!(
+                helped.iter().any(|h| h == name),
+                "# TYPE without preceding # HELP: {line}"
             );
             if kind == "histogram" {
                 histograms.push(name.to_string());
@@ -138,7 +153,9 @@ fn assert_valid_prometheus(text: &str) {
         assert!(valid_name(name), "bad metric name in {line:?}");
         if let Some(labels) = series.strip_prefix(name) {
             assert!(
-                labels.is_empty() || (labels.starts_with("{le=\"") && labels.ends_with("\"}")),
+                labels.is_empty()
+                    || ((labels.starts_with("{le=\"") || labels.starts_with("{version=\""))
+                        && labels.ends_with("\"}")),
                 "unexpected labels in {line:?}"
             );
         }
